@@ -1,0 +1,78 @@
+//! Microbenchmarks of the substrates: the DES event queue, the SAN
+//! simulation engine, and the cluster runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctsim_des::{EventQueue, SimTime};
+use ctsim_models::{build_model, SanParams};
+use ctsim_san::{Simulator, StopReason};
+use ctsim_stoch::{Dist, SimRng};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("des/event_queue_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            for i in 0..10_000u32 {
+                q.schedule_at(SimTime::from_nanos(((i * 2_654_435_761) % 1_000_000) as u64), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e as u64);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_san_engine(c: &mut Criterion) {
+    // A closed tandem queueing network exercises enabling, scheduling,
+    // and firing without protocol logic.
+    let mut b = ctsim_san::SanBuilder::new("tandem");
+    let stations = 8;
+    let places: Vec<_> = (0..stations)
+        .map(|i| b.place(format!("s{i}"), if i == 0 { 20 } else { 0 }))
+        .collect();
+    for i in 0..stations {
+        let from = places[i];
+        let to = places[(i + 1) % stations];
+        b.add_activity(
+            ctsim_san::Activity::timed(format!("t{i}"), Dist::Exp { mean: 1.0 })
+                .input(from, 1)
+                .case(ctsim_san::Case::with_prob(1.0).output(to, 1)),
+        );
+    }
+    let model = b.build().unwrap();
+    c.bench_function("san/tandem_8x20_to_1s", |bch| {
+        bch.iter(|| {
+            let mut sim = Simulator::new(&model, SimRng::new(7));
+            let out = sim.run_until(|_| false, SimTime::from_secs(1.0));
+            black_box(out.completions)
+        })
+    });
+
+    let params = SanParams::paper_baseline(5);
+    let consensus = build_model(&params);
+    let decided: Vec<_> = (0..5)
+        .map(|i| consensus.place(&format!("decided_{i}")).unwrap())
+        .collect();
+    c.bench_function("san/consensus_model_n5_one_run", |bch| {
+        let mut seed = 0u64;
+        bch.iter(|| {
+            seed += 1;
+            let mut sim = Simulator::new(&consensus, SimRng::new(seed));
+            let out = sim.run_until(
+                |m| decided.iter().any(|&d| m.get(d) > 0),
+                SimTime::from_secs(10.0),
+            );
+            assert_eq!(out.reason, StopReason::Predicate);
+            black_box(out.time)
+        })
+    });
+
+    c.bench_function("san/build_consensus_model_n5", |bch| {
+        bch.iter(|| black_box(build_model(&params)).num_activities())
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_san_engine);
+criterion_main!(benches);

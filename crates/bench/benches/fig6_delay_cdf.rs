@@ -1,0 +1,34 @@
+//! Regenerates Fig. 6 (end-to-end delay CDFs and bimodal fit) as a
+//! benchmark: one iteration = one full delay-measurement campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctsim_bench::BENCH_SEED;
+use ctsim_netsim::{HostParams, NetParams};
+use ctsim_stoch::fit::fit_bimodal_uniform;
+use ctsim_testbed::measure_delays;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("delay_campaign_n3_400pings", |b| {
+        b.iter(|| {
+            let d = measure_delays(
+                3,
+                400,
+                NetParams::default(),
+                HostParams::default(),
+                black_box(BENCH_SEED),
+            );
+            black_box(d.unicast.mean())
+        })
+    });
+    g.bench_function("bimodal_fit_2000_samples", |b| {
+        let d = measure_delays(3, 1000, NetParams::default(), HostParams::default(), 1);
+        b.iter(|| black_box(fit_bimodal_uniform(black_box(d.unicast.samples()))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates Fig. 7 / §5.2 (class-1 latency) as benchmarks: the
+//! measurement campaign and the SAN simulation that must match it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctsim_bench::BENCH_SEED;
+use ctsim_models::{latency_replications, SanParams};
+use ctsim_testbed::{run_campaign, TestbedConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for n in [3usize, 5] {
+        g.bench_function(format!("measured_campaign_n{n}_60exec"), |b| {
+            b.iter(|| {
+                let r = run_campaign(&TestbedConfig::class1(n, 60, black_box(BENCH_SEED)));
+                black_box(r.mean())
+            })
+        });
+        g.bench_function(format!("san_simulation_n{n}_100reps"), |b| {
+            let params = SanParams::paper_baseline(n);
+            b.iter(|| {
+                let r = latency_replications(&params, 100, black_box(BENCH_SEED), 1e4);
+                black_box(r.mean())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 8 (failure-detector QoS vs timeout) as benchmarks:
+//! one class-3 campaign with QoS estimation per timeout setting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctsim_bench::BENCH_SEED;
+use ctsim_testbed::{run_campaign, TestbedConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for timeout in [3.0f64, 30.0, 100.0] {
+        g.bench_function(format!("qos_campaign_n3_T{timeout}"), |b| {
+            b.iter(|| {
+                let cfg = TestbedConfig::class3(3, 40, timeout, black_box(BENCH_SEED));
+                let r = run_campaign(&cfg);
+                black_box(r.qos.expect("class 3 yields QoS").t_mr)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

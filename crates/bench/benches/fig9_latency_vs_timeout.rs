@@ -1,0 +1,37 @@
+//! Regenerates Fig. 9 (latency vs failure-detection timeout) as
+//! benchmarks: the class-3 measurement and the SAN model with the
+//! two-state failure detector (deterministic and exponential).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctsim_bench::BENCH_SEED;
+use ctsim_models::{latency_replications, SanParams, SojournDist};
+use ctsim_testbed::{run_campaign, TestbedConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for timeout in [3.0f64, 30.0] {
+        g.bench_function(format!("measured_latency_n3_T{timeout}"), |b| {
+            b.iter(|| {
+                let cfg = TestbedConfig::class3(3, 40, timeout, black_box(BENCH_SEED));
+                black_box(run_campaign(&cfg).mean())
+            })
+        });
+    }
+    for (name, dist) in [
+        ("det", SojournDist::Deterministic),
+        ("exp", SojournDist::Exponential),
+    ] {
+        g.bench_function(format!("san_two_state_fd_{name}_n3"), |b| {
+            let params = SanParams::paper_baseline(3).with_two_state_fd(15.0, 5.0, dist);
+            b.iter(|| {
+                black_box(latency_replications(&params, 60, black_box(BENCH_SEED), 6e4).mean())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

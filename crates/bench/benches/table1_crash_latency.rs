@@ -1,0 +1,39 @@
+//! Regenerates Table 1 (crash scenarios) as benchmarks: measured and
+//! simulated latency under no crash / coordinator crash / participant
+//! crash.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctsim_bench::BENCH_SEED;
+use ctsim_models::{latency_replications, SanParams};
+use ctsim_testbed::{run_campaign, CrashScenario, TestbedConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for (name, scenario) in [
+        ("no_crash", CrashScenario::None),
+        ("coordinator_crash", CrashScenario::Coordinator),
+        ("participant_crash", CrashScenario::Participant),
+    ] {
+        g.bench_function(format!("measured_n3_{name}"), |b| {
+            b.iter(|| {
+                let cfg = TestbedConfig::class2(3, 60, scenario, black_box(BENCH_SEED));
+                black_box(run_campaign(&cfg).mean())
+            })
+        });
+        g.bench_function(format!("simulated_n3_{name}"), |b| {
+            let mut params = SanParams::paper_baseline(3);
+            if let Some(i) = scenario.crashed_index() {
+                params = params.with_crash(i);
+            }
+            b.iter(|| {
+                black_box(latency_replications(&params, 80, black_box(BENCH_SEED), 1e4).mean())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

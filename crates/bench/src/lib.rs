@@ -1,0 +1,22 @@
+//! Benchmark support crate: shared helpers for the Criterion benches
+//! that regenerate the paper's tables and figures at reduced scale.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `fig6_delay_cdf` — message-delay measurement campaign (Fig. 6),
+//! * `fig7_latency` — class-1 latency, measurement and simulation
+//!   (Fig. 7 / §5.2),
+//! * `table1_crash_latency` — crash scenarios (Table 1),
+//! * `fig8_qos` — failure-detector QoS estimation (Fig. 8),
+//! * `fig9_latency_vs_timeout` — class-3 latency and the SAN
+//!   two-state-FD model (Fig. 9),
+//! * `engine_micro` — SAN simulator, event queue, and cluster-runtime
+//!   microbenchmarks.
+
+use ctsim_experiments::Scale;
+
+/// The scale every figure bench runs at.
+pub const BENCH_SCALE: Scale = Scale::Quick;
+
+/// A fixed seed so benchmark workloads are identical across runs.
+pub const BENCH_SEED: u64 = 0xBE7C;

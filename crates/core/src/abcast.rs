@@ -1,0 +1,464 @@
+//! Atomic broadcast by reduction to consensus (Chandra & Toueg).
+//!
+//! This is the paper's motivating application (§2.3): a service
+//! replicated with active replication receives client requests through
+//! atomic broadcast, which guarantees that all replicas see all requests
+//! in the same order; atomic broadcast in turn is solved by a sequence
+//! of consensus instances. A request can be delivered at a replica as
+//! soon as that replica decides in the corresponding consensus — which
+//! is why consensus *latency* (time to first decision) is the paper's
+//! performance measure.
+//!
+//! The reduction: messages are disseminated with a lazy reliable
+//! broadcast; undelivered message identifiers are proposed to consensus
+//! instance `k`; the decided batch is delivered in a deterministic
+//! order; then instance `k+1` handles the rest.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use ctsim_des::SimTime;
+use ctsim_fd::FailureDetector;
+use ctsim_neko::{Ctx, Node, ProcessId};
+
+use crate::consensus::{ConsensusEnv, ConsensusMsg, CtConsensus};
+
+/// Identifier of an abroadcast message: (origin process, sequence no).
+pub type MsgId = (u32, u64);
+
+/// A decided batch: message identifiers in delivery order.
+pub type Batch = Vec<MsgId>;
+
+/// Wire messages of the atomic-broadcast stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbcastMsg<A> {
+    /// Reliable-broadcast dissemination of an application message.
+    Data {
+        /// Origin process index.
+        origin: u32,
+        /// Origin-local sequence number.
+        seq: u64,
+        /// Application payload.
+        payload: A,
+    },
+    /// A consensus message of instance `instance`.
+    Cons {
+        /// Consensus instance number (0-based).
+        instance: u64,
+        /// The embedded consensus message over batches.
+        inner: ConsensusMsg<Batch>,
+    },
+}
+
+/// Adapter handed to the embedded consensus engine: tags outgoing
+/// consensus messages with the instance number.
+struct TaggedEnv<'a, 'b, A> {
+    ctx: &'a mut Ctx<'b, AbcastMsg<A>>,
+    instance: u64,
+}
+
+impl<A: Clone> ConsensusEnv<Batch> for TaggedEnv<'_, '_, A> {
+    fn send(&mut self, to: ProcessId, msg: ConsensusMsg<Batch>) {
+        self.ctx.send(
+            to,
+            AbcastMsg::Cons {
+                instance: self.instance,
+                inner: msg,
+            },
+        );
+    }
+    fn broadcast_others(&mut self, msg: ConsensusMsg<Batch>) {
+        self.ctx.broadcast_others(AbcastMsg::Cons {
+            instance: self.instance,
+            inner: msg,
+        });
+    }
+    fn charge_work(&mut self) {
+        self.ctx.charge_work();
+    }
+    fn now_local(&self) -> SimTime {
+        self.ctx.now_local()
+    }
+    fn now_true(&self) -> SimTime {
+        self.ctx.now_true()
+    }
+}
+
+/// One replica of the atomic-broadcast service.
+///
+/// `A` is the application payload; `F` the failure detector shared by
+/// the embedded consensus instances.
+#[derive(Debug)]
+pub struct AbcastNode<A, F> {
+    me: ProcessId,
+    n: usize,
+    /// The failure-detector module (public for QoS inspection).
+    pub fd: F,
+    next_seq: u64,
+    /// Payloads received (reliable broadcast), keyed by id.
+    store: BTreeMap<MsgId, A>,
+    received: BTreeSet<MsgId>,
+    decided_ids: BTreeSet<MsgId>,
+    /// Ids decided but whose payload has not arrived yet.
+    delivery_queue: VecDeque<MsgId>,
+    instance: u64,
+    engine: Option<CtConsensus<Batch>>,
+    /// Consensus messages for future instances.
+    backlog: Vec<(ProcessId, u64, ConsensusMsg<Batch>)>,
+    /// The total order as delivered locally: (origin, seq, payload).
+    delivered_log: Vec<(u32, u64, A)>,
+}
+
+impl<A, F> AbcastNode<A, F>
+where
+    A: Clone + Ord,
+    F: FailureDetector<AbcastMsg<A>>,
+{
+    /// Creates a replica.
+    pub fn new(me: ProcessId, n: usize, fd: F) -> Self {
+        Self {
+            me,
+            n,
+            fd,
+            next_seq: 0,
+            store: BTreeMap::new(),
+            received: BTreeSet::new(),
+            decided_ids: BTreeSet::new(),
+            delivery_queue: VecDeque::new(),
+            instance: 0,
+            engine: None,
+            backlog: Vec::new(),
+            delivered_log: Vec::new(),
+        }
+    }
+
+    /// The locally delivered total order so far.
+    pub fn delivered(&self) -> &[(u32, u64, A)] {
+        &self.delivered_log
+    }
+
+    /// Number of consensus instances completed.
+    pub fn instances_completed(&self) -> u64 {
+        self.instance
+    }
+
+    /// Atomically broadcasts a payload. Call from a harness-driven
+    /// handler (e.g. a timer in a wrapping node).
+    pub fn abroadcast(&mut self, ctx: &mut Ctx<'_, AbcastMsg<A>>, payload: A) {
+        let id = (self.me.0 as u32, self.next_seq);
+        self.next_seq += 1;
+        self.store.insert(id, payload.clone());
+        self.received.insert(id);
+        ctx.broadcast_others(AbcastMsg::Data {
+            origin: id.0,
+            seq: id.1,
+            payload,
+        });
+        self.maybe_start_instance(ctx);
+    }
+
+    fn undelivered(&self) -> Batch {
+        self.received
+            .iter()
+            .filter(|id| !self.decided_ids.contains(*id))
+            .copied()
+            .collect()
+    }
+
+    fn maybe_start_instance(&mut self, ctx: &mut Ctx<'_, AbcastMsg<A>>) {
+        if let Some(engine) = &self.engine {
+            if !engine.has_started() {
+                // Engine created passively by an early message of this
+                // instance; propose now if we have anything.
+                let batch = self.undelivered();
+                if !batch.is_empty() {
+                    let fd = &self.fd;
+                    let query = |q: ProcessId| fd.is_suspected(q);
+                    let mut env = TaggedEnv {
+                        ctx,
+                        instance: self.instance,
+                    };
+                    self.engine
+                        .as_mut()
+                        .expect("checked above")
+                        .propose(&mut env, batch, &query);
+                    self.check_decision(ctx);
+                }
+            }
+            return;
+        }
+        let batch = self.undelivered();
+        if batch.is_empty() {
+            return;
+        }
+        let mut engine = CtConsensus::new(self.me, self.n);
+        let fd = &self.fd;
+        let query = |q: ProcessId| fd.is_suspected(q);
+        let mut env = TaggedEnv {
+            ctx,
+            instance: self.instance,
+        };
+        engine.propose(&mut env, batch, &query);
+        self.engine = Some(engine);
+        self.check_decision(ctx);
+    }
+
+    fn check_decision(&mut self, ctx: &mut Ctx<'_, AbcastMsg<A>>) {
+        let Some(engine) = &self.engine else { return };
+        let Some(batch) = engine.decision().cloned() else {
+            return;
+        };
+        self.engine = None;
+        self.instance += 1;
+        for id in batch {
+            if self.decided_ids.insert(id) {
+                self.delivery_queue.push_back(id);
+            }
+        }
+        self.flush_deliveries();
+        // Replay consensus messages buffered for the new instance.
+        let inst = self.instance;
+        let mut replay = Vec::new();
+        self.backlog.retain(|(from, i, m)| {
+            if *i == inst {
+                replay.push((*from, m.clone()));
+                false
+            } else {
+                *i > inst
+            }
+        });
+        for (from, m) in replay {
+            self.handle_cons(ctx, from, inst, m);
+        }
+        self.maybe_start_instance(ctx);
+    }
+
+    fn flush_deliveries(&mut self) {
+        while let Some(id) = self.delivery_queue.front().copied() {
+            let Some(p) = self.store.get(&id) else { break };
+            self.delivered_log.push((id.0, id.1, p.clone()));
+            self.delivery_queue.pop_front();
+        }
+    }
+
+    fn handle_cons(
+        &mut self,
+        ctx: &mut Ctx<'_, AbcastMsg<A>>,
+        from: ProcessId,
+        instance: u64,
+        inner: ConsensusMsg<Batch>,
+    ) {
+        if instance < self.instance {
+            return; // finished instance, stale
+        }
+        if instance > self.instance {
+            self.backlog.push((from, instance, inner));
+            return;
+        }
+        // Participate even before having anything to propose: rounds are
+        // buffered by the engine until we do.
+        let engine = self
+            .engine
+            .get_or_insert_with(|| CtConsensus::new(self.me, self.n));
+        let fd = &self.fd;
+        let query = |q: ProcessId| fd.is_suspected(q);
+        let mut env = TaggedEnv { ctx, instance };
+        engine.on_message(&mut env, from, inner, &query);
+        self.check_decision(ctx);
+        self.maybe_start_instance(ctx);
+    }
+
+    fn pump_fd(&mut self, ctx: &mut Ctx<'_, AbcastMsg<A>>) {
+        let events = self.fd.drain_events();
+        if events.is_empty() {
+            return;
+        }
+        if let Some(engine) = self.engine.as_mut() {
+            let fd = &self.fd;
+            let query = |q: ProcessId| fd.is_suspected(q);
+            let mut env = TaggedEnv {
+                ctx,
+                instance: self.instance,
+            };
+            for ev in events {
+                engine.on_suspicion(&mut env, ev.target, ev.suspected, &query);
+            }
+        }
+        self.check_decision(ctx);
+    }
+}
+
+impl<A, F> Node<AbcastMsg<A>> for AbcastNode<A, F>
+where
+    A: Clone + Ord,
+    F: FailureDetector<AbcastMsg<A>>,
+{
+    fn on_start(&mut self, ctx: &mut Ctx<'_, AbcastMsg<A>>) {
+        self.fd.on_start(ctx);
+    }
+
+    fn on_app_message(
+        &mut self,
+        ctx: &mut Ctx<'_, AbcastMsg<A>>,
+        from: ProcessId,
+        msg: AbcastMsg<A>,
+    ) {
+        self.fd.note_alive(ctx, from);
+        self.pump_fd(ctx);
+        match msg {
+            AbcastMsg::Data {
+                origin,
+                seq,
+                payload,
+            } => {
+                let id = (origin, seq);
+                if self.received.insert(id) {
+                    self.store.insert(id, payload.clone());
+                    // Lazy reliable broadcast: relay on first receipt.
+                    ctx.broadcast_others(AbcastMsg::Data {
+                        origin,
+                        seq,
+                        payload,
+                    });
+                    self.flush_deliveries();
+                    self.maybe_start_instance(ctx);
+                } else if !self.store.contains_key(&id) {
+                    self.store.insert(id, payload);
+                    self.flush_deliveries();
+                }
+            }
+            AbcastMsg::Cons { instance, inner } => {
+                self.handle_cons(ctx, from, instance, inner);
+            }
+        }
+    }
+
+    fn on_heartbeat(&mut self, ctx: &mut Ctx<'_, AbcastMsg<A>>, from: ProcessId) {
+        self.fd.note_alive(ctx, from);
+        self.pump_fd(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, AbcastMsg<A>>, token: u64) {
+        if self.fd.on_timer(ctx, token) {
+            self.pump_fd(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctsim_des::{SimDuration, SimTime};
+    use ctsim_fd::OracleFd;
+    use ctsim_neko::{NodeConfig, Runtime, TimerKind};
+    use ctsim_netsim::{HostParams, NetParams};
+    use ctsim_stoch::SimRng;
+
+    /// A wrapper node that abroadcasts a few payloads from timers.
+    struct Driver {
+        inner: AbcastNode<u64, OracleFd>,
+        to_send: Vec<u64>,
+    }
+
+    impl Node<AbcastMsg<u64>> for Driver {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, AbcastMsg<u64>>) {
+            self.inner.on_start(ctx);
+            for (k, _) in self.to_send.iter().enumerate() {
+                ctx.set_timer(
+                    SimDuration::from_ms(1.0 + 0.37 * k as f64),
+                    TimerKind::Precise,
+                    100 + k as u64,
+                );
+            }
+        }
+        fn on_app_message(
+            &mut self,
+            ctx: &mut Ctx<'_, AbcastMsg<u64>>,
+            from: ProcessId,
+            msg: AbcastMsg<u64>,
+        ) {
+            self.inner.on_app_message(ctx, from, msg);
+        }
+        fn on_heartbeat(&mut self, ctx: &mut Ctx<'_, AbcastMsg<u64>>, from: ProcessId) {
+            self.inner.on_heartbeat(ctx, from);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, AbcastMsg<u64>>, token: u64) {
+            if token >= 100 {
+                let k = (token - 100) as usize;
+                let payload = self.to_send[k];
+                self.inner.abroadcast(ctx, payload);
+            } else {
+                self.inner.on_timer(ctx, token);
+            }
+        }
+    }
+
+    fn quiet_host() -> HostParams {
+        HostParams {
+            gc_enabled: false,
+            recv_tail_prob: 0.0,
+            ..HostParams::default()
+        }
+    }
+
+    fn run_abcast(n: usize, seed: u64, sends: Vec<Vec<u64>>) -> Vec<Vec<(u32, u64, u64)>> {
+        let mut rt: Runtime<AbcastMsg<u64>, Driver> = Runtime::new(
+            n,
+            NetParams::default(),
+            quiet_host(),
+            NodeConfig::default(),
+            SimRng::new(seed),
+            |p| Driver {
+                inner: AbcastNode::new(p, n, OracleFd::accurate(n)),
+                to_send: sends[p.0].clone(),
+            },
+        );
+        rt.run_until(SimTime::from_secs(2.0));
+        (0..n)
+            .map(|i| rt.node(ProcessId(i)).inner.delivered().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn single_broadcast_reaches_all_in_order() {
+        let logs = run_abcast(3, 1, vec![vec![7], vec![], vec![]]);
+        for log in &logs {
+            assert_eq!(log, &vec![(0, 0, 7)]);
+        }
+    }
+
+    #[test]
+    fn total_order_is_identical_across_replicas() {
+        let sends = vec![vec![10, 11], vec![20], vec![30, 31, 32]];
+        let logs = run_abcast(3, 2, sends);
+        let total: usize = 6;
+        for log in &logs {
+            assert_eq!(log.len(), total, "all messages delivered: {log:?}");
+        }
+        for w in logs.windows(2) {
+            assert_eq!(w[0], w[1], "replicas must deliver in the same order");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_no_invented_messages() {
+        let sends = vec![vec![1, 2, 3], vec![4, 5], vec![]];
+        let logs = run_abcast(3, 3, sends);
+        let mut seen = std::collections::HashSet::new();
+        for d in &logs[0] {
+            assert!(seen.insert((d.0, d.1)), "duplicate delivery {d:?}");
+            assert!((1..=5).contains(&d.2), "unknown payload {d:?}");
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn order_respects_consensus_not_send_order_ties() {
+        // Concurrent sends from all three replicas still produce one
+        // agreed order; run with two seeds and confirm determinism per
+        // seed (the order itself may differ between seeds).
+        let sends = vec![vec![100], vec![200], vec![300]];
+        let a = run_abcast(3, 4, sends.clone());
+        let b = run_abcast(3, 4, sends);
+        assert_eq!(a, b, "same seed, same order");
+    }
+}

@@ -1,0 +1,291 @@
+//! A runnable process: consensus engine + failure detector packaged as
+//! a [`ctsim_neko::Node`].
+
+use ctsim_des::SimDuration;
+use ctsim_fd::FailureDetector;
+use ctsim_neko::{Ctx, Node, ProcessId, TimerKind};
+
+use crate::consensus::{ConsensusMsg, CtConsensus};
+
+/// Timer token used to trigger `propose` at a configured local time.
+const TOKEN_PROPOSE: u64 = 1 << 50;
+
+/// One process of the consensus system: the ◇S engine wired to a
+/// failure detector `F` (oracle or heartbeat).
+///
+/// Every received message — application or heartbeat — is reported to
+/// the failure detector first (the paper's detector treats *any*
+/// message from `q` as a liveness proof), then suspicion transitions are
+/// fed to the consensus engine, then the message itself is processed.
+#[derive(Debug)]
+pub struct ConsensusNode<V, F> {
+    /// The consensus engine (public for inspection by harnesses).
+    pub consensus: CtConsensus<V>,
+    /// The failure-detector module.
+    pub fd: F,
+    /// Value to propose, and when (delay from start, local clock).
+    proposal: Option<(V, SimDuration)>,
+}
+
+impl<V: Clone, F> ConsensusNode<V, F> {
+    /// A node that proposes `value` `delay` after the run starts
+    /// (the measurement harness aligns all starts to the same instant
+    /// via the NTP-synchronized clocks).
+    pub fn proposing(me: ProcessId, n: usize, fd: F, value: V, delay: SimDuration) -> Self {
+        Self {
+            consensus: CtConsensus::new(me, n),
+            fd,
+            proposal: Some((value, delay)),
+        }
+    }
+
+    /// A node that never proposes on its own (driven externally).
+    pub fn passive(me: ProcessId, n: usize, fd: F) -> Self {
+        Self {
+            consensus: CtConsensus::new(me, n),
+            fd,
+            proposal: None,
+        }
+    }
+}
+
+impl<V, F> ConsensusNode<V, F>
+where
+    V: Clone,
+    F: FailureDetector<ConsensusMsg<V>>,
+{
+    fn pump_fd_events(&mut self, ctx: &mut Ctx<'_, ConsensusMsg<V>>) {
+        for ev in self.fd.drain_events() {
+            let fd = &self.fd;
+            let query = |q: ProcessId| fd.is_suspected(q);
+            self.consensus
+                .on_suspicion(ctx, ev.target, ev.suspected, &query);
+        }
+    }
+}
+
+impl<V, F> Node<ConsensusMsg<V>> for ConsensusNode<V, F>
+where
+    V: Clone,
+    F: FailureDetector<ConsensusMsg<V>>,
+{
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ConsensusMsg<V>>) {
+        self.fd.on_start(ctx);
+        if let Some((_, delay)) = &self.proposal {
+            ctx.set_timer(*delay, TimerKind::Precise, TOKEN_PROPOSE);
+        }
+    }
+
+    fn on_app_message(
+        &mut self,
+        ctx: &mut Ctx<'_, ConsensusMsg<V>>,
+        from: ProcessId,
+        msg: ConsensusMsg<V>,
+    ) {
+        self.fd.note_alive(ctx, from);
+        self.pump_fd_events(ctx);
+        let fd = &self.fd;
+        let query = |q: ProcessId| fd.is_suspected(q);
+        self.consensus.on_message(ctx, from, msg, &query);
+    }
+
+    fn on_heartbeat(&mut self, ctx: &mut Ctx<'_, ConsensusMsg<V>>, from: ProcessId) {
+        self.fd.note_alive(ctx, from);
+        self.pump_fd_events(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ConsensusMsg<V>>, token: u64) {
+        if token == TOKEN_PROPOSE {
+            if let Some((value, _)) = self.proposal.take() {
+                let fd = &self.fd;
+                let query = |q: ProcessId| fd.is_suspected(q);
+                self.consensus.propose(ctx, value, &query);
+            }
+            return;
+        }
+        if self.fd.on_timer(ctx, token) {
+            self.pump_fd_events(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctsim_des::SimTime;
+    use ctsim_fd::{FdParams, HeartbeatFd, OracleFd};
+    use ctsim_neko::{NodeConfig, Runtime};
+    use ctsim_netsim::{HostParams, NetParams};
+    use ctsim_stoch::SimRng;
+
+    fn quiet_host() -> HostParams {
+        HostParams {
+            gc_enabled: false,
+            recv_tail_prob: 0.0,
+            ..HostParams::default()
+        }
+    }
+
+    type OracleNode = ConsensusNode<u64, OracleFd>;
+
+    fn oracle_runtime(
+        n: usize,
+        seed: u64,
+        crashed: Vec<ProcessId>,
+    ) -> Runtime<ConsensusMsg<u64>, OracleNode> {
+        let crashed2 = crashed.clone();
+        let mut rt = Runtime::new(
+            n,
+            NetParams::default(),
+            quiet_host(),
+            NodeConfig::default(),
+            SimRng::new(seed),
+            move |p| {
+                let fd = if crashed2.is_empty() {
+                    OracleFd::accurate(n)
+                } else {
+                    OracleFd::suspecting(n, &crashed2)
+                };
+                ConsensusNode::proposing(
+                    p,
+                    n,
+                    fd,
+                    100 + p.0 as u64,
+                    SimDuration::from_ms(1.0),
+                )
+            },
+        );
+        for p in crashed {
+            rt.crash(p);
+        }
+        rt
+    }
+
+    fn decisions(rt: &Runtime<ConsensusMsg<u64>, OracleNode>) -> Vec<Option<u64>> {
+        (0..rt.n())
+            .map(|i| rt.node(ProcessId(i)).consensus.decision().copied())
+            .collect()
+    }
+
+    #[test]
+    fn all_decide_the_coordinators_value_without_failures() {
+        for n in [1, 2, 3, 5, 7] {
+            let mut rt = oracle_runtime(n, 42 + n as u64, vec![]);
+            rt.run_until(SimTime::from_ms(200.0));
+            let ds = decisions(&rt);
+            for (i, d) in ds.iter().enumerate() {
+                assert_eq!(*d, Some(100), "n={n}, p{} decided {d:?}", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_and_validity_hold() {
+        let mut rt = oracle_runtime(5, 7, vec![]);
+        rt.run_until(SimTime::from_ms(200.0));
+        let ds: Vec<u64> = decisions(&rt).into_iter().flatten().collect();
+        assert_eq!(ds.len(), 5, "termination");
+        assert!(ds.windows(2).all(|w| w[0] == w[1]), "agreement");
+        assert!((100..105).contains(&ds[0]), "validity");
+    }
+
+    #[test]
+    fn one_round_without_failures() {
+        let mut rt = oracle_runtime(5, 9, vec![]);
+        rt.run_until(SimTime::from_ms(200.0));
+        // The first coordinator decides in round 1.
+        assert_eq!(rt.node(ProcessId(0)).consensus.round(), 1);
+    }
+
+    #[test]
+    fn coordinator_crash_finishes_in_two_rounds_with_p2_value() {
+        let mut rt = oracle_runtime(5, 11, vec![ProcessId(0)]);
+        rt.run_until(SimTime::from_ms(500.0));
+        let ds = decisions(&rt);
+        for i in 1..5 {
+            assert_eq!(ds[i], Some(101), "p{} must decide p2's value", i + 1);
+        }
+        assert_eq!(ds[0], None, "crashed process never decides");
+        // Round 2 coordinator is p2.
+        assert_eq!(rt.node(ProcessId(1)).consensus.round(), 2);
+    }
+
+    #[test]
+    fn participant_crash_still_one_round() {
+        let mut rt = oracle_runtime(5, 13, vec![ProcessId(1)]);
+        rt.run_until(SimTime::from_ms(500.0));
+        let ds = decisions(&rt);
+        assert_eq!(ds[0], Some(100));
+        for i in 2..5 {
+            assert_eq!(ds[i], Some(100));
+        }
+        assert_eq!(rt.node(ProcessId(0)).consensus.round(), 1);
+    }
+
+    #[test]
+    fn tolerates_minority_crashes() {
+        // n = 5 tolerates 2 crashes (majority 3).
+        let mut rt = oracle_runtime(5, 17, vec![ProcessId(0), ProcessId(2)]);
+        rt.run_until(SimTime::from_ms(500.0));
+        let ds = decisions(&rt);
+        let alive: Vec<u64> = [1usize, 3, 4].iter().filter_map(|&i| ds[i]).collect();
+        assert_eq!(alive.len(), 3, "all correct processes decide: {ds:?}");
+        assert!(alive.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn decision_timestamps_are_recorded() {
+        let mut rt = oracle_runtime(3, 19, vec![]);
+        rt.run_until(SimTime::from_ms(200.0));
+        let c = &rt.node(ProcessId(0)).consensus;
+        let t_local = c.decided_at_local().expect("decided");
+        let t_true = c.decided_at_true().expect("decided");
+        // Proposal at ~1 ms; decision within a handful of ms; clocks
+        // agree within the 50 µs NTP bound.
+        assert!(t_true.as_ms() > 1.0 && t_true.as_ms() < 30.0);
+        assert!((t_local.as_ms() - t_true.as_ms()).abs() <= 0.051);
+    }
+
+    /// With a *real* heartbeat detector and a harsh timeout, wrong
+    /// suspicions occur; the algorithm must still reach agreement on
+    /// every run (safety despite bad QoS).
+    #[test]
+    fn agreement_survives_wrong_suspicions() {
+        for seed in 0..10u64 {
+            let n = 3;
+            let mut rt = Runtime::new(
+                n,
+                NetParams::default(),
+                HostParams::default(), // GC pauses and tails ON
+                NodeConfig::default(),
+                SimRng::new(1000 + seed),
+                move |p| {
+                    ConsensusNode::proposing(
+                        p,
+                        n,
+                        HeartbeatFd::new(p, n, FdParams::with_timeout(5.0)),
+                        p.0 as u64,
+                        SimDuration::from_ms(1.0),
+                    )
+                },
+            );
+            let all_decided = rt.run_while(SimTime::from_secs(30.0), |nodes| {
+                nodes.iter().any(|nd| nd.consensus.decision().is_none())
+            });
+            assert!(all_decided, "seed {seed}: termination under ◇S-like FD");
+            let ds: Vec<u64> = (0..n)
+                .map(|i| {
+                    *rt.node(ProcessId(i))
+                        .consensus
+                        .decision()
+                        .expect("decided")
+                })
+                .collect();
+            assert!(
+                ds.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: agreement violated: {ds:?}"
+            );
+            assert!(ds[0] < n as u64, "validity");
+        }
+    }
+}

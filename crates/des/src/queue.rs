@@ -1,0 +1,248 @@
+//! The pending-event set: a cancellable priority queue of timed events.
+//!
+//! Two properties matter for reproducible distributed-system simulation:
+//!
+//! 1. **Stable tie-breaking.** Events scheduled for the same instant fire
+//!    in the order they were scheduled (FIFO). Without this, simultaneous
+//!    events — ubiquitous with deterministic service times — would fire in
+//!    heap order, which is an artifact of the container.
+//! 2. **O(log n) cancellation.** Failure-detector timeouts are rescheduled
+//!    on every received message; cancellation must not require a scan.
+//!    Cancellation is implemented lazily: a tombstone is left in the heap
+//!    and skipped on pop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A handle identifying a scheduled event, usable to cancel it.
+///
+/// Handles are unique over the lifetime of one [`EventQueue`] and become
+/// stale (harmlessly) once the event has fired or been cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapKey {
+    time: SimTime,
+    seq: u64,
+}
+
+/// A cancellable future-event queue ordered by time, FIFO within a tick.
+///
+/// `E` is the event payload type; the queue itself never interprets it.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(HeapKey, u64)>>,
+    // Payloads are kept out of the heap so cancellation is O(1) amortised.
+    slots: std::collections::HashMap<u64, E>,
+    next_seq: u64,
+    now: SimTime,
+    fired: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            slots: std::collections::HashMap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            fired: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the most recently
+    /// popped event (or zero before any event fires).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) scheduled events.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total number of events fired so far (monotonic counter).
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Schedules `event` at absolute time `t`.
+    ///
+    /// Scheduling in the past is a modelling error; in debug builds it
+    /// panics, in release builds the event fires "now" (clamped).
+    pub fn schedule_at(&mut self, t: SimTime, event: E) -> EventHandle {
+        debug_assert!(t >= self.now, "scheduling into the past: {t} < {}", self.now);
+        let t = t.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((HeapKey { time: t, seq }, seq)));
+        self.slots.insert(seq, event);
+        EventHandle(seq)
+    }
+
+    /// Schedules `event` after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: crate::SimDuration, event: E) -> EventHandle {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a scheduled event. Returns the payload if the event was
+    /// still pending, or `None` if it already fired or was cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> Option<E> {
+        self.slots.remove(&handle.0)
+    }
+
+    /// Whether the event behind `handle` is still pending.
+    pub fn is_pending(&self, handle: EventHandle) -> bool {
+        self.slots.contains_key(&handle.0)
+    }
+
+    /// The time of the earliest live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_tombstones();
+        self.heap.peek().map(|Reverse((k, _))| k.time)
+    }
+
+    /// Pops the earliest live event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_tombstones();
+        let Reverse((key, seq)) = self.heap.pop()?;
+        let ev = self
+            .slots
+            .remove(&seq)
+            .expect("tombstones were skipped, slot must exist");
+        debug_assert!(key.time >= self.now, "event queue went backwards");
+        self.now = key.time;
+        self.fired += 1;
+        Some((key.time, ev))
+    }
+
+    /// Removes every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.slots.clear();
+    }
+
+    fn skip_tombstones(&mut self) {
+        while let Some(Reverse((_, seq))) = self.heap.peek() {
+            if self.slots.contains_key(seq) {
+                return;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ms(5.0), 'c');
+        q.schedule_at(SimTime::from_ms(1.0), 'a');
+        q.schedule_at(SimTime::from_ms(3.0), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(1.0);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ms(2.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ms(2.0));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ms(2.0), 1);
+        q.pop();
+        q.schedule_in(SimDuration::from_ms(3.0), 2);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_ms(5.0));
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule_at(SimTime::from_ms(1.0), "doomed");
+        q.schedule_at(SimTime::from_ms(2.0), "survivor");
+        assert!(q.is_pending(h1));
+        assert_eq!(q.cancel(h1), Some("doomed"));
+        assert!(!q.is_pending(h1));
+        // Double-cancel is a no-op.
+        assert_eq!(q.cancel(h1), None);
+        assert_eq!(q.len(), 1);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, "survivor");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancelled_head_does_not_block_peek() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_at(SimTime::from_ms(1.0), 1);
+        q.schedule_at(SimTime::from_ms(2.0), 2);
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(2.0)));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(SimTime::from_ms(i as f64), i);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn events_fired_counts_only_pops() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_at(SimTime::from_ms(1.0), 1);
+        q.schedule_at(SimTime::from_ms(2.0), 2);
+        q.cancel(h);
+        while q.pop().is_some() {}
+        assert_eq!(q.events_fired(), 1);
+    }
+
+    #[test]
+    fn handles_are_unique() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule_at(SimTime::from_ms(1.0), ());
+        let h2 = q.schedule_at(SimTime::from_ms(1.0), ());
+        assert_ne!(h1, h2);
+    }
+}

@@ -1,0 +1,299 @@
+//! Virtual time for discrete-event simulation.
+//!
+//! Times are stored as **integer nanoseconds** so that event ordering is
+//! exact and runs are bit-for-bit reproducible across platforms. The
+//! experiments in this workspace reason in milliseconds (the paper's unit),
+//! so conversion helpers to/from `f64` milliseconds and microseconds are
+//! provided.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant of simulated time, in nanoseconds since the start
+/// of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A non-negative span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from (fractional) microseconds.
+    ///
+    /// # Panics
+    /// Panics if `us` is negative or not finite.
+    pub fn from_us(us: f64) -> Self {
+        SimTime(f64_to_nanos(us * 1_000.0))
+    }
+
+    /// Creates a time from (fractional) milliseconds.
+    ///
+    /// # Panics
+    /// Panics if `ms` is negative or not finite.
+    pub fn from_ms(ms: f64) -> Self {
+        SimTime(f64_to_nanos(ms * 1_000_000.0))
+    }
+
+    /// Creates a time from (fractional) seconds.
+    ///
+    /// # Panics
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs(s: f64) -> Self {
+        SimTime(f64_to_nanos(s * 1_000_000_000.0))
+    }
+
+    /// Raw nanoseconds since the simulation origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This instant expressed in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This instant expressed in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// Returns [`SimDuration::ZERO`] if `earlier` is later than `self`
+    /// (saturating, like [`std::time::Instant::saturating_duration_since`]).
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked difference between two instants.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The greatest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from (fractional) microseconds.
+    ///
+    /// # Panics
+    /// Panics if `us` is negative or not finite.
+    pub fn from_us(us: f64) -> Self {
+        SimDuration(f64_to_nanos(us * 1_000.0))
+    }
+
+    /// Creates a duration from (fractional) milliseconds.
+    ///
+    /// # Panics
+    /// Panics if `ms` is negative or not finite.
+    pub fn from_ms(ms: f64) -> Self {
+        SimDuration(f64_to_nanos(ms * 1_000_000.0))
+    }
+
+    /// Creates a duration from (fractional) seconds.
+    ///
+    /// # Panics
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs(s: f64) -> Self {
+        SimDuration(f64_to_nanos(s * 1_000_000_000.0))
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This duration expressed in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This duration expressed in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+fn f64_to_nanos(ns: f64) -> u64 {
+    assert!(
+        ns.is_finite() && ns >= 0.0,
+        "time value must be finite and non-negative, got {ns}"
+    );
+    // Round to the nearest nanosecond; values are far below 2^53 in
+    // practice so the conversion is exact enough for simulation input.
+    ns.round() as u64
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// The span between two instants.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(rhs <= self, "negative SimTime difference");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(rhs <= self, "negative SimDuration difference");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        debug_assert!(rhs <= *self, "negative SimDuration difference");
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}ms", self.as_ms())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}ms", self.as_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_ms(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000);
+        assert!((t.as_ms() - 1.5).abs() < 1e-12);
+        assert!((t.as_us() - 1500.0).abs() < 1e-9);
+        let d = SimDuration::from_us(50.0);
+        assert_eq!(d.as_nanos(), 50_000);
+        assert!((d.as_secs() - 5e-5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t0 = SimTime::from_ms(1.0);
+        let t1 = t0 + SimDuration::from_ms(2.0);
+        assert_eq!(t1, SimTime::from_ms(3.0));
+        assert_eq!(t1 - t0, SimDuration::from_ms(2.0));
+        assert_eq!(t1 - SimDuration::from_ms(1.0), SimTime::from_ms(2.0));
+        assert_eq!(SimDuration::from_ms(1.0) * 3, SimDuration::from_ms(3.0));
+        assert_eq!(SimDuration::from_ms(3.0) / 3, SimDuration::from_ms(1.0));
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let a = SimTime::from_ms(1.0);
+        let b = SimTime::from_ms(2.0);
+        assert_eq!(b.saturating_since(a), SimDuration::from_ms(1.0));
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(a.checked_since(b), None);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_us(999.0) < SimTime::from_ms(1.0));
+        assert!(SimTime::MAX > SimTime::from_secs(1e6));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_time_panics() {
+        let _ = SimTime::from_ms(-1.0);
+    }
+
+    #[test]
+    fn display_formats_in_ms() {
+        assert_eq!(format!("{}", SimTime::from_ms(1.25)), "1.250000ms");
+        assert_eq!(format!("{}", SimDuration::from_us(5.0)), "0.005000ms");
+    }
+}

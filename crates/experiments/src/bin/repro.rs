@@ -1,0 +1,277 @@
+//! `repro` — regenerates every table and figure of the DSN 2002 paper.
+//!
+//! ```text
+//! repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|all> \
+//!       [--scale quick|default|full] [--seed N] [--out DIR]
+//! ```
+//!
+//! Text renderings (with the paper's reference values inline) go to
+//! stdout; CSV series go to `--out` (default `results/`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ctsim_experiments::{ablations, fig6, fig7, fig8, fig9, table1, throughput, Scale};
+
+struct Args {
+    command: String,
+    scale: Scale,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut scale = Scale::Default;
+    let mut seed = 20020623; // DSN 2002 conference date
+    let mut out = PathBuf::from("results");
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .ok_or("missing value for --scale")?
+                    .parse()?;
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .ok_or("missing value for --seed")?
+                    .parse::<u64>()
+                    .map_err(|e| e.to_string())?;
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().ok_or("missing value for --out")?);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        command,
+        scale,
+        seed,
+        out,
+    })
+}
+
+fn usage() -> String {
+    "usage: repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|ablations|throughput|all> \
+     [--scale quick|default|full] [--seed N] [--out DIR]"
+        .to_string()
+}
+
+fn write_csv(path: &Path, header: &str, rows: impl IntoIterator<Item = String>) {
+    let mut body = String::from(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(&r);
+        body.push('\n');
+    }
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    if let Err(e) = fs::write(path, body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let all = args.command == "all";
+    let want = |c: &str| all || args.command == c;
+    let mut ran = false;
+
+    // Fig. 6 doubles as the calibration input for every simulation
+    // figure, so run it whenever anything downstream needs it.
+    let need_fig6 = want("fig6")
+        || want("fig7b")
+        || want("table1")
+        || want("fig9b")
+        || want("ablations");
+    let f6 = need_fig6.then(|| fig6::run(args.scale, args.seed));
+
+    if want("fig6") {
+        ran = true;
+        let f6 = f6.as_ref().expect("computed above");
+        println!("{}", f6.render());
+        for (name, series) in f6.series(120) {
+            let fname = format!("fig6_{}.csv", name.replace(' ', "_"));
+            write_csv(
+                &args.out.join(fname),
+                "delay_ms,cdf",
+                series.iter().map(|(x, y)| format!("{x:.6},{y:.6}")),
+            );
+        }
+    }
+
+    let need_f7a = want("fig7a") || want("fig7b");
+    let f7a = need_f7a.then(|| fig7::run_fig7a(args.scale, args.seed));
+
+    if want("fig7a") {
+        ran = true;
+        let f7a = f7a.as_ref().expect("computed above");
+        println!("{}", f7a.render());
+        for row in &f7a.rows {
+            write_csv(
+                &args.out.join(format!("fig7a_n{}.csv", row.n)),
+                "latency_ms,cdf",
+                row.ecdf
+                    .series(200)
+                    .iter()
+                    .map(|(x, y)| format!("{x:.6},{y:.6}")),
+            );
+        }
+    }
+
+    if want("fig7b") {
+        ran = true;
+        let f6 = f6.as_ref().expect("computed above");
+        let measured = f7a
+            .as_ref()
+            .expect("computed above")
+            .rows
+            .iter()
+            .find(|r| r.n == 5)
+            .expect("n = 5 measured")
+            .clone();
+        let f7b = fig7::run_fig7b(args.scale, args.seed, f6, measured);
+        println!("{}", f7b.render());
+        for p in &f7b.sweep {
+            write_csv(
+                &args.out.join(format!("fig7b_tsend_{:.3}.csv", p.t_send)),
+                "latency_ms,cdf",
+                p.ecdf
+                    .series(200)
+                    .iter()
+                    .map(|(x, y)| format!("{x:.6},{y:.6}")),
+            );
+        }
+    }
+
+    if want("table1") {
+        ran = true;
+        let f6 = f6.as_ref().expect("computed above");
+        let t1 = table1::run(args.scale, args.seed, f6);
+        println!("{}", t1.render());
+        write_csv(
+            &args.out.join("table1.csv"),
+            "scenario,n,meas_ms,meas_ci90,sim_ms",
+            t1.rows.iter().map(|r| {
+                format!(
+                    "{:?},{},{:.4},{:.4},{}",
+                    r.scenario,
+                    r.n,
+                    r.meas,
+                    r.meas_ci90,
+                    r.sim.map_or(String::new(), |s| format!("{s:.4}")),
+                )
+            }),
+        );
+    }
+
+    let need_f8 = want("fig8") || want("fig9a") || want("fig9b");
+    let f8 = need_f8.then(|| fig8::run(args.scale, args.seed));
+
+    if want("fig8") {
+        ran = true;
+        let f8 = f8.as_ref().expect("computed above");
+        println!("{}", f8.render());
+        write_csv(
+            &args.out.join("fig8.csv"),
+            "n,timeout_ms,t_mr_ms,t_mr_ci90,t_m_ms,t_m_ci90",
+            f8.points.iter().map(|p| {
+                format!(
+                    "{},{},{:.4},{:.4},{:.4},{:.4}",
+                    p.n, p.timeout, p.t_mr, p.t_mr_ci90, p.t_m, p.t_m_ci90
+                )
+            }),
+        );
+    }
+
+    if want("fig9a") {
+        ran = true;
+        let f8 = f8.as_ref().expect("computed above");
+        println!("{}", fig9::render_fig9a(f8));
+        write_csv(
+            &args.out.join("fig9a.csv"),
+            "n,timeout_ms,latency_ms,latency_ci90,undecided_frac",
+            f8.points.iter().map(|p| {
+                format!(
+                    "{},{},{:.4},{:.4},{:.4}",
+                    p.n, p.timeout, p.latency, p.latency_ci90, p.undecided_frac
+                )
+            }),
+        );
+    }
+
+    if want("fig9b") {
+        ran = true;
+        let f6 = f6.as_ref().expect("computed above");
+        let f8 = f8.as_ref().expect("computed above");
+        let f9b = fig9::run_fig9b(args.scale, args.seed, f6, f8);
+        println!("{}", f9b.render());
+        for n in [3usize, 5] {
+            if let Some((small, large)) = f9b.validation_gaps(n) {
+                println!(
+                    "validation n={n}: relative sim-meas gap {:.0}% at smallest T, {:.0}% at largest T",
+                    100.0 * small,
+                    100.0 * large
+                );
+            }
+        }
+        write_csv(
+            &args.out.join("fig9b.csv"),
+            "n,timeout_ms,meas_ms,sim_det_ms,sim_exp_ms,t_mr_ms,t_m_ms",
+            f9b.rows.iter().map(|r| {
+                format!(
+                    "{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                    r.n, r.timeout, r.measured, r.sim_det, r.sim_exp, r.t_mr, r.t_m
+                )
+            }),
+        );
+    }
+
+    if want("ablations") {
+        ran = true;
+        let f6 = f6.as_ref().expect("computed above");
+        let a = ablations::run(args.scale, args.seed, f6);
+        println!("{}", a.render());
+        write_csv(
+            &args.out.join("ablations.csv"),
+            "name,metric,with,without",
+            a.rows.iter().map(|r| {
+                format!("{:?},{:?},{:.4},{:.4}", r.name, r.metric, r.with, r.without)
+            }),
+        );
+    }
+
+    if want("throughput") {
+        ran = true;
+        let t = throughput::run(args.scale, args.seed);
+        println!("{}", t.render());
+        write_csv(
+            &args.out.join("throughput.csv"),
+            "n,per_second,inter_decision_ms,isolated_latency_ms",
+            t.rows.iter().map(|r| {
+                format!(
+                    "{},{:.2},{:.4},{:.4}",
+                    r.n, r.per_second, r.inter_decision_ms, r.isolated_latency_ms
+                )
+            }),
+        );
+    }
+
+    if !ran {
+        eprintln!("{}", usage());
+        std::process::exit(2);
+    }
+}

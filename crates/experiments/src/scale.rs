@@ -1,0 +1,126 @@
+//! Experiment scale: how much statistical effort each figure gets.
+
+/// Campaign/replication sizes for the experiment suite.
+///
+/// `Full` follows the paper (5000 executions for Fig. 7(a); 20 runs of
+/// 1000 executions per setting for Figs. 8-9); `Default` keeps the same
+/// procedures at roughly a tenth of the effort; `Quick` is for tests
+/// and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Test/bench scale (seconds).
+    Quick,
+    /// Routine reproduction scale (minutes).
+    Default,
+    /// The paper's campaign sizes (tens of minutes).
+    Full,
+}
+
+impl Scale {
+    /// Consensus executions per class-1/2 campaign (paper: 5000).
+    pub fn executions(self) -> u32 {
+        match self {
+            Scale::Quick => 120,
+            Scale::Default => 800,
+            Scale::Full => 5000,
+        }
+    }
+
+    /// Independent runs per class-3 setting (paper: 20).
+    pub fn qos_runs(self) -> u32 {
+        match self {
+            Scale::Quick => 2,
+            Scale::Default => 4,
+            Scale::Full => 20,
+        }
+    }
+
+    /// Executions per class-3 run (paper: 1000).
+    pub fn qos_executions(self) -> u32 {
+        match self {
+            Scale::Quick => 60,
+            Scale::Default => 250,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// SAN simulation replications per point.
+    pub fn san_reps(self) -> usize {
+        match self {
+            Scale::Quick => 150,
+            Scale::Default => 800,
+            Scale::Full => 3000,
+        }
+    }
+
+    /// Ping messages per phase for the delay measurements.
+    pub fn ping_rounds(self) -> u32 {
+        match self {
+            Scale::Quick => 400,
+            Scale::Default => 2000,
+            Scale::Full => 10_000,
+        }
+    }
+
+    /// Process counts for measurement figures (paper: 3,5,7,9,11).
+    pub fn measurement_ns(self) -> &'static [usize] {
+        match self {
+            Scale::Quick => &[3, 5],
+            _ => &[3, 5, 7, 9, 11],
+        }
+    }
+
+    /// Process counts for simulation figures (paper: 3 and 5).
+    pub fn simulation_ns(self) -> &'static [usize] {
+        &[3, 5]
+    }
+
+    /// The failure-detection timeout grid (ms) for Figs. 8-9
+    /// (log-spaced like the paper's plots).
+    pub fn timeout_grid(self) -> &'static [f64] {
+        match self {
+            Scale::Quick => &[1.0, 10.0, 30.0, 100.0],
+            _ => &[1.0, 2.0, 3.0, 5.0, 7.0, 10.0, 15.0, 20.0, 30.0, 40.0, 70.0, 100.0],
+        }
+    }
+}
+
+impl std::str::FromStr for Scale {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "quick" => Ok(Scale::Quick),
+            "default" => Ok(Scale::Default),
+            "full" => Ok(Scale::Full),
+            other => Err(format!("unknown scale `{other}` (quick|default|full)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper_campaign_sizes() {
+        assert_eq!(Scale::Full.executions(), 5000);
+        assert_eq!(Scale::Full.qos_runs(), 20);
+        assert_eq!(Scale::Full.qos_executions(), 1000);
+        assert_eq!(Scale::Full.measurement_ns(), &[3, 5, 7, 9, 11]);
+        assert_eq!(Scale::Full.simulation_ns(), &[3, 5]);
+    }
+
+    #[test]
+    fn parse_from_str() {
+        assert_eq!("quick".parse::<Scale>().unwrap(), Scale::Quick);
+        assert_eq!("full".parse::<Scale>().unwrap(), Scale::Full);
+        assert!("huge".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn scales_are_ordered_by_effort() {
+        assert!(Scale::Quick.executions() < Scale::Default.executions());
+        assert!(Scale::Default.executions() < Scale::Full.executions());
+        assert!(Scale::Quick.san_reps() < Scale::Full.san_reps());
+    }
+}

@@ -1,0 +1,73 @@
+//! Consensus throughput — the paper's announced future work (§2.3),
+//! implemented as an extension experiment: every process starts
+//! instance k+1 the moment it decides instance k.
+
+use ctsim_testbed::{measure_throughput, ThroughputResult};
+
+use crate::scale::Scale;
+
+/// The throughput dataset: one row per process count.
+#[derive(Debug, Clone)]
+pub struct Throughput {
+    /// Results per n.
+    pub rows: Vec<ThroughputResult>,
+}
+
+/// Runs the chained-consensus throughput scenario for each n.
+pub fn run(scale: Scale, seed: u64) -> Throughput {
+    let window = match scale {
+        Scale::Quick => 300.0,
+        Scale::Default => 1500.0,
+        Scale::Full => 10_000.0,
+    };
+    let rows = scale
+        .measurement_ns()
+        .iter()
+        .map(|&n| measure_throughput(n, window, seed))
+        .collect();
+    Throughput { rows }
+}
+
+impl Throughput {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("Throughput (extension; the paper's §2.3 future work)\n");
+        s.push_str("   n | consensus/s | inter-decision (ms) | isolated latency (ms)\n");
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:>4} |{:>12.0} |{:>20.3} |{:>18.3}\n",
+                r.n, r.per_second, r.inter_decision_ms, r.isolated_latency_ms
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_decreases_with_n_and_beats_sequential() {
+        let t = run(Scale::Quick, 3);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows[0].per_second > t.rows[1].per_second);
+        for r in &t.rows {
+            // Chained instances serialize through the decision of the
+            // previous one (the paper notes starts are not aligned), so
+            // the inter-decision time sits near the isolated latency —
+            // well under the latency-plus-separation of the latency
+            // campaigns, but not below the latency itself.
+            assert!(
+                r.inter_decision_ms < 2.5 * r.isolated_latency_ms,
+                "n={}: {} vs isolated {}",
+                r.n,
+                r.inter_decision_ms,
+                r.isolated_latency_ms
+            );
+            assert!(r.per_second > 50.0, "n={}: {}/s", r.n, r.per_second);
+        }
+        assert!(t.render().contains("consensus/s"));
+    }
+}

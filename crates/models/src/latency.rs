@@ -1,0 +1,92 @@
+//! Latency estimation on the SAN model: replicated runs of "time until
+//! the first process decides" (the paper's performance measure).
+
+use ctsim_des::SimTime;
+use ctsim_san::{replicate, PlaceId, Replications, SanModel, StopReason};
+
+use crate::build::build_model;
+use crate::params::SanParams;
+
+/// The `decided_i` places of a built model, in process order.
+///
+/// # Panics
+/// Panics if the model was not produced by [`build_model`].
+pub fn decided_place_ids(model: &SanModel, n: usize) -> Vec<PlaceId> {
+    (0..n)
+        .map(|i| {
+            model
+                .place(&format!("decided_{i}"))
+                .expect("model built by build_model")
+        })
+        .collect()
+}
+
+/// Convenience: the same list restricted to correct processes.
+pub fn all_decided_place_ids(model: &SanModel, params: &SanParams) -> Vec<PlaceId> {
+    decided_place_ids(model, params.n)
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !params.crashed.contains(i))
+        .map(|(_, p)| p)
+        .collect()
+}
+
+/// Runs `reps` independent replications and returns latency statistics
+/// (ms): the time from simulation start (all processes propose at t=0)
+/// until the **first** `decided_i` place is marked.
+///
+/// Runs that do not decide within `horizon_ms` are discarded (counted
+/// in [`Replications::discarded`]) — this matters only for very bad
+/// failure-detector QoS.
+pub fn latency_replications(
+    params: &SanParams,
+    reps: usize,
+    seed: u64,
+    horizon_ms: f64,
+) -> Replications {
+    let model = build_model(params);
+    let decided = decided_place_ids(&model, params.n);
+    replicate(&model, reps, seed, |sim| {
+        let out = sim.run_until(
+            |m| decided.iter().any(|&d| m.get(d) > 0),
+            SimTime::from_ms(horizon_ms),
+        );
+        (out.reason == StopReason::Predicate).then(|| out.time.as_ms())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replications_produce_tight_ci_for_class1() {
+        let p = SanParams::paper_baseline(3);
+        let r = latency_replications(&p, 200, 42, 1000.0);
+        assert_eq!(r.stats.count(), 200);
+        assert_eq!(r.discarded, 0);
+        assert!(r.mean() > 0.3 && r.mean() < 3.0, "mean {}", r.mean());
+        // With 200 reps the 90% CI must be well below the mean.
+        assert!(r.ci90() < 0.2 * r.mean(), "ci {} mean {}", r.ci90(), r.mean());
+    }
+
+    #[test]
+    fn n5_is_slower_than_n3() {
+        let r3 = latency_replications(&SanParams::paper_baseline(3), 120, 1, 1000.0);
+        let r5 = latency_replications(&SanParams::paper_baseline(5), 120, 1, 1000.0);
+        assert!(
+            r5.mean() > r3.mean() + 0.1,
+            "n=5 ({}) must exceed n=3 ({})",
+            r5.mean(),
+            r3.mean()
+        );
+    }
+
+    #[test]
+    fn decided_places_exist_and_filter_crashed() {
+        let p = SanParams::paper_baseline(5).with_crash(2);
+        let model = build_model(&p);
+        assert_eq!(decided_place_ids(&model, 5).len(), 5);
+        assert_eq!(all_decided_place_ids(&model, &p).len(), 4);
+    }
+}

@@ -1,0 +1,836 @@
+//! Discrete-event simulation solver for SAN models.
+//!
+//! The solver maintains the set of enabled activities incrementally:
+//! whenever a place changes, only the activities registered as depending
+//! on that place (input arcs ∪ declared gate read sets) are re-examined.
+//! This is what makes campaign-scale simulation of the paper's large
+//! consensus model (hundreds of places and activities per process pair)
+//! tractable.
+
+use ctsim_des::{EventHandle, EventQueue, SimDuration, SimTime};
+use ctsim_stoch::SimRng;
+
+use crate::model::{ActivityId, Marking, SanModel, Timing};
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The stop predicate became true.
+    Predicate,
+    /// No activity was enabled or scheduled: the SAN is dead.
+    Deadlock,
+    /// The time horizon was reached before the predicate held.
+    Horizon,
+    /// Instantaneous activities fired without bound at one instant —
+    /// a modelling error (e.g. two instantaneous activities feeding each
+    /// other tokens).
+    InstantaneousLivelock,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// Simulation time when the run stopped.
+    pub time: SimTime,
+    /// Why it stopped.
+    pub reason: StopReason,
+    /// Total number of activity completions.
+    pub completions: u64,
+}
+
+/// A simulation run over a [`SanModel`].
+///
+/// Holds the current marking, the pending-event set of sampled timed
+/// activities, and the RNG. Create one per replication (the model itself
+/// is shared immutably).
+pub struct Simulator<'m> {
+    model: &'m SanModel,
+    marking: Marking,
+    queue: EventQueue<ActivityId>,
+    /// Pending completion event per timed activity (None = not enabled).
+    pending: Vec<Option<EventHandle>>,
+    rng: SimRng,
+    firing_counts: Vec<u64>,
+    completions: u64,
+    // Scratch buffers, reused across steps.
+    changed_scratch: Vec<usize>,
+    in_candidates: Vec<bool>,
+    candidates: Vec<ActivityId>,
+    affected_timed: Vec<ActivityId>,
+    in_affected: Vec<bool>,
+    trace: Option<Vec<(SimTime, ActivityId)>>,
+    rate_reward: Option<Box<dyn Fn(&Marking) -> f64>>,
+    reward_integral: f64,
+    reward_last: SimTime,
+    initialized: bool,
+    /// Guard against instantaneous livelock (per settle pass).
+    max_instantaneous_burst: u64,
+}
+
+impl<'m> std::fmt::Debug for Simulator<'m> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("model", &self.model.name())
+            .field("now", &self.queue.now())
+            .field("completions", &self.completions)
+            .finish()
+    }
+}
+
+impl<'m> Simulator<'m> {
+    /// Creates a simulator positioned at time zero with the model's
+    /// initial marking.
+    pub fn new(model: &'m SanModel, rng: SimRng) -> Self {
+        let n_act = model.num_activities();
+        Self {
+            model,
+            marking: model.initial_marking(),
+            queue: EventQueue::new(),
+            pending: vec![None; n_act],
+            rng,
+            firing_counts: vec![0; n_act],
+            completions: 0,
+            changed_scratch: Vec::new(),
+            in_candidates: vec![false; n_act],
+            candidates: Vec::new(),
+            affected_timed: Vec::new(),
+            in_affected: vec![false; n_act],
+            trace: None,
+            rate_reward: None,
+            reward_integral: 0.0,
+            reward_last: SimTime::ZERO,
+            initialized: false,
+            max_instantaneous_burst: 1_000_000,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The current marking.
+    pub fn marking(&self) -> &Marking {
+        &self.marking
+    }
+
+    /// Overrides the current marking of a place before the run starts
+    /// (e.g. to set up a crash scenario).
+    ///
+    /// # Panics
+    /// Panics if called after the run started.
+    pub fn force_marking(&mut self, place: crate::PlaceId, tokens: u32) {
+        assert!(
+            !self.initialized,
+            "force_marking must be called before the run starts"
+        );
+        self.marking.set(place, tokens);
+    }
+
+    /// How many times each activity completed so far.
+    pub fn firing_counts(&self) -> &[u64] {
+        &self.firing_counts
+    }
+
+    /// Number of completions of one activity.
+    pub fn firings_of(&self, a: ActivityId) -> u64 {
+        self.firing_counts[a.index()]
+    }
+
+    /// Registers a rate reward: a function of the marking whose value
+    /// is integrated over time as the simulation runs (UltraSAN's
+    /// rate-reward variables). Query the accumulated integral with
+    /// [`Simulator::reward_integral`] or the long-run average with
+    /// [`Simulator::time_average`].
+    pub fn set_rate_reward(&mut self, f: impl Fn(&Marking) -> f64 + 'static) {
+        self.rate_reward = Some(Box::new(f));
+        self.reward_last = self.queue.now();
+    }
+
+    /// The accumulated rate-reward integral `∫ f(marking) dt` in
+    /// reward-units × milliseconds.
+    pub fn reward_integral(&self) -> f64 {
+        self.reward_integral
+    }
+
+    /// The time-averaged rate reward so far (integral / elapsed time);
+    /// 0 before any time has passed. The elapsed time is the furthest
+    /// instant the integral has been accrued to (the horizon, when a
+    /// run ends there).
+    pub fn time_average(&self) -> f64 {
+        let t = self.reward_last.max(self.queue.now()).as_ms();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.reward_integral / t
+        }
+    }
+
+    fn accrue_reward_to(&mut self, t: SimTime) {
+        if let Some(f) = &self.rate_reward {
+            let dt = t.saturating_since(self.reward_last).as_ms();
+            if dt > 0.0 {
+                self.reward_integral += f(&self.marking) * dt;
+            }
+        }
+        self.reward_last = t;
+    }
+
+    /// Enables recording of every completion (time + activity), for
+    /// tests and debugging.
+    pub fn record_trace(&mut self, on: bool) {
+        self.trace = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// The recorded trace (empty unless [`Simulator::record_trace`] was
+    /// enabled).
+    pub fn trace(&self) -> &[(SimTime, ActivityId)] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Runs until `stop` holds, the model deadlocks, or `horizon` passes.
+    ///
+    /// The predicate is evaluated on the initial marking (after settling
+    /// instantaneous activities) and after every completion.
+    pub fn run_until(
+        &mut self,
+        stop: impl Fn(&Marking) -> bool,
+        horizon: SimTime,
+    ) -> RunOutcome {
+        if !self.initialized {
+            self.initialized = true;
+            // Everything must be examined once.
+            for i in 0..self.model.num_activities() {
+                let id = ActivityId(i);
+                match self.model.activities[i].timing {
+                    Timing::Instantaneous { .. } => self.push_candidate(id),
+                    Timing::Timed(_) => self.push_affected(id),
+                }
+            }
+            if !self.settle_instantaneous() {
+                return self.outcome(StopReason::InstantaneousLivelock);
+            }
+            self.sync_timed();
+        }
+        if stop(&self.marking) {
+            return self.outcome(StopReason::Predicate);
+        }
+        loop {
+            let Some(t) = self.queue.peek_time() else {
+                return self.outcome(StopReason::Deadlock);
+            };
+            if t > horizon {
+                self.accrue_reward_to(horizon);
+                return RunOutcome {
+                    time: horizon,
+                    reason: StopReason::Horizon,
+                    completions: self.completions,
+                };
+            }
+            let (when, act) = self.queue.pop().expect("peeked event must pop");
+            self.accrue_reward_to(when);
+            self.pending[act.index()] = None;
+            debug_assert!(
+                self.model.is_enabled(act, &self.marking),
+                "timed activity `{}` fired while disabled: a gate read set \
+                 is probably incomplete",
+                self.model.activity_name(act)
+            );
+            self.fire(act);
+            if !self.settle_instantaneous() {
+                return self.outcome(StopReason::InstantaneousLivelock);
+            }
+            self.sync_timed();
+            if stop(&self.marking) {
+                return self.outcome(StopReason::Predicate);
+            }
+        }
+    }
+
+    fn outcome(&self, reason: StopReason) -> RunOutcome {
+        RunOutcome {
+            time: self.queue.now(),
+            reason,
+            completions: self.completions,
+        }
+    }
+
+    fn push_candidate(&mut self, a: ActivityId) {
+        if !self.in_candidates[a.index()] {
+            self.in_candidates[a.index()] = true;
+            self.candidates.push(a);
+        }
+    }
+
+    fn push_affected(&mut self, a: ActivityId) {
+        if !self.in_affected[a.index()] {
+            self.in_affected[a.index()] = true;
+            self.affected_timed.push(a);
+        }
+    }
+
+    /// Routes marking changes into the instantaneous-candidate and
+    /// affected-timed worklists.
+    fn absorb_changes(&mut self) {
+        let mut changed = std::mem::take(&mut self.changed_scratch);
+        self.marking.drain_changed(&mut changed);
+        for p in changed.drain(..) {
+            for idx in 0..self.model.dependents[p].len() {
+                let a = self.model.dependents[p][idx];
+                match self.model.activities[a.index()].timing {
+                    Timing::Instantaneous { .. } => self.push_candidate(a),
+                    Timing::Timed(_) => self.push_affected(a),
+                }
+            }
+        }
+        self.changed_scratch = changed;
+    }
+
+    /// Completes one activity: consume inputs, run input-gate functions,
+    /// select a case, deposit outputs, run output gates.
+    fn fire(&mut self, a: ActivityId) {
+        let def = &self.model.activities[a.index()];
+        for &(p, n) in &def.inputs {
+            self.marking.remove(p, n);
+        }
+        for g in &def.input_gates {
+            if let Some(f) = &g.func {
+                f(&mut self.marking);
+            }
+        }
+        let case = if def.cases.len() == 1 {
+            &def.cases[0]
+        } else {
+            let mut u = self.rng.unit();
+            let mut chosen = def.cases.len() - 1;
+            for (i, c) in def.cases.iter().enumerate() {
+                if u < c.prob {
+                    chosen = i;
+                    break;
+                }
+                u -= c.prob;
+            }
+            &def.cases[chosen]
+        };
+        for &(p, n) in &case.outputs {
+            self.marking.add(p, n);
+        }
+        for og in &case.gates {
+            (og.func)(&mut self.marking);
+        }
+        self.firing_counts[a.index()] += 1;
+        self.completions += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.push((self.queue.now(), a));
+        }
+        self.absorb_changes();
+    }
+
+    /// Fires enabled instantaneous activities until none remain, highest
+    /// priority first, random weighted tie-break. Returns `false` on
+    /// livelock.
+    fn settle_instantaneous(&mut self) -> bool {
+        let mut burst = 0u64;
+        loop {
+            // Find the highest priority among enabled candidates.
+            let mut best_prio = 0u32;
+            let mut any = false;
+            let mut total_weight = 0.0f64;
+            for &a in &self.candidates {
+                if let Timing::Instantaneous { priority, weight } =
+                    self.model.activities[a.index()].timing
+                {
+                    if self.model.is_enabled(a, &self.marking) {
+                        if !any || priority > best_prio {
+                            any = true;
+                            best_prio = priority;
+                            total_weight = weight;
+                        } else if priority == best_prio {
+                            total_weight += weight;
+                        }
+                    }
+                }
+            }
+            if !any {
+                // Settle finished: clear the candidate worklist.
+                for a in self.candidates.drain(..) {
+                    self.in_candidates[a.index()] = false;
+                }
+                return true;
+            }
+            // Weighted choice among enabled candidates at best_prio.
+            let mut pick = self.rng.unit() * total_weight;
+            let mut chosen: Option<ActivityId> = None;
+            for &a in &self.candidates {
+                if let Timing::Instantaneous { priority, weight } =
+                    self.model.activities[a.index()].timing
+                {
+                    if priority == best_prio && self.model.is_enabled(a, &self.marking) {
+                        chosen = Some(a);
+                        if pick < weight {
+                            break;
+                        }
+                        pick -= weight;
+                    }
+                }
+            }
+            let chosen = chosen.expect("an enabled candidate exists");
+            self.fire(chosen);
+            burst += 1;
+            if burst > self.max_instantaneous_burst {
+                return false;
+            }
+        }
+    }
+
+    /// Brings timed-activity scheduling in line with the marking for all
+    /// affected activities ("restart" reactivation policy).
+    fn sync_timed(&mut self) {
+        let affected = std::mem::take(&mut self.affected_timed);
+        for a in &affected {
+            self.in_affected[a.index()] = false;
+        }
+        for a in affected {
+            let enabled = self.model.is_enabled(a, &self.marking);
+            let scheduled = self.pending[a.index()].is_some();
+            match (enabled, scheduled) {
+                (true, false) => {
+                    let Timing::Timed(dist) = &self.model.activities[a.index()].timing
+                    else {
+                        unreachable!("affected_timed only holds timed activities")
+                    };
+                    let delay = SimDuration::from_ms(dist.sample(&mut self.rng));
+                    self.pending[a.index()] = Some(self.queue.schedule_in(delay, a));
+                }
+                (false, true) => {
+                    let h = self.pending[a.index()].take().expect("checked above");
+                    self.queue.cancel(h);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Activity, Case, InputGate, SanBuilder};
+    use ctsim_stoch::Dist;
+
+    /// p --t(1ms)--> q : single firing.
+    #[test]
+    fn single_timed_activity_fires_once() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Det(1.0))
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        let m = b.build().unwrap();
+        let mut sim = Simulator::new(&m, SimRng::new(1));
+        let out = sim.run_until(|mk| mk.get(q) > 0, SimTime::from_secs(1.0));
+        assert_eq!(out.reason, StopReason::Predicate);
+        assert_eq!(out.time, SimTime::from_ms(1.0));
+        assert_eq!(out.completions, 1);
+        // After the token moved the model is dead.
+        let out2 = sim.run_until(|mk| mk.get(q) > 1, SimTime::from_secs(1.0));
+        assert_eq!(out2.reason, StopReason::Deadlock);
+    }
+
+    /// A 3-stage deterministic pipeline: completion times accumulate.
+    #[test]
+    fn pipeline_times_accumulate() {
+        let mut b = SanBuilder::new("m");
+        let p0 = b.place("p0", 1);
+        let p1 = b.place("p1", 0);
+        let p2 = b.place("p2", 0);
+        let p3 = b.place("p3", 0);
+        for (i, (from, to)) in [(p0, p1), (p1, p2), (p2, p3)].into_iter().enumerate() {
+            b.add_activity(
+                Activity::timed(format!("t{i}"), Dist::Det((i + 1) as f64))
+                    .input(from, 1)
+                    .case(Case::with_prob(1.0).output(to, 1)),
+            );
+        }
+        let m = b.build().unwrap();
+        let mut sim = Simulator::new(&m, SimRng::new(1));
+        let out = sim.run_until(|mk| mk.get(p3) > 0, SimTime::from_secs(1.0));
+        assert_eq!(out.time, SimTime::from_ms(6.0));
+    }
+
+    /// Two activities racing for one token: exactly one fires.
+    #[test]
+    fn race_consumes_token_once() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let qa = b.place("qa", 0);
+        let qb = b.place("qb", 0);
+        b.add_activity(
+            Activity::timed("a", Dist::Det(1.0))
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(qa, 1)),
+        );
+        b.add_activity(
+            Activity::timed("b", Dist::Det(2.0))
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(qb, 1)),
+        );
+        let m = b.build().unwrap();
+        let mut sim = Simulator::new(&m, SimRng::new(1));
+        let out = sim.run_until(|_| false, SimTime::from_secs(1.0));
+        assert_eq!(out.reason, StopReason::Deadlock);
+        assert_eq!(sim.marking().get(qa), 1, "faster activity wins the race");
+        assert_eq!(sim.marking().get(qb), 0);
+        assert_eq!(out.completions, 1);
+    }
+
+    /// Restart policy: disabling a timed activity discards its sample.
+    #[test]
+    fn restart_policy_resamples_after_disable() {
+        // inhibitor place k blocks `slow`; `fast` fires at 1ms and sets k,
+        // disabling slow before its 2ms completion; k is cleared by a
+        // third activity at 10ms; slow then needs 2 more ms (fires at 12).
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let go = b.place("go", 1);
+        let k = b.place("k", 0);
+        let clear = b.place("clear", 1);
+        let done = b.place("done", 0);
+        b.add_activity(
+            Activity::timed("fast", Dist::Det(1.0))
+                .input(go, 1)
+                .case(Case::with_prob(1.0).output(k, 1)),
+        );
+        b.add_activity(
+            Activity::timed("unblock", Dist::Det(10.0))
+                .input(clear, 1)
+                .input_gate(InputGate::predicate(vec![k], move |m| m.get(k) > 0))
+                .case(Case::with_prob(1.0).gate(crate::model::OutputGate::new(
+                    vec![k],
+                    move |m| m.set(k, 0),
+                ))),
+        );
+        b.add_activity(
+            Activity::timed("slow", Dist::Det(2.0))
+                .input(p, 1)
+                .input_gate(InputGate::predicate(vec![k], move |m| m.get(k) == 0))
+                .case(Case::with_prob(1.0).output(done, 1)),
+        );
+        let m = b.build().unwrap();
+        let mut sim = Simulator::new(&m, SimRng::new(1));
+        let out = sim.run_until(|mk| mk.get(done) > 0, SimTime::from_secs(1.0));
+        assert_eq!(out.reason, StopReason::Predicate);
+        // `unblock` needs k>0, so it samples at t=1 and fires at t=11;
+        // slow restarts there and completes at t=13.
+        assert_eq!(out.time, SimTime::from_ms(13.0));
+    }
+
+    /// Instantaneous activities fire before any timed one, by priority.
+    #[test]
+    fn instantaneous_priority_order() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let lo = b.place("lo", 0);
+        let hi = b.place("hi", 0);
+        b.add_activity(
+            Activity::instantaneous("low")
+                .priority(1)
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(lo, 1)),
+        );
+        b.add_activity(
+            Activity::instantaneous("high")
+                .priority(2)
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(hi, 1)),
+        );
+        let m = b.build().unwrap();
+        let mut sim = Simulator::new(&m, SimRng::new(1));
+        let out = sim.run_until(|_| false, SimTime::from_secs(1.0));
+        assert_eq!(out.reason, StopReason::Deadlock);
+        assert_eq!(sim.marking().get(hi), 1);
+        assert_eq!(sim.marking().get(lo), 0);
+        assert_eq!(out.time, SimTime::ZERO, "instantaneous takes no time");
+    }
+
+    /// Case probabilities are respected in the long run.
+    #[test]
+    fn case_selection_follows_probabilities() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 10_000);
+        let a = b.place("a", 0);
+        let c = b.place("c", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Det(0.001))
+                .input(p, 1)
+                .case(Case::with_prob(0.3).output(a, 1))
+                .case(Case::with_prob(0.7).output(c, 1)),
+        );
+        let m = b.build().unwrap();
+        let mut sim = Simulator::new(&m, SimRng::new(7));
+        let out = sim.run_until(|mk| mk.get(p) == 0, SimTime::from_secs(100.0));
+        assert_eq!(out.reason, StopReason::Predicate);
+        let frac = sim.marking().get(a) as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "case-1 fraction {frac}");
+    }
+
+    /// Input-gate functions run on completion (after arc removal).
+    #[test]
+    fn input_gate_function_runs_on_completion() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let aux = b.place("aux", 5);
+        b.add_activity(
+            Activity::timed("t", Dist::Det(1.0)).input(p, 1).input_gate(
+                InputGate::predicate(vec![aux], move |m| m.get(aux) > 0)
+                    .with_func(vec![aux], move |m| m.set(aux, 0)),
+            ),
+        );
+        let m = b.build().unwrap();
+        let mut sim = Simulator::new(&m, SimRng::new(1));
+        sim.run_until(|mk| mk.get(aux) == 0, SimTime::from_secs(1.0));
+        assert_eq!(sim.marking().get(aux), 0);
+        assert_eq!(sim.marking().get(p), 0);
+    }
+
+    /// Horizon stops the run without firing later events.
+    #[test]
+    fn horizon_is_respected() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Det(100.0))
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        let m = b.build().unwrap();
+        let mut sim = Simulator::new(&m, SimRng::new(1));
+        let out = sim.run_until(|mk| mk.get(q) > 0, SimTime::from_ms(5.0));
+        assert_eq!(out.reason, StopReason::Horizon);
+        assert_eq!(out.time, SimTime::from_ms(5.0));
+        assert_eq!(sim.marking().get(q), 0);
+    }
+
+    /// An instantaneous livelock is detected and reported.
+    #[test]
+    fn livelock_detection() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::instantaneous("pq")
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        b.add_activity(
+            Activity::instantaneous("qp")
+                .input(q, 1)
+                .case(Case::with_prob(1.0).output(p, 1)),
+        );
+        let m = b.build().unwrap();
+        let mut sim = Simulator::new(&m, SimRng::new(1));
+        let out = sim.run_until(|_| false, SimTime::from_secs(1.0));
+        assert_eq!(out.reason, StopReason::InstantaneousLivelock);
+    }
+
+    /// Exponential race: the min of two exponentials picks each side
+    /// with probability proportional to its rate.
+    #[test]
+    fn exponential_race_statistics() {
+        let mut wins_a = 0u32;
+        let n = 2000;
+        for seed in 0..n {
+            let mut b = SanBuilder::new("m");
+            let p = b.place("p", 1);
+            let qa = b.place("qa", 0);
+            let qb = b.place("qb", 0);
+            b.add_activity(
+                Activity::timed("a", Dist::Exp { mean: 1.0 })
+                    .input(p, 1)
+                    .case(Case::with_prob(1.0).output(qa, 1)),
+            );
+            b.add_activity(
+                Activity::timed("b", Dist::Exp { mean: 3.0 })
+                    .input(p, 1)
+                    .case(Case::with_prob(1.0).output(qb, 1)),
+            );
+            let m = b.build().unwrap();
+            let mut sim = Simulator::new(&m, SimRng::new(seed));
+            sim.run_until(|_| false, SimTime::from_secs(1e6));
+            if sim.marking().get(qa) == 1 {
+                wins_a += 1;
+            }
+        }
+        // P(A wins) = rate_a / (rate_a + rate_b) = (1/1)/(1/1 + 1/3) = 0.75
+        let frac = wins_a as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.03, "A wins fraction {frac}");
+    }
+
+    /// Trace recording captures completions in time order.
+    #[test]
+    fn trace_records_completions() {
+        let mut b = SanBuilder::new("m");
+        let p0 = b.place("p0", 1);
+        let p1 = b.place("p1", 0);
+        let p2 = b.place("p2", 0);
+        b.add_activity(
+            Activity::timed("first", Dist::Det(1.0))
+                .input(p0, 1)
+                .case(Case::with_prob(1.0).output(p1, 1)),
+        );
+        b.add_activity(
+            Activity::timed("second", Dist::Det(1.0))
+                .input(p1, 1)
+                .case(Case::with_prob(1.0).output(p2, 1)),
+        );
+        let m = b.build().unwrap();
+        let mut sim = Simulator::new(&m, SimRng::new(1));
+        sim.record_trace(true);
+        sim.run_until(|mk| mk.get(p2) > 0, SimTime::from_secs(1.0));
+        let names: Vec<&str> = sim
+            .trace()
+            .iter()
+            .map(|&(_, a)| m.activity_name(a))
+            .collect();
+        assert_eq!(names, vec!["first", "second"]);
+    }
+
+    /// force_marking sets up alternative initial states.
+    #[test]
+    fn force_marking_before_start() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 0);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Det(1.0))
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        let m = b.build().unwrap();
+        let mut sim = Simulator::new(&m, SimRng::new(1));
+        sim.force_marking(p, 1);
+        let out = sim.run_until(|mk| mk.get(q) > 0, SimTime::from_secs(1.0));
+        assert_eq!(out.reason, StopReason::Predicate);
+    }
+
+    /// Instantaneous weights bias equal-priority races.
+    #[test]
+    fn instantaneous_weight_bias() {
+        let mut wins = 0u32;
+        let n = 3000;
+        for seed in 0..n {
+            let mut b = SanBuilder::new("m");
+            let p = b.place("p", 1);
+            let qa = b.place("qa", 0);
+            let qb = b.place("qb", 0);
+            b.add_activity(
+                Activity::instantaneous("a")
+                    .weight(3.0)
+                    .input(p, 1)
+                    .case(Case::with_prob(1.0).output(qa, 1)),
+            );
+            b.add_activity(
+                Activity::instantaneous("b")
+                    .weight(1.0)
+                    .input(p, 1)
+                    .case(Case::with_prob(1.0).output(qb, 1)),
+            );
+            let m = b.build().unwrap();
+            let mut sim = Simulator::new(&m, SimRng::new(seed));
+            sim.run_until(|_| false, SimTime::from_secs(1.0));
+            if sim.marking().get(qa) == 1 {
+                wins += 1;
+            }
+        }
+        let frac = wins as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.03, "weighted win fraction {frac}");
+    }
+}
+
+#[cfg(test)]
+mod reward_tests {
+    use super::*;
+    use crate::model::{Activity, Case, SanBuilder};
+    use ctsim_stoch::Dist;
+
+    /// The paper's two-state FD submodel: the time-averaged suspicion
+    /// indicator must converge to T_M / T_MR (stationary probability).
+    #[test]
+    fn rate_reward_recovers_stationary_suspicion_probability() {
+        let (t_mr, t_m) = (40.0, 8.0);
+        let mut b = SanBuilder::new("fd");
+        let trust = b.place("trust", 1);
+        let susp = b.place("susp", 0);
+        b.add_activity(
+            Activity::timed("ts", Dist::Exp { mean: t_mr - t_m })
+                .input(trust, 1)
+                .case(Case::with_prob(1.0).output(susp, 1)),
+        );
+        b.add_activity(
+            Activity::timed("st", Dist::Exp { mean: t_m })
+                .input(susp, 1)
+                .case(Case::with_prob(1.0).output(trust, 1)),
+        );
+        let model = b.build().unwrap();
+        let mut sim = Simulator::new(&model, SimRng::new(3));
+        sim.set_rate_reward(move |m| m.get(susp) as f64);
+        sim.run_until(|_| false, SimTime::from_secs(300.0));
+        let avg = sim.time_average();
+        let expect = t_m / t_mr;
+        assert!(
+            (avg - expect).abs() < 0.01,
+            "time-average {avg} vs stationary {expect}"
+        );
+    }
+
+    /// The integral accrues exactly over deterministic segments,
+    /// including the final partial segment up to the horizon.
+    #[test]
+    fn rate_reward_integral_is_exact_for_deterministic_model() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Det(4.0))
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        // A self-looping background clock keeps the model alive so the
+        // run reaches the horizon instead of deadlocking at t = 4.
+        let r = b.place("r", 1);
+        b.add_activity(
+            Activity::timed("clock", Dist::Det(3.0))
+                .input(r, 1)
+                .case(Case::with_prob(1.0).output(r, 1)),
+        );
+        let model = b.build().unwrap();
+        let mut sim = Simulator::new(&model, SimRng::new(1));
+        sim.set_rate_reward(move |m| m.get(p) as f64);
+        // p holds a token during [0, 4); horizon at 10: integral = 4.
+        let out = sim.run_until(|_| false, SimTime::from_ms(10.0));
+        assert_eq!(out.reason, StopReason::Horizon);
+        assert!((sim.reward_integral() - 4.0).abs() < 1e-9);
+        assert!((sim.time_average() - 0.4).abs() < 1e-9);
+    }
+
+    /// Reward of an empty model accrues nothing and divides safely.
+    #[test]
+    fn rate_reward_zero_time_is_safe() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        b.add_activity(
+            Activity::instantaneous("a")
+                .input(p, 1)
+                .case(Case::with_prob(1.0)),
+        );
+        let model = b.build().unwrap();
+        let mut sim = Simulator::new(&model, SimRng::new(1));
+        sim.set_rate_reward(|_| 1.0);
+        sim.run_until(|_| false, SimTime::from_ms(5.0));
+        assert_eq!(sim.time_average(), 0.0, "no time passed");
+    }
+}

@@ -1,0 +1,523 @@
+//! Distribution families for timed activities and delay models.
+//!
+//! These are the families UltraSAN supports for timed activities
+//! (deterministic, exponential, uniform, Weibull, Erlang) plus the
+//! two-component uniform mixture ("bimodal") the paper fits to measured
+//! end-to-end message delays in §5.1.
+//!
+//! All values are **milliseconds**.
+
+use crate::rng::SimRng;
+
+/// A probability distribution over non-negative durations (milliseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// A point mass at `value`. Variance 0.
+    Det(f64),
+    /// Exponential with the given mean (not rate).
+    Exp { mean: f64 },
+    /// Uniform on `[lo, hi]`.
+    Uniform { lo: f64, hi: f64 },
+    /// Weibull with shape `k` and scale `lambda`.
+    Weibull { shape: f64, scale: f64 },
+    /// Erlang: sum of `k` iid exponentials with total mean `mean`.
+    Erlang { k: u32, mean: f64 },
+    /// Two-component uniform mixture: with probability `p1` draw from
+    /// `U[lo1, hi1]`, otherwise from `U[lo2, hi2]`.
+    ///
+    /// This is the "bi-modal" fit of the paper's §5.1, e.g. unicast
+    /// end-to-end delay `U[0.1,0.13]` w.p. 0.8 and `U[0.145,0.35]`
+    /// w.p. 0.2.
+    Bimodal {
+        /// Probability of the first (fast) mode.
+        p1: f64,
+        /// First mode bounds.
+        lo1: f64,
+        /// First mode upper bound.
+        hi1: f64,
+        /// Second mode bounds.
+        lo2: f64,
+        /// Second mode upper bound.
+        hi2: f64,
+    },
+    /// `base + jitter`: a deterministic offset plus another distribution.
+    Shifted {
+        /// Deterministic part.
+        base: f64,
+        /// Stochastic part.
+        jitter: Box<Dist>,
+    },
+}
+
+impl Dist {
+    /// Convenience constructor for the paper's bimodal fit.
+    ///
+    /// # Panics
+    /// Panics if the parameters are out of order or `p1` outside `[0,1]`.
+    pub fn bimodal(p1: f64, m1: (f64, f64), m2: (f64, f64)) -> Dist {
+        assert!((0.0..=1.0).contains(&p1), "p1 must be a probability");
+        assert!(m1.0 <= m1.1 && m2.0 <= m2.1, "mode bounds out of order");
+        Dist::Bimodal {
+            p1,
+            lo1: m1.0,
+            hi1: m1.1,
+            lo2: m2.0,
+            hi2: m2.1,
+        }
+    }
+
+    /// A deterministic `base` plus `jitter`.
+    pub fn shifted(base: f64, jitter: Dist) -> Dist {
+        Dist::Shifted {
+            base,
+            jitter: Box::new(jitter),
+        }
+    }
+
+    /// Draws one sample (milliseconds, always `>= 0`).
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let v = match *self {
+            Dist::Det(v) => v,
+            Dist::Exp { mean } => {
+                // Inverse CDF; `1 - unit()` avoids ln(0).
+                -mean * (1.0 - rng.unit()).ln()
+            }
+            Dist::Uniform { lo, hi } => rng.uniform(lo, hi),
+            Dist::Weibull { shape, scale } => {
+                let u = 1.0 - rng.unit();
+                scale * (-u.ln()).powf(1.0 / shape)
+            }
+            Dist::Erlang { k, mean } => {
+                let stage_mean = mean / k.max(1) as f64;
+                (0..k.max(1))
+                    .map(|_| -stage_mean * (1.0 - rng.unit()).ln())
+                    .sum()
+            }
+            Dist::Bimodal {
+                p1,
+                lo1,
+                hi1,
+                lo2,
+                hi2,
+            } => {
+                if rng.chance(p1) {
+                    rng.uniform(lo1, hi1)
+                } else {
+                    rng.uniform(lo2, hi2)
+                }
+            }
+            Dist::Shifted { base, ref jitter } => base + jitter.sample(rng),
+        };
+        v.max(0.0)
+    }
+
+    /// The exact mean of the distribution (milliseconds).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Det(v) => v,
+            Dist::Exp { mean } => mean,
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Dist::Weibull { shape, scale } => scale * gamma(1.0 + 1.0 / shape),
+            Dist::Erlang { mean, .. } => mean,
+            Dist::Bimodal {
+                p1,
+                lo1,
+                hi1,
+                lo2,
+                hi2,
+            } => p1 * 0.5 * (lo1 + hi1) + (1.0 - p1) * 0.5 * (lo2 + hi2),
+            Dist::Shifted { base, ref jitter } => base + jitter.mean(),
+        }
+    }
+
+    /// The cumulative distribution function `P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        match *self {
+            Dist::Det(v) => {
+                if x >= v {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Dist::Exp { mean } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-x / mean).exp()
+                }
+            }
+            Dist::Uniform { lo, hi } => {
+                if x <= lo {
+                    0.0
+                } else if x >= hi {
+                    1.0
+                } else {
+                    (x - lo) / (hi - lo)
+                }
+            }
+            Dist::Weibull { shape, scale } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-(x / scale).powf(shape)).exp()
+                }
+            }
+            Dist::Erlang { k, mean } => {
+                // F(x) = 1 - e^{-lx} * sum_{i<k} (lx)^i / i!
+                let k = k.max(1);
+                if x <= 0.0 {
+                    return 0.0;
+                }
+                let lambda = k as f64 / mean;
+                let lx = lambda * x;
+                let mut term = 1.0;
+                let mut sum = 1.0;
+                for i in 1..k {
+                    term *= lx / i as f64;
+                    sum += term;
+                }
+                1.0 - (-lx).exp() * sum
+            }
+            Dist::Bimodal {
+                p1,
+                lo1,
+                hi1,
+                lo2,
+                hi2,
+            } => {
+                let u = |lo: f64, hi: f64| {
+                    if x <= lo {
+                        0.0
+                    } else if x >= hi {
+                        1.0
+                    } else {
+                        (x - lo) / (hi - lo)
+                    }
+                };
+                p1 * u(lo1, hi1) + (1.0 - p1) * u(lo2, hi2)
+            }
+            Dist::Shifted { base, ref jitter } => jitter.cdf(x - base),
+        }
+    }
+
+    /// Scales the distribution by a positive factor (useful to derive a
+    /// broadcast delay from a unicast fit).
+    ///
+    /// # Panics
+    /// Panics if `f` is not positive and finite.
+    pub fn scaled(&self, f: f64) -> Dist {
+        assert!(f.is_finite() && f > 0.0, "scale factor must be positive");
+        match *self {
+            Dist::Det(v) => Dist::Det(v * f),
+            Dist::Exp { mean } => Dist::Exp { mean: mean * f },
+            Dist::Uniform { lo, hi } => Dist::Uniform {
+                lo: lo * f,
+                hi: hi * f,
+            },
+            Dist::Weibull { shape, scale } => Dist::Weibull {
+                shape,
+                scale: scale * f,
+            },
+            Dist::Erlang { k, mean } => Dist::Erlang { k, mean: mean * f },
+            Dist::Bimodal {
+                p1,
+                lo1,
+                hi1,
+                lo2,
+                hi2,
+            } => Dist::Bimodal {
+                p1,
+                lo1: lo1 * f,
+                hi1: hi1 * f,
+                lo2: lo2 * f,
+                hi2: hi2 * f,
+            },
+            Dist::Shifted { base, ref jitter } => Dist::Shifted {
+                base: base * f,
+                jitter: Box::new(jitter.scaled(f)),
+            },
+        }
+    }
+
+    /// Shifts the distribution left by `delta` (subtracting a constant),
+    /// clamping the deterministic part at zero. Used to derive `t_network`
+    /// from end-to-end delay minus `2·t_send` as in the paper's §5.1.
+    pub fn minus_const(&self, delta: f64) -> Dist {
+        match *self {
+            Dist::Det(v) => Dist::Det((v - delta).max(0.0)),
+            Dist::Uniform { lo, hi } => Dist::Uniform {
+                lo: (lo - delta).max(0.0),
+                hi: (hi - delta).max(0.0),
+            },
+            Dist::Bimodal {
+                p1,
+                lo1,
+                hi1,
+                lo2,
+                hi2,
+            } => Dist::Bimodal {
+                p1,
+                lo1: (lo1 - delta).max(0.0),
+                hi1: (hi1 - delta).max(0.0),
+                lo2: (lo2 - delta).max(0.0),
+                hi2: (hi2 - delta).max(0.0),
+            },
+            Dist::Shifted { base, ref jitter } => Dist::Shifted {
+                base: (base - delta).max(0.0),
+                jitter: jitter.clone(),
+            },
+            ref other => Dist::Shifted {
+                base: 0.0,
+                jitter: Box::new(other.minus_const(delta)),
+            },
+        }
+    }
+}
+
+/// Lanczos approximation of the gamma function, needed for Weibull means.
+fn gamma(x: f64) -> f64 {
+    // g = 7, n = 9 coefficients (Boost/Numerical Recipes standard set).
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(d: &Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn det_is_constant() {
+        let d = Dist::Det(0.18);
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 0.18);
+        }
+        assert_eq!(d.mean(), 0.18);
+    }
+
+    #[test]
+    fn exp_mean_matches() {
+        let d = Dist::Exp { mean: 2.5 };
+        let m = sample_mean(&d, 200_000, 2);
+        assert!((m - 2.5).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::Uniform { lo: 1.0, hi: 3.0 };
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=3.0).contains(&x));
+        }
+        assert_eq!(d.mean(), 2.0);
+        let m = sample_mean(&d, 100_000, 4);
+        assert!((m - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential_mean() {
+        let d = Dist::Weibull {
+            shape: 1.0,
+            scale: 2.0,
+        };
+        assert!((d.mean() - 2.0).abs() < 1e-9);
+        let m = sample_mean(&d, 200_000, 5);
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn weibull_mean_uses_gamma() {
+        // shape 2, scale 1: mean = Γ(1.5) = sqrt(pi)/2 ≈ 0.8862
+        let d = Dist::Weibull {
+            shape: 2.0,
+            scale: 1.0,
+        };
+        assert!((d.mean() - 0.886_226_925).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erlang_mean_and_lower_variance_than_exp() {
+        let d = Dist::Erlang { k: 4, mean: 2.0 };
+        let m = sample_mean(&d, 100_000, 6);
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+        // Variance of Erlang(k) is mean^2/k, lower than Exp's mean^2.
+        let mut rng = SimRng::new(7);
+        let n = 100_000;
+        let var: f64 = (0..n)
+            .map(|_| {
+                let x = d.sample(&mut rng);
+                (x - 2.0) * (x - 2.0)
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!(var < 1.5, "var {var} should be ~1.0");
+    }
+
+    #[test]
+    fn bimodal_matches_paper_fit() {
+        // The paper's unicast fit: U[0.1,0.13] w.p. 0.8; U[0.145,0.35] w.p. 0.2.
+        let d = Dist::bimodal(0.8, (0.1, 0.13), (0.145, 0.35));
+        assert!((d.mean() - (0.8 * 0.115 + 0.2 * 0.2475)).abs() < 1e-12);
+        let mut rng = SimRng::new(8);
+        let mut fast = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!(
+                (0.1..=0.35).contains(&x),
+                "sample {x} outside support"
+            );
+            assert!(
+                !(0.13..0.145).contains(&x),
+                "sample {x} in the inter-mode gap"
+            );
+            if x <= 0.13 {
+                fast += 1;
+            }
+        }
+        let p = fast as f64 / n as f64;
+        assert!((p - 0.8).abs() < 0.01, "fast-mode fraction {p}");
+    }
+
+    #[test]
+    fn shifted_adds_base() {
+        let d = Dist::shifted(1.0, Dist::Uniform { lo: 0.0, hi: 0.5 });
+        let mut rng = SimRng::new(9);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=1.5).contains(&x));
+        }
+        assert!((d.mean() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_scales_mean() {
+        let d = Dist::bimodal(0.5, (1.0, 2.0), (3.0, 5.0)).scaled(2.0);
+        assert!((d.mean() - 2.0 * (0.5 * 1.5 + 0.5 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minus_const_shifts_support() {
+        let d = Dist::bimodal(0.8, (0.1, 0.13), (0.145, 0.35)).minus_const(0.05);
+        let mut rng = SimRng::new(10);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((0.05..=0.30).contains(&x), "{x}");
+        }
+        let d2 = Dist::Det(0.03).minus_const(0.05);
+        assert_eq!(d2.mean(), 0.0);
+    }
+
+    #[test]
+    fn samples_never_negative() {
+        let dists = [
+            Dist::Exp { mean: 0.001 },
+            Dist::Uniform { lo: 0.0, hi: 0.0 },
+            Dist::Det(0.0),
+            Dist::shifted(0.0, Dist::Exp { mean: 1.0 }),
+        ];
+        let mut rng = SimRng::new(11);
+        for d in &dists {
+            for _ in 0..100 {
+                assert!(d.sample(&mut rng) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_matches_closed_forms() {
+        let u = Dist::Uniform { lo: 1.0, hi: 3.0 };
+        assert_eq!(u.cdf(0.0), 0.0);
+        assert_eq!(u.cdf(2.0), 0.5);
+        assert_eq!(u.cdf(5.0), 1.0);
+        let e = Dist::Exp { mean: 2.0 };
+        assert!((e.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        let d = Dist::Det(1.5);
+        assert_eq!(d.cdf(1.49), 0.0);
+        assert_eq!(d.cdf(1.5), 1.0);
+        let b = Dist::bimodal(0.8, (0.1, 0.13), (0.145, 0.35));
+        assert_eq!(b.cdf(0.05), 0.0);
+        assert!((b.cdf(0.13) - 0.8).abs() < 1e-12);
+        assert!((b.cdf(0.14) - 0.8).abs() < 1e-12, "inter-mode plateau");
+        assert_eq!(b.cdf(0.4), 1.0);
+        let s = Dist::shifted(1.0, Dist::Uniform { lo: 0.0, hi: 1.0 });
+        assert!((s.cdf(1.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_agrees_with_sampling() {
+        let dists = [
+            Dist::Exp { mean: 1.3 },
+            Dist::Erlang { k: 3, mean: 2.0 },
+            Dist::Weibull { shape: 1.7, scale: 0.8 },
+            Dist::bimodal(0.6, (0.0, 1.0), (2.0, 3.0)),
+        ];
+        let mut rng = SimRng::new(21);
+        for d in &dists {
+            let n = 40_000;
+            for x in [0.3f64, 0.9, 1.8, 2.6] {
+                let emp = (0..n).filter(|_| d.sample(&mut rng) <= x).count() as f64
+                    / n as f64;
+                let thy = d.cdf(x);
+                assert!(
+                    (emp - thy).abs() < 0.015,
+                    "{d:?} at {x}: empirical {emp} vs cdf {thy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn erlang_cdf_is_monotone_and_proper() {
+        let d = Dist::Erlang { k: 4, mean: 2.0 };
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let x = i as f64 * 0.2;
+            let c = d.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!(d.cdf(100.0) > 0.999999);
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(3.0) - 2.0).abs() < 1e-9);
+        assert!((gamma(4.0) - 6.0).abs() < 1e-8);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+}

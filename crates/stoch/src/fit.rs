@@ -1,0 +1,237 @@
+//! Fitting measured delay samples with the paper's bimodal-uniform model.
+//!
+//! §5.1 of the paper approximates the measured end-to-end delay CDFs
+//! "by using uniform distributions in a bi-modal fashion", e.g. for
+//! unicast messages `U[0.1, 0.13]` with probability 0.8 and
+//! `U[0.145, 0.35]` with probability 0.2.
+//!
+//! [`fit_bimodal_uniform`] automates that eyeball fit: it finds the
+//! largest gap between consecutive order statistics in the central region
+//! of the sample (the "knee" between the two modes), splits there, and
+//! fits each mode with a uniform distribution spanning robust quantiles
+//! of the sub-sample.
+
+use crate::dist::Dist;
+use crate::stats::Ecdf;
+
+/// The result of a bimodal-uniform fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BimodalFit {
+    /// The fitted distribution.
+    pub dist: Dist,
+    /// Probability mass assigned to the first (fast) mode.
+    pub p1: f64,
+    /// Where the sample was split (ms).
+    pub split_at: f64,
+}
+
+/// Fits a two-mode uniform mixture to delay samples (milliseconds).
+///
+/// The split point is the midpoint of the widest gap between consecutive
+/// sorted samples, searched between the 40 % and 98 % quantiles so that
+/// neither tail noise nor the main mode's interior can be mistaken for
+/// the inter-mode gap. Each mode is then fit as `U[q01, q99]` of its
+/// sub-sample (robust to stragglers).
+///
+/// When no meaningful inter-mode gap exists (a fast mode with a
+/// contiguous tail), the sample is split at the 80th percentile with
+/// the paper's 0.8/0.2 mode proportions; with fewer than 16 samples a
+/// single uniform over `[q01, q99]` is returned (`p1 = 1`).
+///
+/// # Panics
+/// Panics if `samples` is empty or contains NaN.
+pub fn fit_bimodal_uniform(samples: &[f64]) -> BimodalFit {
+    assert!(!samples.is_empty(), "cannot fit an empty sample");
+    // Far outliers (stop-the-world pauses hitting a ping) sit orders of
+    // magnitude above the delay body and would drag the slow mode's
+    // upper bound with them. The paper's eyeball fit reads the visible
+    // CDF and ignores that sub-percent mass; we drop samples beyond
+    // 10x the median, unless that would remove a real tail (>10%).
+    let ecdf_all = Ecdf::new(samples.to_vec());
+    let cutoff = 10.0 * ecdf_all.quantile(0.5);
+    let kept: Vec<f64> = samples.iter().copied().filter(|&x| x <= cutoff).collect();
+    let samples: &[f64] = if kept.len() * 10 >= samples.len() * 9 {
+        &kept
+    } else {
+        samples
+    };
+    let ecdf = Ecdf::new(samples.to_vec());
+    let sorted = ecdf.samples();
+    let n = sorted.len();
+
+    let single = |ecdf: &Ecdf| {
+        let lo = ecdf.quantile(0.01);
+        let hi = ecdf.quantile(0.99).max(lo + f64::MIN_POSITIVE);
+        BimodalFit {
+            dist: Dist::bimodal(1.0, (lo, hi), (hi, hi)),
+            p1: 1.0,
+            split_at: hi,
+        }
+    };
+    // Gapless mixtures (a fast mode with a contiguous tail) are fitted
+    // with the paper's 0.8/0.2 proportions: mode 1 spans [q01, q79],
+    // mode 2 spans [q81, q99]. A genuinely uniform sample is also
+    // represented faithfully by this split.
+    let q80_split = |ecdf: &Ecdf| {
+        let m1 = (ecdf.quantile(0.01), ecdf.quantile(0.79));
+        let lo2 = ecdf.quantile(0.81).max(m1.1);
+        let m2 = (lo2, ecdf.quantile(0.99).max(lo2));
+        BimodalFit {
+            dist: Dist::bimodal(0.8, m1, m2),
+            p1: 0.8,
+            split_at: ecdf.quantile(0.80),
+        }
+    };
+    if n < 16 {
+        return single(&ecdf);
+    }
+
+    // Search for the widest inter-sample gap in the central region.
+    let i_lo = (0.40 * n as f64) as usize;
+    let i_hi = ((0.98 * n as f64) as usize).min(n - 1);
+    let mut best_gap = 0.0;
+    let mut best_i = 0;
+    for i in i_lo..i_hi {
+        let gap = sorted[i + 1] - sorted[i];
+        if gap > best_gap {
+            best_gap = gap;
+            best_i = i;
+        }
+    }
+    let span = (sorted[n - 1] - sorted[0]).max(f64::MIN_POSITIVE);
+    // A "meaningful" gap: at least 5% of the sample span.
+    if best_gap < 0.05 * span {
+        return q80_split(&ecdf);
+    }
+    let split_at = 0.5 * (sorted[best_i] + sorted[best_i + 1]);
+    let (fast, slow) = (&sorted[..=best_i], &sorted[best_i + 1..]);
+    let p1 = fast.len() as f64 / n as f64;
+
+    let fast_e = Ecdf::new(fast.to_vec());
+    let slow_e = Ecdf::new(slow.to_vec());
+    let m1 = (fast_e.quantile(0.01), fast_e.quantile(0.99));
+    let m2 = (slow_e.quantile(0.01), slow_e.quantile(0.99));
+    BimodalFit {
+        dist: Dist::bimodal(p1, m1, (m2.0.max(m1.1), m2.1.max(m2.0.max(m1.1)))),
+        p1,
+        split_at,
+    }
+}
+
+/// The Kolmogorov–Smirnov statistic `sup_x |F_emp(x) − F(x)|` between a
+/// sample and a reference distribution: a quantitative goodness-of-fit
+/// measure for the bimodal fits (the paper judged fit quality visually
+/// on the CDF plots).
+///
+/// # Panics
+/// Panics if `samples` is empty or contains NaN.
+pub fn ks_statistic(samples: &[f64], dist: &Dist) -> f64 {
+    assert!(!samples.is_empty(), "KS statistic of an empty sample");
+    let ecdf = Ecdf::new(samples.to_vec());
+    let sorted = ecdf.samples();
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let above = ((i + 1) as f64 / n - f).abs();
+        let below = (i as f64 / n - f).abs();
+        d = d.max(above).max(below);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn recovers_paper_like_bimodal() {
+        // Generate from the paper's unicast fit and re-fit.
+        let truth = Dist::bimodal(0.8, (0.10, 0.13), (0.145, 0.35));
+        let mut rng = SimRng::new(42);
+        let samples: Vec<f64> = (0..20_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = fit_bimodal_uniform(&samples);
+        assert!((fit.p1 - 0.8).abs() < 0.02, "p1 = {}", fit.p1);
+        assert!(
+            (0.13..0.145).contains(&fit.split_at),
+            "split at {}",
+            fit.split_at
+        );
+        match fit.dist {
+            Dist::Bimodal { lo1, hi1, lo2, hi2, .. } => {
+                assert!((lo1 - 0.10).abs() < 0.005, "lo1 {lo1}");
+                assert!((hi1 - 0.13).abs() < 0.005, "hi1 {hi1}");
+                assert!((lo2 - 0.145).abs() < 0.01, "lo2 {lo2}");
+                assert!((hi2 - 0.35).abs() < 0.02, "hi2 {hi2}");
+            }
+            other => panic!("expected bimodal, got {other:?}"),
+        }
+        // Fitted mean close to the true mean.
+        assert!((fit.dist.mean() - truth.mean()).abs() < 0.01);
+    }
+
+    #[test]
+    fn unimodal_sample_gets_faithful_two_piece_fit() {
+        let truth = Dist::Uniform { lo: 1.0, hi: 2.0 };
+        let mut rng = SimRng::new(7);
+        let samples: Vec<f64> = (0..5_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = fit_bimodal_uniform(&samples);
+        assert_eq!(fit.p1, 0.8, "gapless fallback uses the 0.8/0.2 split");
+        assert!((fit.dist.mean() - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn gapless_heavy_tail_fit_preserves_mean() {
+        // A fast mode with a contiguous tail (no inter-mode gap), like
+        // the simulated cluster's receive-path delays.
+        let truth = Dist::bimodal(0.8, (0.10, 0.13), (0.13, 0.35));
+        let mut rng = SimRng::new(9);
+        let samples: Vec<f64> = (0..20_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = fit_bimodal_uniform(&samples);
+        assert!(
+            (fit.dist.mean() - truth.mean()).abs() < 0.02,
+            "fit mean {} vs true {}",
+            fit.dist.mean(),
+            truth.mean()
+        );
+    }
+
+    #[test]
+    fn tiny_sample_falls_back() {
+        let fit = fit_bimodal_uniform(&[1.0, 1.1, 1.2]);
+        assert_eq!(fit.p1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = fit_bimodal_uniform(&[]);
+    }
+
+    #[test]
+    fn ks_statistic_small_for_true_distribution() {
+        let truth = Dist::bimodal(0.8, (0.10, 0.13), (0.145, 0.35));
+        let mut rng = SimRng::new(4);
+        let samples: Vec<f64> = (0..10_000).map(|_| truth.sample(&mut rng)).collect();
+        let d_true = ks_statistic(&samples, &truth);
+        assert!(d_true < 0.02, "KS vs own distribution: {d_true}");
+        // A clearly wrong reference scores much worse.
+        let wrong = Dist::Uniform { lo: 0.0, hi: 1.0 };
+        let d_wrong = ks_statistic(&samples, &wrong);
+        assert!(d_wrong > 0.3, "KS vs wrong distribution: {d_wrong}");
+        assert!(d_wrong > 5.0 * d_true);
+    }
+
+    #[test]
+    fn fitted_distribution_passes_ks_screen() {
+        // The automated fit must be close (in KS distance) to the
+        // sample it was fitted on.
+        let truth = Dist::bimodal(0.8, (0.10, 0.13), (0.145, 0.35));
+        let mut rng = SimRng::new(6);
+        let samples: Vec<f64> = (0..10_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = fit_bimodal_uniform(&samples);
+        let d = ks_statistic(&samples, &fit.dist);
+        assert!(d < 0.05, "fit KS distance {d}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Random distributions, statistics, and RNG plumbing for simulation
+//! studies.
+//!
+//! The DSN 2002 study this workspace reproduces needs:
+//!
+//! * the distribution families UltraSAN offers for timed activities
+//!   (deterministic, exponential, uniform, Weibull, Erlang) plus the
+//!   *bimodal uniform mixture* the paper fits to measured message delays
+//!   ([`Dist`]),
+//! * online statistics with Student-t confidence intervals — the paper
+//!   reports means with 90 % confidence intervals ([`stats::OnlineStats`]),
+//! * empirical CDFs for the latency-distribution figures
+//!   ([`stats::Ecdf`]),
+//! * the bimodal-fit procedure of the paper's §5.1 ([`fit`]),
+//! * reproducible, splittable RNG streams ([`SimRng`]).
+//!
+//! All durations handled by this crate are `f64` **milliseconds** — the
+//! unit the paper uses throughout; conversion to integer simulation time
+//! happens at the simulator boundary.
+
+pub mod dist;
+pub mod fit;
+pub mod rng;
+pub mod stats;
+
+pub use dist::Dist;
+pub use rng::SimRng;
+pub use stats::{BatchMeans, Ecdf, Histogram, OnlineStats};

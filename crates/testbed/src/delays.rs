@@ -1,0 +1,177 @@
+//! Message-delay measurements (paper §5.1, Fig. 6): the end-to-end
+//! delay of unicast and broadcast messages on the cluster, used to set
+//! the SAN model's `t_network` parameters.
+//!
+//! A ping campaign sends application messages at a fixed pace from a
+//! sender to the other hosts and records, for every delivery, the
+//! end-to-end delay from the send call to the application-level
+//! delivery at the destination. Broadcast measurements send to all
+//! `n−1` destinations back-to-back (sequential unicasts) and pool the
+//! per-destination delays, matching the paper's "averaged over the
+//! destinations".
+
+use ctsim_des::{SimDuration, SimTime};
+use ctsim_neko::{Ctx, Node, NodeConfig, ProcessId, Runtime, TimerKind};
+use ctsim_netsim::{HostParams, NetParams};
+use ctsim_stoch::{Ecdf, SimRng};
+
+/// A ping payload carrying its true send time (instrumentation) and
+/// which measurement phase it belongs to.
+#[derive(Debug, Clone, Copy)]
+pub struct Ping {
+    sent_true_ns: u64,
+    broadcast: bool,
+}
+
+/// Measured end-to-end delay distributions.
+#[derive(Debug, Clone)]
+pub struct DelayMeasurements {
+    /// Unicast delays, ms (sender → one fixed destination).
+    pub unicast: Ecdf,
+    /// Broadcast-to-all delays, ms, pooled over destinations.
+    pub broadcast: Ecdf,
+    /// Number of processes the broadcast spanned.
+    pub n: usize,
+}
+
+#[derive(Debug)]
+struct PingNode {
+    rounds: u32,
+    sent: u32,
+    delays_unicast: Vec<f64>,
+    delays_broadcast: Vec<f64>,
+}
+
+impl Node<Ping> for PingNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+        if ctx.me().0 == 0 {
+            ctx.set_timer(SimDuration::from_ms(1.0), TimerKind::Precise, 0);
+        }
+    }
+
+    fn on_app_message(&mut self, ctx: &mut Ctx<'_, Ping>, _from: ProcessId, msg: Ping) {
+        let delay =
+            (ctx.now_true() - SimTime::from_nanos(msg.sent_true_ns)).as_ms();
+        if msg.broadcast {
+            self.delays_broadcast.push(delay);
+        } else {
+            self.delays_unicast.push(delay);
+        }
+    }
+
+    fn on_heartbeat(&mut self, _ctx: &mut Ctx<'_, Ping>, _from: ProcessId) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Ping>, _token: u64) {
+        if ctx.me().0 != 0 {
+            return;
+        }
+        let mut ping = Ping {
+            sent_true_ns: ctx.now_true().as_nanos(),
+            broadcast: false,
+        };
+        if self.sent < self.rounds {
+            // Unicast phase: one message to p2 per tick.
+            ctx.send(ProcessId(1), ping);
+        } else if self.sent < 2 * self.rounds {
+            // Broadcast phase: sequential unicasts to everyone.
+            ping.broadcast = true;
+            ctx.broadcast_others(ping);
+        } else {
+            return;
+        }
+        self.sent += 1;
+        ctx.set_timer(SimDuration::from_ms(1.0), TimerKind::Precise, 0);
+    }
+}
+
+/// Runs the §5.1 delay measurements on an `n`-host cluster.
+///
+/// `rounds` messages are sent in each phase (unicast, then broadcast),
+/// paced 1 ms apart as in an idle-network ping test.
+pub fn measure_delays(
+    n: usize,
+    rounds: u32,
+    net: NetParams,
+    host: HostParams,
+    seed: u64,
+) -> DelayMeasurements {
+    assert!(n >= 2, "delay measurement needs at least two hosts");
+    let mut rt: Runtime<Ping, PingNode> = Runtime::new(
+        n,
+        net,
+        host,
+        NodeConfig::default(),
+        SimRng::new(seed),
+        |_| PingNode {
+            rounds,
+            sent: 0,
+            delays_unicast: Vec::new(),
+            delays_broadcast: Vec::new(),
+        },
+    );
+    rt.run_until(SimTime::from_ms(2.0 * rounds as f64 + 200.0));
+    let mut unicast = Vec::new();
+    let mut broadcast = Vec::new();
+    for i in 1..n {
+        unicast.extend_from_slice(&rt.node(ProcessId(i)).delays_unicast);
+        broadcast.extend_from_slice(&rt.node(ProcessId(i)).delays_broadcast);
+    }
+    DelayMeasurements {
+        unicast: Ecdf::new(unicast),
+        broadcast: Ecdf::new(broadcast),
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defaults() -> (NetParams, HostParams) {
+        (NetParams::default(), HostParams::default())
+    }
+
+    #[test]
+    fn unicast_delays_land_in_the_fig6_band() {
+        let (net, host) = defaults();
+        let d = measure_delays(3, 600, net, host, 42);
+        assert!(d.unicast.len() >= 500);
+        let med = d.unicast.quantile(0.5);
+        // Paper fig. 6: fast mode U[0.10, 0.13] ms.
+        assert!((0.08..0.16).contains(&med), "median unicast delay {med}");
+        // A real tail mode exists (paper: 20% in [0.145, 0.35]).
+        let q95 = d.unicast.quantile(0.95);
+        assert!(q95 > 0.14, "tail missing: q95 = {q95}");
+        // Nothing (except rare GC hits) beyond ~0.6 ms.
+        let frac_late = 1.0 - d.unicast.at(0.6);
+        assert!(frac_late < 0.05, "late fraction {frac_late}");
+    }
+
+    #[test]
+    fn broadcast_is_slower_with_more_destinations() {
+        let (net, host) = defaults();
+        // Medians: robust against rare GC pauses hitting one campaign.
+        let d3 = measure_delays(3, 400, net.clone(), host.clone(), 7);
+        let d5 = measure_delays(5, 400, net, host, 7);
+        let m3 = d3.broadcast.quantile(0.5);
+        let m5 = d5.broadcast.quantile(0.5);
+        let mu = d3.unicast.quantile(0.5);
+        assert!(m3 > mu, "broadcast-to-3 ({m3}) slower than unicast ({mu})");
+        assert!(m5 > m3, "broadcast-to-5 ({m5}) slower than to-3 ({m3})");
+    }
+
+    #[test]
+    fn measurements_are_reproducible() {
+        let (net, host) = defaults();
+        let a = measure_delays(3, 100, net.clone(), host.clone(), 9);
+        let b = measure_delays(3, 100, net, host, 9);
+        assert_eq!(a.unicast.samples(), b.unicast.samples());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two hosts")]
+    fn single_host_rejected() {
+        let (net, host) = defaults();
+        let _ = measure_delays(1, 10, net, host, 1);
+    }
+}

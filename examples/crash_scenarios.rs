@@ -1,0 +1,58 @@
+//! Table 1 in miniature: what one initial crash does to consensus
+//! latency, on both sides of the paper's methodology — measurements on
+//! the simulated cluster and the SAN model — including the n = 3
+//! participant-crash anomaly that only the measurements show.
+//!
+//! ```sh
+//! cargo run --release --example crash_scenarios
+//! ```
+
+use ct_consensus_repro::models::{latency_replications, SanParams};
+use ct_consensus_repro::testbed::{run_campaign, CrashScenario, TestbedConfig};
+
+fn main() {
+    println!("One initial crash, complete & accurate failure detectors (run class 2).\n");
+    println!("scenario            |  n | measured | simulated | paper meas/sim");
+    let paper: &[(&str, usize, f64, Option<f64>)] = &[
+        ("no crash", 3, 1.06, Some(1.030)),
+        ("no crash", 5, 1.43, Some(1.442)),
+        ("coordinator crash", 3, 1.568, Some(1.336)),
+        ("coordinator crash", 5, 2.245, Some(2.295)),
+        ("participant crash", 3, 1.115, Some(0.786)),
+        ("participant crash", 5, 1.340, Some(1.336)),
+    ];
+    for (scenario, label) in [
+        (CrashScenario::None, "no crash"),
+        (CrashScenario::Coordinator, "coordinator crash"),
+        (CrashScenario::Participant, "participant crash"),
+    ] {
+        for n in [3usize, 5] {
+            let meas = run_campaign(&TestbedConfig::class2(n, 400, scenario, 99)).mean();
+            let mut params = SanParams::paper_baseline(n);
+            if let Some(i) = scenario.crashed_index() {
+                params = params.with_crash(i);
+            }
+            let sim = latency_replications(&params, 400, 99, 1e4).mean();
+            let p = paper
+                .iter()
+                .find(|(s, pn, _, _)| *s == label && *pn == n)
+                .expect("tabled");
+            println!(
+                "{label:<19} |{n:>3} |{meas:>8.3}  |{sim:>9.3}  | {:.3}/{}",
+                p.2,
+                p.3.map_or("—".into(), |v| format!("{v:.3}")),
+            );
+        }
+    }
+    println!(
+        "\nWhat to look for (paper §5.3):
+ * a coordinator crash always costs extra time (a second round);
+ * a participant crash helps — one estimate and one ack fewer to
+   contend with — EXCEPT in the n = 3 measurements, where the proposal
+   is sent to the dead participant first and the only useful send is
+   delayed behind it;
+ * the SAN model sends proposals as a single broadcast message, so it
+   cannot show that anomaly — the paper uses exactly this discrepancy
+   to discuss the model's limits."
+    );
+}

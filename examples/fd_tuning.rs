@@ -1,0 +1,54 @@
+//! Failure-detector tuning: the trade-off the paper's Figs. 8-9 map
+//! out. A small timeout `T` detects crashes quickly but wrongly
+//! suspects correct processes (hurting consensus latency); a large `T`
+//! keeps runs clean but reacts slowly to real crashes.
+//!
+//! This example sweeps `T`, printing the measured QoS metrics
+//! (mistake recurrence time `T_MR`, mistake duration `T_M`) and the
+//! consensus latency, then points at a sensible operating range.
+//!
+//! ```sh
+//! cargo run --release --example fd_tuning
+//! ```
+
+use ct_consensus_repro::testbed::{run_campaign, TestbedConfig};
+
+fn main() {
+    let n = 3;
+    println!("Heartbeat failure detection on the simulated cluster (n = {n}),");
+    println!("T_h = 0.7·T as in the paper. 120 consensus executions per point.\n");
+    println!("     T |    T_MR |     T_M | latency | undecided");
+    println!("  (ms) |    (ms) |    (ms) |    (ms) |");
+    let mut plateau = f64::NAN;
+    let mut knee = f64::NAN;
+    for t in [1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 40.0, 70.0, 100.0] {
+        let cfg = TestbedConfig::class3(n, 120, t, 2002);
+        let r = run_campaign(&cfg);
+        let q = r.qos.expect("class 3 yields QoS");
+        println!(
+            "{:>6.0} |{:>8.1} |{:>8.2} |{:>8.2} | {:>6.1}%",
+            t,
+            q.t_mr,
+            q.t_m,
+            r.mean(),
+            100.0 * r.undecided as f64 / (r.undecided + r.latencies_ms.len()).max(1) as f64,
+        );
+        if t >= 70.0 {
+            plateau = r.mean();
+        }
+        if q.t_mr.is_infinite() && knee.is_nan() {
+            knee = t;
+        }
+    }
+    println!();
+    println!(
+        "Reading the table: below the scheduler-quantum crossover the
+detector makes mistakes constantly (finite T_MR) and consensus pays for
+wrong suspicions; above it, runs are clean and latency settles at the
+class-1 plateau (~{plateau:.2} ms here). The paper's Fig. 8 places the
+cliff between T = 30 and T = 40 ms on its 2002 cluster — the smallest
+timeout with no observed mistakes here was T = {knee} ms. Detection
+time for *real* crashes grows linearly with T, so the sweet spot is
+just above the cliff."
+    );
+}

@@ -1,0 +1,70 @@
+//! Quickstart: run one Chandra–Toueg ◇S consensus on a simulated
+//! 3-machine cluster, then solve the same instance on the paper's SAN
+//! model, and compare the two latencies — the paper's methodology in
+//! thirty lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ct_consensus_repro::consensus::{ConsensusMsg, ConsensusNode};
+use ct_consensus_repro::des::{SimDuration, SimTime};
+use ct_consensus_repro::fd::OracleFd;
+use ct_consensus_repro::models::{latency_replications, SanParams};
+use ct_consensus_repro::neko::{NodeConfig, ProcessId, Runtime};
+use ct_consensus_repro::netsim::{HostParams, NetParams};
+use ct_consensus_repro::stoch::SimRng;
+
+fn main() {
+    let n = 3;
+
+    // --- Measurement side: the full protocol on the simulated cluster.
+    let mut rt: Runtime<ConsensusMsg<u64>, ConsensusNode<u64, OracleFd>> = Runtime::new(
+        n,
+        NetParams::default(),
+        HostParams::default(),
+        NodeConfig::default(),
+        SimRng::new(42),
+        |p| {
+            ConsensusNode::proposing(
+                p,
+                n,
+                OracleFd::accurate(n),
+                1000 + p.0 as u64, // each process proposes its own value
+                SimDuration::from_ms(1.0),
+            )
+        },
+    );
+    rt.run_until(SimTime::from_ms(100.0));
+
+    println!("Chandra–Toueg ◇S consensus, n = {n}, no failures:");
+    for i in 0..n {
+        let c = &rt.node(ProcessId(i)).consensus;
+        println!(
+            "  p{} decided {:?} at {:.3} ms (round {})",
+            i + 1,
+            c.decision(),
+            c.decided_at_true().expect("decided").as_ms(),
+            c.round(),
+        );
+    }
+    let first = (0..n)
+        .filter_map(|i| rt.node(ProcessId(i)).consensus.decided_at_true())
+        .min()
+        .expect("someone decided");
+    let measured_latency = first.as_ms() - 1.0; // proposals at t = 1 ms
+    println!("  measured latency (first decision): {measured_latency:.3} ms");
+
+    // --- Simulation side: the paper's SAN model of the same system.
+    let params = SanParams::paper_baseline(n);
+    let reps = latency_replications(&params, 500, 42, 1000.0);
+    println!("\nSAN model of the same algorithm (500 replications):");
+    println!(
+        "  simulated latency: {:.3} ms ± {:.3} (90% CI)",
+        reps.mean(),
+        reps.ci90()
+    );
+    println!(
+        "\nThe paper's §5.2 values for n = 3: 1.06 ms measured, 1.030 ms simulated."
+    );
+}

@@ -1,0 +1,109 @@
+//! The SAN engine on its own: build the paper's two-state
+//! failure-detector submodel (Fig. 5) and a small queueing network with
+//! the Rep/Join composition operators, solve both by simulation, and
+//! check them against theory.
+//!
+//! ```sh
+//! cargo run --release --example san_playground
+//! ```
+
+use ct_consensus_repro::des::SimTime;
+use ct_consensus_repro::san::compose::{rep, Scope};
+use ct_consensus_repro::san::{
+    replicate, Activity, Case, SanBuilder, Simulator,
+};
+use ct_consensus_repro::stoch::{Dist, SimRng};
+
+fn main() {
+    two_state_fd();
+    println!();
+    machine_repair_shop();
+}
+
+/// The paper's Fig. 5: a trust/suspect process with exponential
+/// sojourns. Long-run suspicion probability must equal T_M / T_MR.
+fn two_state_fd() {
+    let (t_mr, t_m) = (50.0, 10.0);
+    let mut b = SanBuilder::new("fd");
+    let trust = b.place("trust", 1);
+    let susp = b.place("susp", 0);
+    b.add_activity(
+        Activity::timed("ts", Dist::Exp { mean: t_mr - t_m })
+            .input(trust, 1)
+            .case(Case::with_prob(1.0).output(susp, 1)),
+    );
+    b.add_activity(
+        Activity::timed("st", Dist::Exp { mean: t_m })
+            .input(susp, 1)
+            .case(Case::with_prob(1.0).output(trust, 1)),
+    );
+    let model = b.build().expect("valid model");
+
+    // Time-average the suspicion state by sampling at fixed steps.
+    let mut sim = Simulator::new(&model, SimRng::new(1));
+    let (mut suspected_ms, mut total_ms) = (0.0f64, 0.0f64);
+    let step = 1.0;
+    for k in 1..200_000u64 {
+        sim.run_until(|_| false, SimTime::from_ms(k as f64 * step));
+        total_ms += step;
+        if sim.marking().get(susp) > 0 {
+            suspected_ms += step;
+        }
+    }
+    println!(
+        "two-state FD (T_MR = {t_mr} ms, T_M = {t_m} ms):
+  simulated long-run suspicion probability: {:.4}
+  theory (T_M / T_MR):                      {:.4}",
+        suspected_ms / total_ms,
+        t_m / t_mr
+    );
+}
+
+/// A classic machine-repair shop, built with the Rep operator: five
+/// machines sharing one repairman through a joined place.
+fn machine_repair_shop() {
+    let mut b = SanBuilder::new("repair_shop");
+    let machines = 5;
+    rep(&mut b, "machine", machines, |scope: &mut Scope, _i| {
+        let repairman = scope.shared_place("repairman", 1); // Join
+        let up = scope.place("up", 1);
+        let broken = scope.place("broken", 0);
+        let in_repair = scope.place("in_repair", 0);
+        scope.add_activity(
+            Activity::timed("fail", Dist::Exp { mean: 100.0 })
+                .input(up, 1)
+                .case(Case::with_prob(1.0).output(broken, 1)),
+        );
+        scope.add_activity(
+            Activity::instantaneous("grab_repairman")
+                .input(broken, 1)
+                .input(repairman, 1)
+                .case(Case::with_prob(1.0).output(in_repair, 1)),
+        );
+        scope.add_activity(
+            Activity::timed("repair", Dist::Exp { mean: 10.0 })
+                .input(in_repair, 1)
+                .case(Case::with_prob(1.0).output(up, 1).output(repairman, 1)),
+        );
+    });
+    let model = b.build().expect("valid model");
+    let ups: Vec<_> = (0..machines)
+        .map(|i| model.place(&format!("machine[{i}]/up")).unwrap())
+        .collect();
+
+    // Mean number of machines up, by replicated terminating runs.
+    let horizon = 2000.0;
+    let reps = replicate(&model, 300, 9, |sim| {
+        // Sample the number of up machines at the horizon.
+        sim.run_until(|_| false, SimTime::from_ms(horizon));
+        let up_now: u32 = ups.iter().map(|&p| sim.marking().get(p)).sum();
+        Some(up_now as f64)
+    });
+    println!(
+        "machine repair shop (5 machines, 1 repairman, MTBF 100 ms, repair 10 ms):
+  mean machines up at t = {horizon} ms: {:.2} ± {:.2} (90% CI)
+  (birth-death theory gives ≈ 4.4 for these rates)",
+        reps.mean(),
+        reps.ci90()
+    );
+}

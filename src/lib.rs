@@ -1,0 +1,27 @@
+//! Umbrella crate for the DSN 2002 consensus-performance reproduction.
+//!
+//! Re-exports every workspace crate under one roof so that examples and
+//! integration tests can `use ct_consensus_repro::…`. See the individual
+//! crates for the real APIs:
+//!
+//! * [`des`] — discrete-event simulation kernel
+//! * [`stoch`] — distributions and statistics
+//! * [`san`] — Stochastic Activity Network engine
+//! * [`netsim`] — cluster/network substrate
+//! * [`neko`] — process and protocol framework
+//! * [`fd`] — heartbeat failure detection and QoS metrics
+//! * [`consensus`] — the Chandra–Toueg ◇S consensus algorithm
+//! * [`models`] — the paper's SAN model of the algorithm
+//! * [`testbed`] — measurement campaigns on the simulated cluster
+//! * [`experiments`] — regeneration of every table and figure
+
+pub use ctsim_core as consensus;
+pub use ctsim_des as des;
+pub use ctsim_experiments as experiments;
+pub use ctsim_fd as fd;
+pub use ctsim_models as models;
+pub use ctsim_neko as neko;
+pub use ctsim_netsim as netsim;
+pub use ctsim_san as san;
+pub use ctsim_stoch as stoch;
+pub use ctsim_testbed as testbed;

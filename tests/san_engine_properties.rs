@@ -1,0 +1,121 @@
+//! Property-based tests of the SAN engine on randomly generated
+//! models: structural invariants that must hold regardless of topology,
+//! distributions, or seeds.
+
+use ct_consensus_repro::des::SimTime;
+use ct_consensus_repro::san::{Activity, Case, SanBuilder, Simulator, StopReason};
+use ct_consensus_repro::stoch::{Dist, SimRng};
+use proptest::prelude::*;
+
+/// A random ring of places with timed activities moving tokens around.
+/// Tokens can never be created or destroyed in such a net.
+fn ring_model(stations: usize, tokens: u32, dists: &[Dist]) -> ct_consensus_repro::san::SanModel {
+    let mut b = SanBuilder::new("ring");
+    let places: Vec<_> = (0..stations)
+        .map(|i| b.place(format!("p{i}"), if i == 0 { tokens } else { 0 }))
+        .collect();
+    for i in 0..stations {
+        b.add_activity(
+            Activity::timed(format!("t{i}"), dists[i % dists.len()].clone())
+                .input(places[i], 1)
+                .case(Case::with_prob(1.0).output(places[(i + 1) % stations], 1)),
+        );
+    }
+    b.build().expect("ring is valid")
+}
+
+fn arb_dist() -> impl Strategy<Value = Dist> {
+    prop_oneof![
+        (0.01f64..2.0).prop_map(Dist::Det),
+        (0.01f64..2.0).prop_map(|m| Dist::Exp { mean: m }),
+        (0.01f64..1.0, 0.0f64..1.0)
+            .prop_map(|(lo, w)| Dist::Uniform { lo, hi: lo + w }),
+        ((1u32..4), (0.01f64..2.0)).prop_map(|(k, m)| Dist::Erlang { k, mean: m }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32, .. ProptestConfig::default()
+    })]
+
+    /// Token conservation in conservative nets, under any distribution
+    /// mix and any seed, at any stopping time.
+    #[test]
+    fn ring_conserves_tokens(
+        stations in 2usize..10,
+        tokens in 1u32..20,
+        dists in proptest::collection::vec(arb_dist(), 1..4),
+        seed in 0u64..100_000,
+        horizon_ms in 1.0f64..100.0,
+    ) {
+        let model = ring_model(stations, tokens, &dists);
+        let mut sim = Simulator::new(&model, SimRng::new(seed));
+        let out = sim.run_until(|_| false, SimTime::from_ms(horizon_ms));
+        prop_assert_eq!(sim.marking().total_tokens(), tokens as u64);
+        prop_assert_eq!(out.reason, StopReason::Horizon);
+        // Time never exceeds the horizon.
+        prop_assert!(out.time <= SimTime::from_ms(horizon_ms));
+    }
+
+    /// Per-seed determinism of the simulator on random models.
+    #[test]
+    fn simulation_is_deterministic(
+        stations in 2usize..8,
+        tokens in 1u32..10,
+        seed in 0u64..100_000,
+    ) {
+        let dists = [Dist::Exp { mean: 0.5 }];
+        let model = ring_model(stations, tokens, &dists);
+        let run = |seed| {
+            let mut sim = Simulator::new(&model, SimRng::new(seed));
+            let out = sim.run_until(|_| false, SimTime::from_ms(50.0));
+            (out.completions, sim.marking().total_tokens())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Completion counts scale with the horizon (ergodicity smoke
+    /// check): doubling the horizon roughly doubles completions for an
+    /// exponential ring.
+    #[test]
+    fn completions_scale_with_horizon(seed in 0u64..10_000) {
+        let dists = [Dist::Exp { mean: 0.1 }];
+        let model = ring_model(4, 8, &dists);
+        let completions = |h: f64, seed| {
+            let mut sim = Simulator::new(&model, SimRng::new(seed));
+            sim.run_until(|_| false, SimTime::from_ms(h)).completions
+        };
+        let short: u64 = (0..4).map(|k| completions(50.0, seed * 7 + k)).sum();
+        let long: u64 = (0..4).map(|k| completions(100.0, seed * 7 + k)).sum();
+        let ratio = long as f64 / short.max(1) as f64;
+        prop_assert!((1.5..2.5).contains(&ratio), "ratio {ratio}");
+    }
+}
+
+/// Probabilistic-case branching: a fork with probabilities p/(1-p)
+/// routes tokens in the right long-run proportion.
+#[test]
+fn case_probabilities_are_respected_end_to_end() {
+    for (p1, seed) in [(0.2, 1u64), (0.5, 2), (0.9, 3)] {
+        let mut b = SanBuilder::new("fork");
+        let src = b.place("src", 20_000);
+        let left = b.place("left", 0);
+        let right = b.place("right", 0);
+        b.add_activity(
+            Activity::timed("fork", Dist::Det(0.001))
+                .input(src, 1)
+                .case(Case::with_prob(p1).output(left, 1))
+                .case(Case::with_prob(1.0 - p1).output(right, 1)),
+        );
+        let model = b.build().unwrap();
+        let mut sim = Simulator::new(&model, SimRng::new(seed));
+        let out = sim.run_until(|m| m.get(src) == 0, SimTime::from_secs(60.0));
+        assert_eq!(out.reason, StopReason::Predicate);
+        let frac = sim.marking().get(left) as f64 / 20_000.0;
+        assert!(
+            (frac - p1).abs() < 0.01,
+            "p1 = {p1}: observed fraction {frac}"
+        );
+    }
+}

@@ -13,7 +13,10 @@ fn bench_event_queue(c: &mut Criterion) {
         b.iter(|| {
             let mut q: EventQueue<u32> = EventQueue::new();
             for i in 0..10_000u32 {
-                q.schedule_at(SimTime::from_nanos(((i * 2_654_435_761) % 1_000_000) as u64), i);
+                q.schedule_at(
+                    SimTime::from_nanos(((i * 2_654_435_761) % 1_000_000) as u64),
+                    i,
+                );
             }
             let mut acc = 0u64;
             while let Some((_, e)) = q.pop() {

@@ -1,0 +1,59 @@
+//! Analytic solver vs Monte-Carlo engine: wall-clock of one exact
+//! uniformization/absorption solve against the replication campaign the
+//! simulator needs for a comparable confidence-interval half-width.
+//!
+//! The solver's answer is exact, so "comparable" is pinned at a 1 %
+//! relative 90 % CI — already far looser than the solve. The campaign
+//! size is calibrated from a pilot run (CI half-width scales as
+//! 1/√reps) and printed with the bench name.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctsim_bench::BENCH_SEED;
+use ctsim_models::{build_model, latency_replications, SanParams};
+use ctsim_san::Marking;
+use ctsim_solve::{AnalyticRun, IterOptions, ReachOptions, TransientOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let params = SanParams::exponential_baseline(2);
+    let model = build_model(&params);
+    let decided: Vec<_> = (0..2)
+        .map(|i| model.place(&format!("decided_{i}")).unwrap())
+        .collect();
+    let goal = move |m: &Marking| decided.iter().any(|&d| m.get(d) > 0);
+
+    let mut g = c.benchmark_group("solver_vs_sim");
+    g.sample_size(10);
+
+    // One full analytic pass: explore → CTMC → exact mean.
+    g.bench_function("analytic_n2_explore_and_mean", |b| {
+        b.iter(|| {
+            let run = AnalyticRun::first_passage(&model, &ReachOptions::default(), &goal).unwrap();
+            black_box(run.mean(&IterOptions::default()).unwrap().mean_ms)
+        })
+    });
+
+    // One transient CDF point on the prebuilt CTMC (the marginal cost
+    // of each additional curve point).
+    let run = AnalyticRun::first_passage(&model, &ReachOptions::default(), &goal).unwrap();
+    let exact = run.mean(&IterOptions::default()).unwrap().mean_ms;
+    g.bench_function("analytic_n2_transient_cdf_point", |b| {
+        b.iter(|| black_box(run.cdf(exact, &TransientOptions::default()).unwrap()))
+    });
+
+    // Calibrate the replication count for a 1% relative 90% CI from a
+    // pilot campaign, then benchmark a campaign of that size.
+    let pilot = latency_replications(&params, 400, BENCH_SEED, 1e4);
+    let target_ci = 0.01 * exact;
+    let reps_needed = ((400.0 * (pilot.ci90() / target_ci).powi(2)).ceil() as usize).max(400);
+    g.bench_function(
+        format!("simulator_n2_replications_for_1pct_ci_x{reps_needed}"),
+        |b| {
+            b.iter(|| black_box(latency_replications(&params, reps_needed, BENCH_SEED, 1e4).mean()))
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -321,8 +321,8 @@ where
                     });
                     self.flush_deliveries();
                     self.maybe_start_instance(ctx);
-                } else if !self.store.contains_key(&id) {
-                    self.store.insert(id, payload);
+                } else if let std::collections::btree_map::Entry::Vacant(e) = self.store.entry(id) {
+                    e.insert(payload);
                     self.flush_deliveries();
                 }
             }

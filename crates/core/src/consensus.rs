@@ -296,10 +296,7 @@ impl<V: Clone> CtConsensus<V> {
             }
             ConsensusMsg::Nack { round } => {
                 if round == self.round
-                    && matches!(
-                        self.phase,
-                        Phase::CoordWaitAcks | Phase::CoordWaitEstimates
-                    )
+                    && matches!(self.phase, Phase::CoordWaitAcks | Phase::CoordWaitEstimates)
                 {
                     // Nacks may arrive while still gathering estimates
                     // (a participant suspected us before we proposed);

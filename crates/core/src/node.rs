@@ -146,13 +146,7 @@ mod tests {
                 } else {
                     OracleFd::suspecting(n, &crashed2)
                 };
-                ConsensusNode::proposing(
-                    p,
-                    n,
-                    fd,
-                    100 + p.0 as u64,
-                    SimDuration::from_ms(1.0),
-                )
+                ConsensusNode::proposing(p, n, fd, 100 + p.0 as u64, SimDuration::from_ms(1.0))
             },
         );
         for p in crashed {
@@ -202,8 +196,8 @@ mod tests {
         let mut rt = oracle_runtime(5, 11, vec![ProcessId(0)]);
         rt.run_until(SimTime::from_ms(500.0));
         let ds = decisions(&rt);
-        for i in 1..5 {
-            assert_eq!(ds[i], Some(101), "p{} must decide p2's value", i + 1);
+        for (i, d) in ds.iter().enumerate().skip(1) {
+            assert_eq!(*d, Some(101), "p{} must decide p2's value", i + 1);
         }
         assert_eq!(ds[0], None, "crashed process never decides");
         // Round 2 coordinator is p2.
@@ -216,8 +210,8 @@ mod tests {
         rt.run_until(SimTime::from_ms(500.0));
         let ds = decisions(&rt);
         assert_eq!(ds[0], Some(100));
-        for i in 2..5 {
-            assert_eq!(ds[i], Some(100));
+        for d in &ds[2..5] {
+            assert_eq!(*d, Some(100));
         }
         assert_eq!(rt.node(ProcessId(0)).consensus.round(), 1);
     }
@@ -274,12 +268,7 @@ mod tests {
             });
             assert!(all_decided, "seed {seed}: termination under ◇S-like FD");
             let ds: Vec<u64> = (0..n)
-                .map(|i| {
-                    *rt.node(ProcessId(i))
-                        .consensus
-                        .decision()
-                        .expect("decided")
-                })
+                .map(|i| *rt.node(ProcessId(i)).consensus.decision().expect("decided"))
                 .collect();
             assert!(
                 ds.windows(2).all(|w| w[0] == w[1]),

@@ -86,7 +86,11 @@ impl<E> EventQueue<E> {
     /// Scheduling in the past is a modelling error; in debug builds it
     /// panics, in release builds the event fires "now" (clamped).
     pub fn schedule_at(&mut self, t: SimTime, event: E) -> EventHandle {
-        debug_assert!(t >= self.now, "scheduling into the past: {t} < {}", self.now);
+        debug_assert!(
+            t >= self.now,
+            "scheduling into the past: {t} < {}",
+            self.now
+        );
         let t = t.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;

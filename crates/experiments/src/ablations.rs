@@ -79,8 +79,7 @@ pub fn run(scale: Scale, seed: u64, fig6: &Fig6) -> Ablations {
         uni.broadcast_as_unicasts = true;
         let benefit = |p: &ctsim_models::SanParams| {
             let none = latency_replications(p, reps, seed, 1e4).mean();
-            let crash =
-                latency_replications(&p.clone().with_crash(1), reps, seed, 1e4).mean();
+            let crash = latency_replications(&p.clone().with_crash(1), reps, seed, 1e4).mean();
             none - crash
         };
         rows.push(AblationRow {

@@ -1,0 +1,230 @@
+//! The analytic overlay: exact solver results next to the Monte-Carlo
+//! estimates of the Fig. 7 latency and Table 1 crash-latency
+//! experiments.
+//!
+//! The paper's parameterisation mixes deterministic CPU stages with
+//! bimodal network delays, so its figures can only be simulated. Under
+//! the exponential re-parameterisation
+//! ([`SanParams::exponential_baseline`]) the same SAN has an underlying
+//! CTMC, and `ctsim-solve` computes the consensus-latency distribution
+//! *exactly*: the mean from `Q_TT τ = -1` and CDF points by
+//! uniformization. Each row pairs that solution with a replicated
+//! simulation of the identical model — the simulator must agree with
+//! the solver within its own 90 % confidence interval, cross-validating
+//! both engines (and catching regressions in either).
+
+use ctsim_models::{build_model, latency_replications, SanParams};
+use ctsim_solve::{AnalyticRun, IterOptions, ReachOptions, SolveError, TransientOptions};
+use ctsim_testbed::CrashScenario;
+
+use crate::scale::Scale;
+
+/// One analytic-vs-simulation comparison.
+#[derive(Debug, Clone)]
+pub struct AnalyticRow {
+    /// Crash scenario (Table 1 axis).
+    pub scenario: CrashScenario,
+    /// Number of processes (Fig. 7 axis).
+    pub n: usize,
+    /// Exact mean latency (ms), when the solve succeeded.
+    pub analytic_ms: Option<f64>,
+    /// Tangible states of the underlying CTMC (0 when skipped).
+    pub states: usize,
+    /// Analytic latency CDF points `(t_ms, P(latency ≤ t))`.
+    pub cdf: Vec<(f64, f64)>,
+    /// Simulated mean latency (ms) on the same parameters.
+    pub sim_ms: f64,
+    /// 90 % CI half-width of the simulated mean.
+    pub sim_ci90: f64,
+    /// Why the analytic solve was skipped, if it was.
+    pub skipped: Option<String>,
+}
+
+impl AnalyticRow {
+    /// Whether the solver and the simulator agree within the
+    /// simulator's 90 % confidence interval.
+    pub fn agrees(&self) -> bool {
+        self.analytic_ms
+            .is_some_and(|a| (a - self.sim_ms).abs() <= self.sim_ci90)
+    }
+}
+
+/// The analytic overlay experiment.
+#[derive(Debug, Clone)]
+pub struct Analytic {
+    /// Rows grouped by scenario, then n ascending.
+    pub rows: Vec<AnalyticRow>,
+}
+
+/// Process counts per scale. `n = 2` is the smallest non-degenerate
+/// consensus (a 20-state CTMC); `n = 3` is the paper's smallest
+/// simulated size (≈ 10⁵ states without crashes) and is reserved for
+/// the non-quick scales.
+fn analytic_ns(scale: Scale) -> &'static [usize] {
+    match scale {
+        Scale::Quick => &[2],
+        _ => &[2, 3],
+    }
+}
+
+/// Replications per comparison point. Agreement is asserted against the
+/// *simulator's* 90 % CI, so the campaign must be large enough for that
+/// interval to be a few per mille of the mean — more than the figure
+/// campaigns need.
+fn analytic_reps(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 2_000,
+        Scale::Default => 4_000,
+        Scale::Full => 10_000,
+    }
+}
+
+/// Runs the overlay: every scenario × n that is both feasible for the
+/// solver (state cap by scale) and meaningful for the scenario (crashes
+/// need `n ≥ 3` to keep a correct majority).
+pub fn run(scale: Scale, seed: u64) -> Analytic {
+    let max_states = match scale {
+        Scale::Quick => 100_000,
+        _ => 1_000_000,
+    };
+    let mut rows = Vec::new();
+    for scenario in [
+        CrashScenario::None,
+        CrashScenario::Coordinator,
+        CrashScenario::Participant,
+    ] {
+        for &n in analytic_ns(scale) {
+            if scenario.crashed_index().is_some() && n < 3 {
+                continue;
+            }
+            let mut params = SanParams::exponential_baseline(n);
+            if let Some(idx) = scenario.crashed_index() {
+                params = params.with_crash(idx);
+            }
+            let reps = latency_replications(&params, analytic_reps(scale), seed, 10_000.0);
+            let opts = ReachOptions {
+                max_states,
+                ..ReachOptions::default()
+            };
+            let model = build_model(&params);
+            let decided: Vec<_> = (0..n)
+                .map(|i| model.place(&format!("decided_{i}")).expect("built model"))
+                .collect();
+            let row = match AnalyticRun::first_passage(&model, &opts, move |m| {
+                decided.iter().any(|&d| m.get(d) > 0)
+            })
+            .and_then(|run| {
+                let mean = run.mean(&IterOptions::default())?;
+                let topts = TransientOptions::default();
+                let cdf = cdf_grid(mean.mean_ms)
+                    .into_iter()
+                    .map(|t| run.cdf(t, &topts).map(|p| (t, p)))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok((mean, cdf))
+            }) {
+                Ok((mean, cdf)) => AnalyticRow {
+                    scenario,
+                    n,
+                    analytic_ms: Some(mean.mean_ms),
+                    states: mean.states,
+                    cdf,
+                    sim_ms: reps.mean(),
+                    sim_ci90: reps.ci90(),
+                    skipped: None,
+                },
+                Err(
+                    e @ (SolveError::StateSpaceTooLarge { .. } | SolveError::NonMarkovian { .. }),
+                ) => AnalyticRow {
+                    scenario,
+                    n,
+                    analytic_ms: None,
+                    states: 0,
+                    cdf: Vec::new(),
+                    sim_ms: reps.mean(),
+                    sim_ci90: reps.ci90(),
+                    skipped: Some(e.to_string()),
+                },
+                Err(e) => panic!("analytic solve failed for n={n} {scenario:?}: {e}"),
+            };
+            rows.push(row);
+        }
+    }
+    Analytic { rows }
+}
+
+/// CDF evaluation grid around a mean latency.
+fn cdf_grid(mean_ms: f64) -> Vec<f64> {
+    [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0]
+        .iter()
+        .map(|&f| f * mean_ms)
+        .collect()
+}
+
+impl Analytic {
+    /// Finds a row.
+    pub fn row(&self, scenario: CrashScenario, n: usize) -> Option<&AnalyticRow> {
+        self.rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.n == n)
+    }
+
+    /// Paper-style rendering of the overlay.
+    pub fn render(&self) -> String {
+        fn name(s: CrashScenario) -> &'static str {
+            match s {
+                CrashScenario::None => "no crash          ",
+                CrashScenario::Coordinator => "coordinator crash ",
+                CrashScenario::Participant => "participant crash ",
+            }
+        }
+        let mut s = String::new();
+        s.push_str("Analytic overlay — exponential model: exact solve vs simulation (ms)\n");
+        s.push_str("scenario           |  n |  states | analytic |     sim |    ci90 | agree\n");
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{} |{:>3} |{:>8} |{} |{} |{:>8.4} | {}\n",
+                name(r.scenario),
+                r.n,
+                r.states,
+                r.analytic_ms.map_or("       —".into(), crate::cell),
+                crate::cell(r.sim_ms),
+                r.sim_ci90,
+                if r.skipped.is_some() {
+                    "skip"
+                } else if r.agrees() {
+                    "yes"
+                } else {
+                    "NO"
+                },
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_overlay_agrees_within_ci() {
+        let a = run(Scale::Quick, 11);
+        assert_eq!(a.rows.len(), 1, "quick scale solves n = 2 only");
+        let r = a.row(CrashScenario::None, 2).unwrap();
+        let exact = r.analytic_ms.expect("n = 2 must solve");
+        assert!(r.states > 2, "states {}", r.states);
+        assert!(
+            r.agrees(),
+            "solver {exact} vs sim {} ± {}",
+            r.sim_ms,
+            r.sim_ci90
+        );
+        // The CDF is monotone and reaches well past the median by 3×mean.
+        let cdf = &r.cdf;
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-12));
+        assert!(cdf.last().unwrap().1 > 0.9, "cdf {:?}", cdf.last());
+        let rendered = a.render();
+        assert!(rendered.contains("agree"));
+        assert!(rendered.contains("yes"));
+    }
+}

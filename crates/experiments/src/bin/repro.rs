@@ -11,7 +11,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use ctsim_experiments::{ablations, fig6, fig7, fig8, fig9, table1, throughput, Scale};
+use ctsim_experiments::{ablations, analytic, fig6, fig7, fig8, fig9, table1, throughput, Scale};
 
 struct Args {
     command: String,
@@ -29,10 +29,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
-                scale = args
-                    .next()
-                    .ok_or("missing value for --scale")?
-                    .parse()?;
+                scale = args.next().ok_or("missing value for --scale")?.parse()?;
             }
             "--seed" => {
                 seed = args
@@ -56,7 +53,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|ablations|throughput|all> \
+    "usage: repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|ablations|throughput|analytic|all> \
      [--scale quick|default|full] [--seed N] [--out DIR]"
         .to_string()
 }
@@ -92,11 +89,8 @@ fn main() {
 
     // Fig. 6 doubles as the calibration input for every simulation
     // figure, so run it whenever anything downstream needs it.
-    let need_fig6 = want("fig6")
-        || want("fig7b")
-        || want("table1")
-        || want("fig9b")
-        || want("ablations");
+    let need_fig6 =
+        want("fig6") || want("fig7b") || want("table1") || want("fig9b") || want("ablations");
     let f6 = need_fig6.then(|| fig6::run(args.scale, args.seed));
 
     if want("fig6") {
@@ -248,9 +242,9 @@ fn main() {
         write_csv(
             &args.out.join("ablations.csv"),
             "name,metric,with,without",
-            a.rows.iter().map(|r| {
-                format!("{:?},{:?},{:.4},{:.4}", r.name, r.metric, r.with, r.without)
-            }),
+            a.rows
+                .iter()
+                .map(|r| format!("{:?},{:?},{:.4},{:.4}", r.name, r.metric, r.with, r.without)),
         );
     }
 
@@ -268,6 +262,39 @@ fn main() {
                 )
             }),
         );
+    }
+
+    if want("analytic") {
+        ran = true;
+        let a = analytic::run(args.scale, args.seed);
+        println!("{}", a.render());
+        write_csv(
+            &args.out.join("analytic.csv"),
+            "scenario,n,states,analytic_ms,sim_ms,sim_ci90",
+            a.rows.iter().map(|r| {
+                format!(
+                    "{:?},{},{},{},{:.4},{:.4}",
+                    r.scenario,
+                    r.n,
+                    r.states,
+                    r.analytic_ms.map_or(String::new(), |v| format!("{v:.6}")),
+                    r.sim_ms,
+                    r.sim_ci90,
+                )
+            }),
+        );
+        for r in &a.rows {
+            if r.cdf.is_empty() {
+                continue;
+            }
+            write_csv(
+                &args
+                    .out
+                    .join(format!("analytic_cdf_{:?}_n{}.csv", r.scenario, r.n)),
+                "latency_ms,cdf",
+                r.cdf.iter().map(|(t, p)| format!("{t:.6},{p:.6}")),
+            );
+        }
     }
 
     if !ran {

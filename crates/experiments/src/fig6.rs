@@ -93,9 +93,7 @@ impl Fig6 {
     pub fn render(&self) -> String {
         let mut s = String::new();
         s.push_str("Fig. 6 — end-to-end delay CDFs (ms)\n");
-        s.push_str(
-            "paper fit (unicast): U[0.100,0.130] w.p. 0.80; U[0.145,0.350] w.p. 0.20\n",
-        );
+        s.push_str("paper fit (unicast): U[0.100,0.130] w.p. 0.80; U[0.145,0.350] w.p. 0.20\n");
         for (name, ecdf, fit) in [
             ("unicast     ", &self.unicast, &self.fit_unicast),
             ("broadcast->3", &self.broadcast3, &self.fit_broadcast3),

@@ -149,7 +149,11 @@ impl Fig7b {
             self.measured.mean
         ));
         for p in &self.sweep {
-            let marker = if p.t_send == self.best_t_send { " <- best match" } else { "" };
+            let marker = if p.t_send == self.best_t_send {
+                " <- best match"
+            } else {
+                ""
+            };
             s.push_str(&format!(
                 "t_send {:>6.3}: mean {}  q50 {}  q90 {}{}\n",
                 p.t_send,
@@ -201,11 +205,7 @@ mod tests {
         );
         // The best match is an interior-ish value and the match is
         // reasonably tight (the paper's validation criterion).
-        let best = f
-            .sweep
-            .iter()
-            .find(|p| p.t_send == f.best_t_send)
-            .unwrap();
+        let best = f.sweep.iter().find(|p| p.t_send == f.best_t_send).unwrap();
         assert!(
             (best.mean - f.measured.mean).abs() < 0.35 * f.measured.mean,
             "best sim {} vs meas {}",

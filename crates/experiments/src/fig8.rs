@@ -86,7 +86,11 @@ pub fn run_point(scale: Scale, seed: u64, n: usize, timeout: f64) -> QosPoint {
     QosPoint {
         n,
         timeout,
-        t_mr: if t_mr.count() == 0 { f64::INFINITY } else { t_mr.mean() },
+        t_mr: if t_mr.count() == 0 {
+            f64::INFINITY
+        } else {
+            t_mr.mean()
+        },
         t_mr_ci90: t_mr.ci_half_width(0.90),
         t_m: t_m.mean(),
         t_m_ci90: t_m.ci_half_width(0.90),

@@ -69,7 +69,9 @@ pub fn run_fig9b(scale: Scale, seed: u64, fig6: &Fig6, fig8: &Fig8) -> Fig9b {
     let mut rows = Vec::new();
     for &n in scale.simulation_ns() {
         for &t in scale.timeout_grid() {
-            let Some(point) = fig8.point(n, t) else { continue };
+            let Some(point) = fig8.point(n, t) else {
+                continue;
+            };
             let mut sims = [0.0f64; 2];
             for (k, dist) in [SojournDist::Deterministic, SojournDist::Exponential]
                 .into_iter()

@@ -11,6 +11,7 @@
 //! | [`fig9`] | Fig. 9(a) latency vs `T` from measurements; Fig. 9(b) measurements vs SAN with deterministic/exponential FD sojourns |
 //! | [`ablations`] | the modelling-choice ablations DESIGN.md calls out |
 //! | [`throughput`] | the paper's announced future work (§2.3): chained-consensus throughput |
+//! | [`analytic`] | analytic (CTMC) solution of the exponential model overlaid on the Fig. 7 / Table 1 simulations |
 //!
 //! Every module returns a plain-data result struct and renders a
 //! paper-style text table including the paper's reference values where
@@ -18,6 +19,7 @@
 //! (recorded in `EXPERIMENTS.md`).
 
 pub mod ablations;
+pub mod analytic;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

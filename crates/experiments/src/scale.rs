@@ -80,7 +80,9 @@ impl Scale {
     pub fn timeout_grid(self) -> &'static [f64] {
         match self {
             Scale::Quick => &[1.0, 10.0, 30.0, 100.0],
-            _ => &[1.0, 2.0, 3.0, 5.0, 7.0, 10.0, 15.0, 20.0, 30.0, 40.0, 70.0, 100.0],
+            _ => &[
+                1.0, 2.0, 3.0, 5.0, 7.0, 10.0, 15.0, 20.0, 30.0, 40.0, 70.0, 100.0,
+            ],
         }
     }
 }

@@ -111,9 +111,7 @@ impl Table1 {
         }
         let mut s = String::new();
         s.push_str("Table 1 — latency (ms) for crash scenarios\n");
-        s.push_str(
-            "scenario           |  n |    meas |     sim | paper meas | paper sim\n",
-        );
+        s.push_str("scenario           |  n |    meas |     sim | paper meas | paper sim\n");
         for r in &self.rows {
             let paper = PAPER
                 .iter()

@@ -379,15 +379,11 @@ mod tests {
         let mut rt = fd_runtime(2, 5.0, 8, false);
         rt.run_until(ctsim_des::SimTime::from_secs(1.0));
         let n1: usize = (0..2)
-            .map(|i| {
-                FailureDetector::<u8>::drain_events(&mut rt.node_mut(ProcessId(i)).fd).len()
-            })
+            .map(|i| FailureDetector::<u8>::drain_events(&mut rt.node_mut(ProcessId(i)).fd).len())
             .sum();
         assert!(n1 > 0);
         let n2: usize = (0..2)
-            .map(|i| {
-                FailureDetector::<u8>::drain_events(&mut rt.node_mut(ProcessId(i)).fd).len()
-            })
+            .map(|i| FailureDetector::<u8>::drain_events(&mut rt.node_mut(ProcessId(i)).fd).len())
             .sum();
         assert_eq!(n2, 0, "second drain must be empty");
     }

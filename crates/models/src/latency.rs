@@ -67,7 +67,12 @@ mod tests {
         assert_eq!(r.discarded, 0);
         assert!(r.mean() > 0.3 && r.mean() < 3.0, "mean {}", r.mean());
         // With 200 reps the 90% CI must be well below the mean.
-        assert!(r.ci90() < 0.2 * r.mean(), "ci {} mean {}", r.ci90(), r.mean());
+        assert!(
+            r.ci90() < 0.2 * r.mean(),
+            "ci {} mean {}",
+            r.ci90(),
+            r.mean()
+        );
     }
 
     #[test]

@@ -33,6 +33,22 @@ pub enum FdModel {
     },
 }
 
+/// How the CPU/handler service stages (`t_send`, `t_receive`,
+/// `t_work`) are distributed.
+///
+/// The paper's model uses deterministic stage costs; the exponential
+/// family keeps every mean but makes the model Markovian, which is what
+/// the analytic solver in `ctsim-solve` requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServiceTiming {
+    /// Deterministic stage costs (the paper's parameterisation).
+    #[default]
+    Deterministic,
+    /// Exponential stage costs with the same means (the Markovian
+    /// re-parameterisation solved analytically).
+    Exponential,
+}
+
 /// Full parameter set of the SAN model.
 #[derive(Debug, Clone)]
 pub struct SanParams {
@@ -60,6 +76,8 @@ pub struct SanParams {
     pub fd: FdModel,
     /// Initially crashed processes (0-based ids; run class 2).
     pub crashed: Vec<usize>,
+    /// Distribution family of the CPU/handler service stages.
+    pub service: ServiceTiming,
 }
 
 impl SanParams {
@@ -91,6 +109,38 @@ impl SanParams {
             broadcast_as_unicasts: false,
             fd: FdModel::Accurate,
             crashed: Vec::new(),
+            service: ServiceTiming::Deterministic,
+        }
+    }
+
+    /// The Markovian re-parameterisation of the baseline: every timed
+    /// stage keeps its baseline *mean* but becomes exponential (CPU
+    /// stages, handler work, and the network delays), so the model's
+    /// marking process is a CTMC and the analytic solver in
+    /// `ctsim-solve` applies.
+    ///
+    /// Latencies are not expected to match the paper's tables — the
+    /// point of this family is cross-validation: the simulator run on
+    /// these parameters must agree with the exact solution within its
+    /// own confidence interval.
+    pub fn exponential_baseline(n: usize) -> Self {
+        let mut p = Self::paper_baseline(n);
+        p.service = ServiceTiming::Exponential;
+        p.net_unicast = Dist::Exp {
+            mean: p.net_unicast.mean(),
+        };
+        p.net_broadcast = Dist::Exp {
+            mean: p.net_broadcast.mean(),
+        };
+        p
+    }
+
+    /// The distribution of a service stage with the given mean (ms),
+    /// according to the [`ServiceTiming`] family.
+    pub fn service_dist(&self, mean: f64) -> Dist {
+        match self.service {
+            ServiceTiming::Deterministic => Dist::Det(mean),
+            ServiceTiming::Exponential => Dist::Exp { mean },
         }
     }
 
@@ -160,9 +210,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "majority of correct")]
     fn too_many_crashes_rejected() {
-        let p = SanParams::paper_baseline(3)
-            .with_crash(0)
-            .with_crash(1);
+        let p = SanParams::paper_baseline(3).with_crash(0).with_crash(1);
         p.validate();
     }
 
@@ -171,6 +219,19 @@ mod tests {
     fn bad_qos_rejected() {
         let p = SanParams::paper_baseline(3).with_two_state_fd(5.0, 7.0, SojournDist::Exponential);
         p.validate();
+    }
+
+    #[test]
+    fn exponential_baseline_keeps_means() {
+        let det = SanParams::paper_baseline(5);
+        let exp = SanParams::exponential_baseline(5);
+        assert_eq!(exp.service, ServiceTiming::Exponential);
+        assert!((exp.net_unicast.mean() - det.net_unicast.mean()).abs() < 1e-12);
+        assert!((exp.net_broadcast.mean() - det.net_broadcast.mean()).abs() < 1e-12);
+        assert!(matches!(exp.net_unicast, Dist::Exp { .. }));
+        assert!(matches!(exp.service_dist(0.025), Dist::Exp { mean } if mean == 0.025));
+        assert!(matches!(det.service_dist(0.025), Dist::Det(v) if v == 0.025));
+        exp.validate();
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub struct NodeConfig {
 impl Default for NodeConfig {
     fn default() -> Self {
         Self {
-            handler_cost: Dist::Uniform { lo: 0.100, hi: 0.135 },
+            handler_cost: Dist::Uniform {
+                lo: 0.100,
+                hi: 0.135,
+            },
             clock_offset_bound: 0.05,
             app_msg_bytes: 100,
             heartbeat_bytes: 30,

@@ -170,8 +170,12 @@ impl<P> ClusterNet<P> {
         Self {
             net,
             hosts,
-            nagle: (0..n).map(|_| (0..n).map(|_| NagleGate::default()).collect()).collect(),
-            nagle_pending: (0..n).map(|_| (0..n).map(|_| Vec::new()).collect()).collect(),
+            nagle: (0..n)
+                .map(|_| (0..n).map(|_| NagleGate::default()).collect())
+                .collect(),
+            nagle_pending: (0..n)
+                .map(|_| (0..n).map(|_| Vec::new()).collect())
+                .collect(),
             hub_queue: VecDeque::new(),
             hub_busy: false,
             hub_current: None,
@@ -237,13 +241,25 @@ impl<P> ClusterNet<P> {
                 let host = &mut self.hosts[to.0];
                 SimDuration::from_ms(host.params.recv_cost.sample(&mut host.rng))
             };
-            self.cpu_enqueue(to.0, Job { kind: JobKind::Recv(msg), cost });
+            self.cpu_enqueue(
+                to.0,
+                Job {
+                    kind: JobKind::Recv(msg),
+                    cost,
+                },
+            );
         } else {
             let cost = {
                 let host = &mut self.hosts[from.0];
                 SimDuration::from_ms(host.params.send_cost.sample(&mut host.rng))
             };
-            self.cpu_enqueue(from.0, Job { kind: JobKind::Send(msg), cost });
+            self.cpu_enqueue(
+                from.0,
+                Job {
+                    kind: JobKind::Send(msg),
+                    cost,
+                },
+            );
         }
     }
 
@@ -302,7 +318,8 @@ impl<P> ClusterNet<P> {
         let id = self.next_timer;
         self.next_timer += 1;
         self.timers.insert(id, TimerRec { host: h, token });
-        self.queue.schedule_at(self.queue.now() + actual, Ev::Timer(id));
+        self.queue
+            .schedule_at(self.queue.now() + actual, Ev::Timer(id));
         TimerId(id)
     }
 
@@ -351,7 +368,9 @@ impl<P> ClusterNet<P> {
                 }
                 Ev::HubDone => {
                     self.hub_busy = false;
-                    let Some(msg) = self.hub_current.take() else { continue };
+                    let Some(msg) = self.hub_current.take() else {
+                        continue;
+                    };
                     let to = msg.to.0;
                     if self.hosts[to].crashed {
                         continue;
@@ -365,7 +384,13 @@ impl<P> ClusterNet<P> {
                         }
                         SimDuration::from_ms(c)
                     };
-                    self.cpu_enqueue(to, Job { kind: JobKind::Recv(msg), cost });
+                    self.cpu_enqueue(
+                        to,
+                        Job {
+                            kind: JobKind::Recv(msg),
+                            cost,
+                        },
+                    );
                 }
                 Ev::NagleFlush { from, to, epoch } => {
                     if self.nagle[from][to].epoch != epoch {
@@ -402,7 +427,9 @@ impl<P> ClusterNet<P> {
                     }
                 }
                 Ev::Timer(id) => {
-                    let Some(rec) = self.timers.get(&id) else { continue };
+                    let Some(rec) = self.timers.get(&id) else {
+                        continue;
+                    };
                     let h = rec.host;
                     if self.hosts[h.0].crashed {
                         self.timers.remove(&id);
@@ -434,8 +461,10 @@ impl<P> ClusterNet<P> {
 
     fn schedule_nagle_flush(&mut self, from: usize, to: usize, epoch: u64) {
         let ack = self.net.delayed_ack.sample(&mut self.rng);
-        self.queue
-            .schedule_in(SimDuration::from_ms(ack), Ev::NagleFlush { from, to, epoch });
+        self.queue.schedule_in(
+            SimDuration::from_ms(ack),
+            Ev::NagleFlush { from, to, epoch },
+        );
     }
 
     /// A message finished its sender-side CPU work: route it to the hub,
@@ -602,7 +631,10 @@ mod tests {
         net.send(HostId(0), HostId(0), MsgClass::App, 100, 5);
         let got = drain(&mut net, SimTime::from_secs(1.0));
         assert_eq!(got.len(), 1);
-        assert!((got[0].0.as_ms() - 0.03).abs() < 1e-9, "loopback pays recv only");
+        assert!(
+            (got[0].0.as_ms() - 0.03).abs() < 1e-9,
+            "loopback pays recv only"
+        );
     }
 
     #[test]
@@ -707,7 +739,11 @@ mod tests {
         let got = drain(&mut net, SimTime::from_secs(1.0));
         assert_eq!(got.len(), 3);
         // All three arrive quickly; heartbeat 1 precedes the app message.
-        assert!(got[2].0.as_ms() < 2.0, "no 40 ms stall: {}", got[2].0.as_ms());
+        assert!(
+            got[2].0.as_ms() < 2.0,
+            "no 40 ms stall: {}",
+            got[2].0.as_ms()
+        );
         let payloads: Vec<u32> = got.iter().map(|&(_, p)| p).collect();
         assert_eq!(payloads, vec![0, 1, 2]);
     }
@@ -725,7 +761,10 @@ mod tests {
         match net.advance(SimTime::from_ms(100.0)) {
             Some(Delivery::Timer { at, .. }) => {
                 let t = at.as_ms();
-                assert!((24.9..=25.2).contains(&t), "timer deferred to pause end: {t}");
+                assert!(
+                    (24.9..=25.2).contains(&t),
+                    "timer deferred to pause end: {t}"
+                );
             }
             other => panic!("expected timer, got {other:?}"),
         }
@@ -744,8 +783,9 @@ mod tests {
         net.send(HostId(1), HostId(0), MsgClass::App, 100, 99);
         net.end_handler();
         let mut deliveries = Vec::new();
-        while let Some(Delivery::Message { at, to, payload, .. }) =
-            net.advance(SimTime::from_secs(1.0))
+        while let Some(Delivery::Message {
+            at, to, payload, ..
+        }) = net.advance(SimTime::from_secs(1.0))
         {
             deliveries.push((at.as_ms(), to, payload));
         }

@@ -108,10 +108,19 @@ pub struct HostParams {
 impl Default for HostParams {
     fn default() -> Self {
         Self {
-            send_cost: Dist::Uniform { lo: 0.050, hi: 0.070 },
-            recv_cost: Dist::Uniform { lo: 0.025, hi: 0.038 },
+            send_cost: Dist::Uniform {
+                lo: 0.050,
+                hi: 0.070,
+            },
+            recv_cost: Dist::Uniform {
+                lo: 0.025,
+                hi: 0.038,
+            },
             recv_tail_prob: 0.2,
-            recv_tail: Dist::Uniform { lo: 0.045, hi: 0.230 },
+            recv_tail: Dist::Uniform {
+                lo: 0.045,
+                hi: 0.230,
+            },
             gc_interval: Dist::Exp { mean: 3000.0 },
             gc_duration: Dist::Uniform { lo: 8.0, hi: 25.0 },
             gc_enabled: true,

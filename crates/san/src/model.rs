@@ -92,6 +92,12 @@ impl Marking {
         self.tokens.len()
     }
 
+    /// The raw token vector, indexed by place (the SAN state as a flat
+    /// slice — what analytic solvers key their state maps on).
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
     /// Sum of tokens over all places (useful for conservation checks).
     pub fn total_tokens(&self) -> u64 {
         self.tokens.iter().map(|&t| t as u64).sum()
@@ -124,8 +130,10 @@ impl fmt::Debug for Timing {
     }
 }
 
-type PredFn = Box<dyn Fn(&Marking) -> bool>;
-type MarkFn = Box<dyn Fn(&mut Marking)>;
+// Gate closures are `Send + Sync` so a built model can be shared across
+// replication worker threads and solver passes.
+type PredFn = Box<dyn Fn(&Marking) -> bool + Send + Sync>;
+type MarkFn = Box<dyn Fn(&mut Marking) + Send + Sync>;
 
 /// An input gate: an enabling predicate plus a marking-changing function
 /// run when the activity completes.
@@ -144,7 +152,7 @@ impl InputGate {
     /// A gate with only a predicate (no marking change on completion).
     pub fn predicate(
         reads: impl Into<Vec<PlaceId>>,
-        pred: impl Fn(&Marking) -> bool + 'static,
+        pred: impl Fn(&Marking) -> bool + Send + Sync + 'static,
     ) -> Self {
         Self {
             reads: reads.into(),
@@ -158,7 +166,7 @@ impl InputGate {
     pub fn with_func(
         mut self,
         writes: impl Into<Vec<PlaceId>>,
-        func: impl Fn(&mut Marking) + 'static,
+        func: impl Fn(&mut Marking) + Send + Sync + 'static,
     ) -> Self {
         self.writes = writes.into();
         self.func = Some(Box::new(func));
@@ -185,7 +193,7 @@ impl OutputGate {
     /// Creates an output gate writing the declared places.
     pub fn new(
         writes: impl Into<Vec<PlaceId>>,
-        func: impl Fn(&mut Marking) + 'static,
+        func: impl Fn(&mut Marking) + Send + Sync + 'static,
     ) -> Self {
         Self {
             writes: writes.into(),
@@ -337,12 +345,14 @@ impl fmt::Display for ModelError {
             ModelError::BadCaseProbabilities(n) => {
                 write!(f, "case probabilities of activity `{n}` do not sum to 1")
             }
-            ModelError::NoEnablingCondition(n) => write!(
-                f,
-                "activity `{n}` has no input arcs and no input gates"
-            ),
+            ModelError::NoEnablingCondition(n) => {
+                write!(f, "activity `{n}` has no input arcs and no input gates")
+            }
             ModelError::BadProbability(n) => {
-                write!(f, "activity `{n}` has a negative or non-finite case probability")
+                write!(
+                    f,
+                    "activity `{n}` has a negative or non-finite case probability"
+                )
             }
         }
     }
@@ -398,10 +408,7 @@ impl SanModel {
 
     /// Looks up a place by name.
     pub fn place(&self, name: &str) -> Option<PlaceId> {
-        self.place_names
-            .iter()
-            .position(|n| n == name)
-            .map(PlaceId)
+        self.place_names.iter().position(|n| n == name).map(PlaceId)
     }
 
     /// Looks up an activity by name.
@@ -415,6 +422,72 @@ impl SanModel {
     /// A fresh marking initialised to the model's initial marking.
     pub fn initial_marking(&self) -> Marking {
         Marking::new(&self.initial)
+    }
+
+    /// A marking holding the given token vector — the entry point for
+    /// analytic solvers that materialise states from a reachability
+    /// graph rather than by simulation.
+    ///
+    /// # Panics
+    /// Panics if `tokens` does not have one entry per place.
+    pub fn marking_from(&self, tokens: &[u32]) -> Marking {
+        assert_eq!(
+            tokens.len(),
+            self.place_names.len(),
+            "token vector length must match the number of places"
+        );
+        Marking::new(tokens)
+    }
+
+    /// Iterates over every activity id, in declaration order.
+    pub fn activity_ids(&self) -> impl Iterator<Item = ActivityId> {
+        (0..self.activities.len()).map(ActivityId)
+    }
+
+    /// The timing (timed distribution or instantaneous priority/weight)
+    /// of an activity.
+    pub fn timing(&self, activity: ActivityId) -> &Timing {
+        &self.activities[activity.0].timing
+    }
+
+    /// Number of probabilistic cases of an activity (at least 1).
+    pub fn num_cases(&self, activity: ActivityId) -> usize {
+        self.activities[activity.0].cases.len()
+    }
+
+    /// The probability of one case of an activity.
+    pub fn case_prob(&self, activity: ActivityId, case: usize) -> f64 {
+        self.activities[activity.0].cases[case].prob
+    }
+
+    /// Completes `activity` in `marking` with the given case index:
+    /// removes input-arc tokens, runs input-gate functions, deposits the
+    /// case's output-arc tokens, and runs its output-gate functions.
+    ///
+    /// This is the deterministic core of a completion — the simulator
+    /// layers random case selection on top; analytic solvers instead
+    /// enumerate every case with its probability.
+    ///
+    /// # Panics
+    /// Panics if the activity is not enabled (input-arc underflow) or
+    /// `case` is out of range.
+    pub fn fire_case(&self, marking: &mut Marking, activity: ActivityId, case: usize) {
+        let def = &self.activities[activity.0];
+        for &(p, n) in &def.inputs {
+            marking.remove(p, n);
+        }
+        for g in &def.input_gates {
+            if let Some(f) = &g.func {
+                f(marking);
+            }
+        }
+        let case = &def.cases[case];
+        for &(p, n) in &case.outputs {
+            marking.add(p, n);
+        }
+        for og in &case.gates {
+            (og.func)(marking);
+        }
     }
 
     /// Checks whether `activity` is enabled in `marking`: all input arcs
@@ -624,10 +697,7 @@ mod tests {
         let mut b = SanBuilder::new("m");
         b.place("p", 1);
         b.add_activity(Activity::timed("t", Dist::Det(1.0)));
-        assert!(matches!(
-            b.build(),
-            Err(ModelError::NoEnablingCondition(_))
-        ));
+        assert!(matches!(b.build(), Err(ModelError::NoEnablingCondition(_))));
     }
 
     #[test]
@@ -702,9 +772,7 @@ mod tests {
     fn lookup_by_name() {
         let mut b = SanBuilder::new("m");
         let p = b.place("some_place", 0);
-        b.add_activity(
-            Activity::instantaneous("go").input(p, 1),
-        );
+        b.add_activity(Activity::instantaneous("go").input(p, 1));
         let m = b.build().unwrap();
         assert_eq!(m.place("some_place"), Some(p));
         assert_eq!(m.place("nope"), None);

@@ -12,6 +12,9 @@ use ctsim_stoch::SimRng;
 
 use crate::model::{ActivityId, Marking, SanModel, Timing};
 
+/// A rate-reward function over the marking.
+type RewardFn = Box<dyn Fn(&Marking) -> f64>;
+
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -59,7 +62,7 @@ pub struct Simulator<'m> {
     affected_timed: Vec<ActivityId>,
     in_affected: Vec<bool>,
     trace: Option<Vec<(SimTime, ActivityId)>>,
-    rate_reward: Option<Box<dyn Fn(&Marking) -> f64>>,
+    rate_reward: Option<RewardFn>,
     reward_integral: f64,
     reward_last: SimTime,
     initialized: bool,
@@ -192,11 +195,7 @@ impl<'m> Simulator<'m> {
     ///
     /// The predicate is evaluated on the initial marking (after settling
     /// instantaneous activities) and after every completion.
-    pub fn run_until(
-        &mut self,
-        stop: impl Fn(&Marking) -> bool,
-        horizon: SimTime,
-    ) -> RunOutcome {
+    pub fn run_until(&mut self, stop: impl Fn(&Marking) -> bool, horizon: SimTime) -> RunOutcome {
         if !self.initialized {
             self.initialized = true;
             // Everything must be examined once.
@@ -290,16 +289,8 @@ impl<'m> Simulator<'m> {
     /// select a case, deposit outputs, run output gates.
     fn fire(&mut self, a: ActivityId) {
         let def = &self.model.activities[a.index()];
-        for &(p, n) in &def.inputs {
-            self.marking.remove(p, n);
-        }
-        for g in &def.input_gates {
-            if let Some(f) = &g.func {
-                f(&mut self.marking);
-            }
-        }
-        let case = if def.cases.len() == 1 {
-            &def.cases[0]
+        let chosen = if def.cases.len() == 1 {
+            0
         } else {
             let mut u = self.rng.unit();
             let mut chosen = def.cases.len() - 1;
@@ -310,14 +301,9 @@ impl<'m> Simulator<'m> {
                 }
                 u -= c.prob;
             }
-            &def.cases[chosen]
+            chosen
         };
-        for &(p, n) in &case.outputs {
-            self.marking.add(p, n);
-        }
-        for og in &case.gates {
-            (og.func)(&mut self.marking);
-        }
+        self.model.fire_case(&mut self.marking, a, chosen);
         self.firing_counts[a.index()] += 1;
         self.completions += 1;
         if let Some(trace) = &mut self.trace {
@@ -395,8 +381,7 @@ impl<'m> Simulator<'m> {
             let scheduled = self.pending[a.index()].is_some();
             match (enabled, scheduled) {
                 (true, false) => {
-                    let Timing::Timed(dist) = &self.model.activities[a.index()].timing
-                    else {
+                    let Timing::Timed(dist) = &self.model.activities[a.index()].timing else {
                         unreachable!("affected_timed only holds timed activities")
                     };
                     let delay = SimDuration::from_ms(dist.sample(&mut self.rng));
@@ -508,10 +493,10 @@ mod tests {
             Activity::timed("unblock", Dist::Det(10.0))
                 .input(clear, 1)
                 .input_gate(InputGate::predicate(vec![k], move |m| m.get(k) > 0))
-                .case(Case::with_prob(1.0).gate(crate::model::OutputGate::new(
-                    vec![k],
-                    move |m| m.set(k, 0),
-                ))),
+                .case(
+                    Case::with_prob(1.0)
+                        .gate(crate::model::OutputGate::new(vec![k], move |m| m.set(k, 0))),
+                ),
         );
         b.add_activity(
             Activity::timed("slow", Dist::Det(2.0))

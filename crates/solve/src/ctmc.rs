@@ -1,0 +1,271 @@
+//! Layer 2: the sparse generator matrix of the underlying CTMC.
+//!
+//! A SAN whose timed activities are all exponential is, after vanishing
+//! elimination, a continuous-time Markov chain over the tangible states:
+//! completing activity `a` (rate `1/mean_a`) moves the chain along each
+//! of the activity's probabilistic outcomes. The generator `Q` is stored
+//! in compressed-sparse-row (CSR) form with the diagonal split out, the
+//! layout both the uniformization and the Gauss–Seidel solvers want.
+
+use ctsim_san::Timing;
+use ctsim_stoch::Dist;
+
+use crate::graph::StateSpace;
+use crate::SolveError;
+
+/// A finite-state CTMC in CSR form.
+#[derive(Debug, Clone)]
+pub struct Ctmc {
+    /// Number of states.
+    n: usize,
+    /// CSR row starts into `col`/`rate` (length `n + 1`).
+    row_ptr: Vec<usize>,
+    /// Column (destination-state) indices of off-diagonal entries.
+    col: Vec<usize>,
+    /// Off-diagonal rates `q_ij > 0` (1/ms).
+    rate: Vec<f64>,
+    /// Diagonal entries `q_ii = -Σ_j≠i q_ij` (1/ms).
+    diag: Vec<f64>,
+    /// Initial probability distribution.
+    initial: Vec<f64>,
+    /// States with no outgoing rate (absorbing or deadlocked).
+    absorbing: Vec<bool>,
+}
+
+impl Ctmc {
+    /// Builds the generator matrix from a reachability graph.
+    ///
+    /// # Errors
+    /// [`SolveError::NonMarkovian`] if any transition is driven by a
+    /// non-exponential timed activity: the embedded process is then not
+    /// a CTMC and the analytic path does not apply (use the simulator).
+    pub fn from_state_space(ss: &StateSpace<'_>) -> Result<Self, SolveError> {
+        let model = ss.model();
+        let n = ss.len();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col = Vec::new();
+        let mut rate = Vec::new();
+        let mut diag = vec![0.0; n];
+        row_ptr.push(0);
+        for (s, outs) in ss.transitions.iter().enumerate() {
+            // Accumulate per-destination rates; CSR rows stay sorted by
+            // destination because the graph sorts its transitions.
+            let mut acc: Vec<(usize, f64)> = Vec::with_capacity(outs.len());
+            for t in outs {
+                let Timing::Timed(dist) = model.timing(t.activity) else {
+                    unreachable!("reachability transitions come from timed activities")
+                };
+                let Dist::Exp { mean } = *dist else {
+                    return Err(SolveError::NonMarkovian {
+                        activity: model.activity_name(t.activity).to_string(),
+                    });
+                };
+                if t.target == s {
+                    // A completion that re-enters its source state is
+                    // invisible to the marking process: it contributes
+                    // neither an off-diagonal rate nor exit rate.
+                    continue;
+                }
+                let r = t.prob / mean;
+                match acc.iter_mut().find(|(d, _)| *d == t.target) {
+                    Some((_, existing)) => *existing += r,
+                    None => acc.push((t.target, r)),
+                }
+            }
+            acc.sort_unstable_by_key(|&(d, _)| d);
+            for (d, r) in acc {
+                diag[s] -= r;
+                col.push(d);
+                rate.push(r);
+            }
+            row_ptr.push(col.len());
+        }
+        let mut initial = vec![0.0; n];
+        for &(i, p) in &ss.initial {
+            initial[i] = p;
+        }
+        let absorbing = diag.iter().map(|&d| d == 0.0).collect();
+        Ok(Self {
+            n,
+            row_ptr,
+            col,
+            rate,
+            diag,
+            initial,
+            absorbing,
+        })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored off-diagonal rates.
+    pub fn num_rates(&self) -> usize {
+        self.rate.len()
+    }
+
+    /// The initial probability distribution.
+    pub fn initial(&self) -> &[f64] {
+        &self.initial
+    }
+
+    /// Diagonal entry `q_ii` (non-positive).
+    pub fn diag(&self, i: usize) -> f64 {
+        self.diag[i]
+    }
+
+    /// Whether state `i` has no outgoing rate.
+    pub fn is_absorbing(&self, i: usize) -> bool {
+        self.absorbing[i]
+    }
+
+    /// The off-diagonal entries of row `i`: `(destination, rate)` pairs.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.rate[lo..hi].iter().copied())
+    }
+
+    /// The uniformization rate `Λ = max_i |q_ii|`.
+    pub fn max_exit_rate(&self) -> f64 {
+        self.diag.iter().fold(0.0, |m, &d| m.max(-d))
+    }
+
+    /// Dense row-vector product `out = x · Q` (1/ms units).
+    ///
+    /// # Panics
+    /// Panics if slice lengths disagree with the state count.
+    pub fn vec_mul(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        out.fill(0.0);
+        for i in 0..self.n {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            out[i] += xi * self.diag[i];
+            for (j, r) in self.row(i) {
+                out[j] += xi * r;
+            }
+        }
+    }
+
+    /// The column-oriented (incoming) view: for each state, its
+    /// predecessors and the rates from them. Built on demand by the
+    /// steady-state solver.
+    pub fn incoming(&self) -> Vec<Vec<(usize, f64)>> {
+        let mut inc = vec![Vec::new(); self.n];
+        for i in 0..self.n {
+            for (j, r) in self.row(i) {
+                inc[j].push((i, r));
+            }
+        }
+        inc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ReachOptions;
+    use ctsim_san::{Activity, Case, SanBuilder, SanModel};
+    use ctsim_stoch::Dist;
+
+    fn birth_death(lambda_mean: f64, mu_mean: f64) -> SanModel {
+        let mut b = SanBuilder::new("bd");
+        let up = b.place("up", 1);
+        let down = b.place("down", 0);
+        b.add_activity(
+            Activity::timed("fail", Dist::Exp { mean: lambda_mean })
+                .input(up, 1)
+                .case(Case::with_prob(1.0).output(down, 1)),
+        );
+        b.add_activity(
+            Activity::timed("repair", Dist::Exp { mean: mu_mean })
+                .input(down, 1)
+                .case(Case::with_prob(1.0).output(up, 1)),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn birth_death_generator_matches_rates() {
+        let m = birth_death(4.0, 0.5);
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        let q = Ctmc::from_state_space(&ss).unwrap();
+        assert_eq!(q.num_states(), 2);
+        assert_eq!(q.num_rates(), 2);
+        // State 0 is the initial (up) state: exit rate 1/4.
+        assert!((q.diag(0) + 0.25).abs() < 1e-12);
+        assert!((q.diag(1) + 2.0).abs() < 1e-12);
+        assert_eq!(q.initial(), &[1.0, 0.0]);
+        assert!((q.max_exit_rate() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_of_q_sum_to_zero() {
+        let m = birth_death(1.0, 3.0);
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        let q = Ctmc::from_state_space(&ss).unwrap();
+        for i in 0..q.num_states() {
+            let row_sum: f64 = q.diag(i) + q.row(i).map(|(_, r)| r).sum::<f64>();
+            assert!(row_sum.abs() < 1e-12, "row {i} sums to {row_sum}");
+        }
+    }
+
+    #[test]
+    fn non_exponential_timing_is_rejected() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::timed("det", Dist::Det(1.0))
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        let m = b.build().unwrap();
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        let err = Ctmc::from_state_space(&ss).unwrap_err();
+        match err {
+            SolveError::NonMarkovian { activity } => assert_eq!(activity, "det"),
+            other => panic!("expected NonMarkovian, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loops_are_invisible() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        b.add_activity(
+            Activity::timed("spin", Dist::Exp { mean: 1.0 })
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(p, 1)),
+        );
+        let m = b.build().unwrap();
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        let q = Ctmc::from_state_space(&ss).unwrap();
+        assert_eq!(q.num_states(), 1);
+        assert_eq!(q.num_rates(), 0);
+        assert_eq!(q.diag(0), 0.0);
+        assert!(q.is_absorbing(0));
+    }
+
+    #[test]
+    fn vec_mul_matches_dense_product() {
+        let m = birth_death(2.0, 1.0);
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        let q = Ctmc::from_state_space(&ss).unwrap();
+        let x = [0.3, 0.7];
+        let mut out = [0.0; 2];
+        q.vec_mul(&x, &mut out);
+        // Dense Q = [[-0.5, 0.5], [1.0, -1.0]].
+        assert!((out[0] - (0.3 * (-0.5) + 0.7)).abs() < 1e-12);
+        assert!((out[1] - (0.3 * 0.5 - 0.7)).abs() < 1e-12);
+    }
+}

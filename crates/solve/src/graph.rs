@@ -1,0 +1,491 @@
+//! Layer 1: the reachability graph of a [`SanModel`].
+//!
+//! Explores every marking reachable from the model's initial marking.
+//! Markings in which an instantaneous activity is enabled ("vanishing"
+//! markings) are never materialised as states: they are eliminated on
+//! the fly by recursively distributing their probability mass over the
+//! instantaneous choices (highest priority first, weight-proportional
+//! within a priority level, then case probabilities) until only
+//! "tangible" markings remain — exactly the race the simulator resolves
+//! by sampling, resolved here in distribution.
+
+use std::collections::HashMap;
+
+use ctsim_san::{ActivityId, Marking, SanModel, Timing};
+
+use crate::SolveError;
+
+/// Exploration limits.
+#[derive(Debug, Clone)]
+pub struct ReachOptions {
+    /// Abort with [`SolveError::StateSpaceTooLarge`] beyond this many
+    /// tangible states.
+    pub max_states: usize,
+    /// Abort with [`SolveError::VanishingLoop`] when a chain of
+    /// instantaneous firings exceeds this depth (two instantaneous
+    /// activities feeding each other tokens, the analytic analogue of
+    /// the simulator's instantaneous-livelock guard).
+    pub max_vanishing_depth: usize,
+}
+
+impl Default for ReachOptions {
+    fn default() -> Self {
+        Self {
+            max_states: 1 << 20,
+            max_vanishing_depth: 4096,
+        }
+    }
+}
+
+/// One probabilistic transition of the reachability graph: completing
+/// `activity` in the source state leads to tangible state `target` with
+/// probability `prob` (case probability × vanishing-path probability;
+/// the `prob`s of one activity in one source state sum to 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// The timed activity whose completion triggers the move.
+    pub activity: ActivityId,
+    /// Branching probability of this particular outcome.
+    pub prob: f64,
+    /// Index of the destination state.
+    pub target: usize,
+}
+
+/// The tangible reachable state space of a model.
+pub struct StateSpace<'m> {
+    model: &'m SanModel,
+    /// Tangible markings, as flat token vectors.
+    pub states: Vec<Vec<u32>>,
+    /// Outgoing transitions per state (empty for absorbing states).
+    pub transitions: Vec<Vec<Transition>>,
+    /// Initial probability distribution over tangible states (the
+    /// initial marking's vanishing chain may branch probabilistically).
+    pub initial: Vec<(usize, f64)>,
+    /// Marks states at which the absorbing predicate held (if one was
+    /// given); their outgoing transitions are suppressed.
+    pub absorbing: Vec<bool>,
+}
+
+impl std::fmt::Debug for StateSpace<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateSpace")
+            .field("model", &self.model.name())
+            .field("states", &self.states.len())
+            .field(
+                "transitions",
+                &self.transitions.iter().map(Vec::len).sum::<usize>(),
+            )
+            .finish()
+    }
+}
+
+impl<'m> StateSpace<'m> {
+    /// Explores the full tangible state space (no absorbing predicate).
+    pub fn explore(model: &'m SanModel, opts: &ReachOptions) -> Result<Self, SolveError> {
+        Self::explore_inner(model, opts, None)
+    }
+
+    /// Explores the state space, treating every tangible marking for
+    /// which `absorb` holds as absorbing (no outgoing transitions).
+    ///
+    /// This is how first-passage ("time until the predicate holds")
+    /// quantities are solved: make the goal states absorbing and read
+    /// the absorbed probability mass off the transient solution.
+    ///
+    /// The predicate is evaluated on tangible markings only — the same
+    /// instants at which the simulator's `run_until` evaluates its stop
+    /// predicate — so it should be stable under instantaneous firings
+    /// (e.g. a monotone "place ever marked" test).
+    pub fn explore_absorbing(
+        model: &'m SanModel,
+        opts: &ReachOptions,
+        absorb: impl Fn(&Marking) -> bool,
+    ) -> Result<Self, SolveError> {
+        Self::explore_inner(model, opts, Some(&absorb))
+    }
+
+    fn explore_inner(
+        model: &'m SanModel,
+        opts: &ReachOptions,
+        absorb: Option<&dyn Fn(&Marking) -> bool>,
+    ) -> Result<Self, SolveError> {
+        let mut ss = Self {
+            model,
+            states: Vec::new(),
+            transitions: Vec::new(),
+            initial: Vec::new(),
+            absorbing: Vec::new(),
+        };
+        let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+        let timed: Vec<ActivityId> = model
+            .activity_ids()
+            .filter(|&a| matches!(model.timing(a), Timing::Timed(_)))
+            .collect();
+
+        // Resolve the initial marking's vanishing chain into the
+        // initial tangible distribution.
+        let init_tokens = model.initial_marking().tokens().to_vec();
+        let mut init_dist: Vec<(Vec<u32>, f64)> = Vec::new();
+        resolve_vanishing(model, opts, init_tokens, 1.0, &mut init_dist)?;
+        let mut initial: HashMap<usize, f64> = HashMap::new();
+        for (tokens, p) in init_dist {
+            let idx = ss.intern(&mut index, tokens, opts, absorb)?;
+            *initial.entry(idx).or_insert(0.0) += p;
+        }
+        ss.initial = initial.into_iter().collect();
+        ss.initial.sort_unstable_by_key(|&(i, _)| i);
+
+        // Breadth-first frontier over tangible states.
+        let mut next = 0usize;
+        while next < ss.states.len() {
+            let s = next;
+            next += 1;
+            if ss.absorbing[s] {
+                continue;
+            }
+            let marking = model.marking_from(&ss.states[s]);
+            for &a in &timed {
+                if !model.is_enabled(a, &marking) {
+                    continue;
+                }
+                let mut outs: Vec<Transition> = Vec::new();
+                for case in 0..model.num_cases(a) {
+                    let case_p = model.case_prob(a, case);
+                    if case_p <= 0.0 {
+                        continue;
+                    }
+                    let mut after = model.marking_from(&ss.states[s]);
+                    model.fire_case(&mut after, a, case);
+                    let mut dist: Vec<(Vec<u32>, f64)> = Vec::new();
+                    resolve_vanishing(model, opts, after.tokens().to_vec(), case_p, &mut dist)?;
+                    for (tokens, p) in dist {
+                        let idx = ss.intern(&mut index, tokens, opts, absorb)?;
+                        outs.push(Transition {
+                            activity: a,
+                            prob: p,
+                            target: idx,
+                        });
+                    }
+                }
+                // Merge duplicate targets for a compact graph.
+                outs.sort_unstable_by_key(|t| t.target);
+                outs.dedup_by(|b, a| {
+                    if a.target == b.target {
+                        a.prob += b.prob;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                ss.transitions[s].extend(outs);
+            }
+        }
+        Ok(ss)
+    }
+
+    fn intern(
+        &mut self,
+        index: &mut HashMap<Vec<u32>, usize>,
+        tokens: Vec<u32>,
+        opts: &ReachOptions,
+        absorb: Option<&dyn Fn(&Marking) -> bool>,
+    ) -> Result<usize, SolveError> {
+        if let Some(&i) = index.get(&tokens) {
+            return Ok(i);
+        }
+        if self.states.len() >= opts.max_states {
+            return Err(SolveError::StateSpaceTooLarge {
+                limit: opts.max_states,
+            });
+        }
+        let i = self.states.len();
+        let absorbing = match absorb {
+            Some(pred) => pred(&self.model.marking_from(&tokens)),
+            None => false,
+        };
+        index.insert(tokens.clone(), i);
+        self.states.push(tokens);
+        self.transitions.push(Vec::new());
+        self.absorbing.push(absorbing);
+        Ok(i)
+    }
+
+    /// The model this space was explored from.
+    pub fn model(&self) -> &'m SanModel {
+        self.model
+    }
+
+    /// Number of tangible states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the space is empty (never true after exploration).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Total number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+
+    /// Materialises state `i` as a [`Marking`] (for reward evaluation).
+    pub fn marking(&self, i: usize) -> Marking {
+        self.model.marking_from(&self.states[i])
+    }
+}
+
+/// Distributes the probability mass of a possibly-vanishing marking over
+/// the tangible markings its instantaneous chains lead to. Iterative
+/// (explicit worklist) so deep instantaneous cascades cannot overflow
+/// the call stack.
+fn resolve_vanishing(
+    model: &SanModel,
+    opts: &ReachOptions,
+    tokens: Vec<u32>,
+    prob: f64,
+    out: &mut Vec<(Vec<u32>, f64)>,
+) -> Result<(), SolveError> {
+    let mut work: Vec<(Vec<u32>, f64, usize)> = vec![(tokens, prob, 0)];
+    let mut level: Vec<(ActivityId, f64)> = Vec::new();
+    while let Some((tokens, prob, depth)) = work.pop() {
+        if depth > opts.max_vanishing_depth {
+            return Err(SolveError::VanishingLoop {
+                depth: opts.max_vanishing_depth,
+            });
+        }
+        let marking = model.marking_from(&tokens);
+        // The enabled instantaneous activities at the highest priority.
+        let mut best_prio = 0u32;
+        level.clear();
+        for a in model.activity_ids() {
+            let Timing::Instantaneous { priority, weight } = *model.timing(a) else {
+                continue;
+            };
+            if !model.is_enabled(a, &marking) {
+                continue;
+            }
+            if level.is_empty() || priority > best_prio {
+                best_prio = priority;
+                level.clear();
+                level.push((a, weight));
+            } else if priority == best_prio {
+                level.push((a, weight));
+            }
+        }
+        if level.is_empty() {
+            out.push((tokens, prob));
+            continue;
+        }
+        let total_weight: f64 = level.iter().map(|&(_, w)| w).sum();
+        for &(a, w) in &level {
+            let pick = prob * w / total_weight;
+            for case in 0..model.num_cases(a) {
+                let case_p = model.case_prob(a, case);
+                if case_p <= 0.0 {
+                    continue;
+                }
+                let mut after = model.marking_from(&tokens);
+                model.fire_case(&mut after, a, case);
+                work.push((after.tokens().to_vec(), pick * case_p, depth + 1));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctsim_san::{Activity, Case, SanBuilder};
+    use ctsim_stoch::Dist;
+
+    /// p --exp--> q: two states, one transition.
+    #[test]
+    fn two_state_chain() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Exp { mean: 2.0 })
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        let m = b.build().unwrap();
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        assert_eq!(ss.len(), 2);
+        assert_eq!(ss.initial, vec![(0, 1.0)]);
+        assert_eq!(ss.transitions[0].len(), 1);
+        assert_eq!(ss.transitions[0][0].target, 1);
+        assert!(ss.transitions[1].is_empty(), "q-state is dead");
+    }
+
+    /// An instantaneous activity between two timed ones is eliminated:
+    /// the intermediate marking never becomes a state.
+    #[test]
+    fn vanishing_markings_are_eliminated() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let v = b.place("v", 0);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Exp { mean: 1.0 })
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(v, 1)),
+        );
+        b.add_activity(
+            Activity::instantaneous("i")
+                .input(v, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        let m = b.build().unwrap();
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        assert_eq!(ss.len(), 2, "vanishing marking must not appear");
+        let q_state = &ss.states[ss.transitions[0][0].target];
+        assert_eq!(q_state[q.index()], 1);
+        assert_eq!(q_state[v.index()], 0);
+    }
+
+    /// Instantaneous cases split the probability mass.
+    #[test]
+    fn instantaneous_cases_split_probability() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let v = b.place("v", 0);
+        let l = b.place("l", 0);
+        let r = b.place("r", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Exp { mean: 1.0 })
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(v, 1)),
+        );
+        b.add_activity(
+            Activity::instantaneous("i")
+                .input(v, 1)
+                .case(Case::with_prob(0.3).output(l, 1))
+                .case(Case::with_prob(0.7).output(r, 1)),
+        );
+        let m = b.build().unwrap();
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        assert_eq!(ss.len(), 3);
+        let mut probs: Vec<f64> = ss.transitions[0].iter().map(|t| t.prob).collect();
+        probs.sort_by(f64::total_cmp);
+        assert!((probs[0] - 0.3).abs() < 1e-12 && (probs[1] - 0.7).abs() < 1e-12);
+    }
+
+    /// Equal-priority instantaneous races split by weight; higher
+    /// priority pre-empts.
+    #[test]
+    fn priority_and_weight_resolution() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let v = b.place("v", 0);
+        let hi = b.place("hi", 0);
+        let wa = b.place("wa", 0);
+        let wb = b.place("wb", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Exp { mean: 1.0 })
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(v, 2)),
+        );
+        // One high-priority activity consumes the first token...
+        b.add_activity(
+            Activity::instantaneous("h")
+                .priority(5)
+                .input(v, 2)
+                .case(Case::with_prob(1.0).output(hi, 1).output(v, 1)),
+        );
+        // ...then two weight-3/weight-1 rivals race for the second.
+        b.add_activity(
+            Activity::instantaneous("a")
+                .weight(3.0)
+                .input(v, 1)
+                .case(Case::with_prob(1.0).output(wa, 1)),
+        );
+        b.add_activity(
+            Activity::instantaneous("b")
+                .weight(1.0)
+                .input(v, 1)
+                .case(Case::with_prob(1.0).output(wb, 1)),
+        );
+        let m = b.build().unwrap();
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        // Initial + two tangible outcomes {hi,wa} and {hi,wb}.
+        assert_eq!(ss.len(), 3);
+        for t in &ss.transitions[0] {
+            let st = &ss.states[t.target];
+            assert_eq!(st[hi.index()], 1, "priority 5 always fires first");
+            if st[wa.index()] == 1 {
+                assert!((t.prob - 0.75).abs() < 1e-12);
+            } else {
+                assert_eq!(st[wb.index()], 1);
+                assert!((t.prob - 0.25).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// The simulator's instantaneous livelock is a solver error.
+    #[test]
+    fn vanishing_loop_is_detected() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::instantaneous("pq")
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        b.add_activity(
+            Activity::instantaneous("qp")
+                .input(q, 1)
+                .case(Case::with_prob(1.0).output(p, 1)),
+        );
+        let m = b.build().unwrap();
+        let err = StateSpace::explore(&m, &ReachOptions::default()).unwrap_err();
+        assert!(matches!(err, SolveError::VanishingLoop { .. }), "{err}");
+    }
+
+    /// The state cap aborts exploration of unbounded nets.
+    #[test]
+    fn state_cap_is_enforced() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        // p self-loops while pumping tokens into q without bound.
+        b.add_activity(
+            Activity::timed("t", Dist::Exp { mean: 1.0 })
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(p, 1).output(q, 1)),
+        );
+        let m = b.build().unwrap();
+        let opts = ReachOptions {
+            max_states: 64,
+            ..ReachOptions::default()
+        };
+        let err = StateSpace::explore(&m, &opts).unwrap_err();
+        assert!(matches!(err, SolveError::StateSpaceTooLarge { limit: 64 }));
+    }
+
+    /// Absorbing predicate suppresses outgoing transitions.
+    #[test]
+    fn absorbing_predicate_stops_expansion() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 2);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Exp { mean: 1.0 })
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        let m = b.build().unwrap();
+        let ss =
+            StateSpace::explore_absorbing(&m, &ReachOptions::default(), move |mk| mk.get(q) >= 1)
+                .unwrap();
+        // Without absorption there would be 3 states; q>=1 stops at 2.
+        assert_eq!(ss.len(), 2);
+        let a = ss.transitions[0][0].target;
+        assert!(ss.absorbing[a]);
+        assert!(ss.transitions[a].is_empty());
+    }
+}

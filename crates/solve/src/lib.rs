@@ -1,0 +1,174 @@
+//! Analytic (numerical) solution of Stochastic Activity Networks.
+//!
+//! The workspace's other SAN solver — [`ctsim_san::Simulator`] — is a
+//! discrete-event Monte-Carlo engine: every figure it produces is an
+//! estimate with a confidence interval, sharpened only by running more
+//! replications. For models whose timed activities are **all
+//! exponential**, the marking process is a continuous-time Markov chain
+//! and can be solved *exactly*. This crate is that path, in four layers:
+//!
+//! 1. [`StateSpace`] — the tangible reachable marking graph, with
+//!    markings enabling instantaneous activities eliminated on the fly
+//!    (priority/weight races and case probabilities become branch
+//!    probabilities: vanishing-state elimination);
+//! 2. [`Ctmc`] — the sparse (CSR) generator matrix `Q`; models with a
+//!    reachable non-exponential timed activity are rejected with
+//!    [`SolveError::NonMarkovian`];
+//! 3. [`transient`] (uniformization with Fox–Glynn style Poisson
+//!    truncation) and [`steady_state`] (Gauss–Seidel with convergence
+//!    diagnostics), plus [`mean_time_to_absorption`] for first-passage
+//!    means;
+//! 4. the reward layer ([`expected_rate_reward`],
+//!    [`expected_impulse_rate`], [`AnalyticRun`]) which evaluates the
+//!    same marking-function rewards the simulator integrates, against
+//!    solved probability vectors — so experiment code can swap a
+//!    replication campaign for one matrix solve.
+//!
+//! # When does the analytic path apply?
+//!
+//! Exactly when every *reachable* timed activity has `Dist::Exp`
+//! timing. The paper's baseline parameterisation mixes deterministic
+//! CPU stages with bimodal network delays, so it is simulated; its
+//! exponential re-parameterisation
+//! (`ctsim_models::SanParams::exponential_baseline`) is solved, and the
+//! simulator must agree with the solution within its own confidence
+//! interval — a cross-validation of both engines (see
+//! `experiments::analytic` and `tests/analytic_vs_sim.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use ctsim_san::{Activity, Case, SanBuilder};
+//! use ctsim_stoch::Dist;
+//! use ctsim_solve::{AnalyticRun, IterOptions, ReachOptions};
+//!
+//! // p --exp(2ms)--> q: expected first-passage time is the mean.
+//! let mut b = SanBuilder::new("m");
+//! let p = b.place("p", 1);
+//! let q = b.place("q", 0);
+//! b.add_activity(
+//!     Activity::timed("t", Dist::Exp { mean: 2.0 })
+//!         .input(p, 1)
+//!         .case(Case::with_prob(1.0).output(q, 1)),
+//! );
+//! let model = b.build().unwrap();
+//! let run = AnalyticRun::first_passage(&model, &ReachOptions::default(), move |m| {
+//!     m.get(q) > 0
+//! })
+//! .unwrap();
+//! let out = run.mean(&IterOptions::default()).unwrap();
+//! assert!((out.mean_ms - 2.0).abs() < 1e-9);
+//! ```
+
+use std::fmt;
+
+pub mod ctmc;
+pub mod graph;
+pub mod reward;
+pub mod steady;
+pub mod transient;
+
+pub use ctmc::Ctmc;
+pub use graph::{ReachOptions, StateSpace, Transition};
+pub use reward::{
+    expected_impulse_rate, expected_rate_reward, probability, AnalyticOutcome, AnalyticRun,
+};
+pub use steady::{
+    mean_time_to_absorption, steady_state, AbsorptionTimes, IterOptions, SteadyState,
+};
+pub use transient::{transient, Transient, TransientOptions};
+
+/// Why an analytic solve failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// A reachable timed activity is not exponentially distributed, so
+    /// the marking process is not a CTMC. Use the simulator instead.
+    NonMarkovian {
+        /// Name of the offending activity.
+        activity: String,
+    },
+    /// Exploration exceeded the configured state cap.
+    StateSpaceTooLarge {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A chain of instantaneous firings exceeded the depth bound (the
+    /// analytic analogue of the simulator's instantaneous livelock).
+    VanishingLoop {
+        /// The configured depth bound.
+        depth: usize,
+    },
+    /// The Poisson truncation needs more terms than allowed.
+    TruncationTooLong {
+        /// The configured term cap.
+        terms: usize,
+    },
+    /// An iterative solver missed its tolerance within the budget.
+    NotConverged {
+        /// Sweeps performed.
+        iterations: usize,
+        /// Final residual.
+        residual: f64,
+    },
+    /// A first-passage mean was requested but some reachable dead end
+    /// does not satisfy the goal predicate: the goal is reached with
+    /// probability < 1, so its mean first-passage time is infinite.
+    GoalUnreachable {
+        /// Index of a reachable non-goal deadlock state.
+        state: usize,
+    },
+    /// Steady state requested for a chain with absorbing states.
+    SteadyStateUndefined,
+    /// Absorption times requested but no state is absorbing.
+    NoAbsorbingStates,
+    /// The state space is empty.
+    EmptyStateSpace,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NonMarkovian { activity } => write!(
+                f,
+                "timed activity `{activity}` is not exponential: the model \
+                 has no underlying CTMC (use the simulation solver)"
+            ),
+            SolveError::StateSpaceTooLarge { limit } => {
+                write!(f, "reachable state space exceeds {limit} states")
+            }
+            SolveError::VanishingLoop { depth } => write!(
+                f,
+                "instantaneous activities fired more than {depth} times at \
+                 one instant (vanishing loop)"
+            ),
+            SolveError::TruncationTooLong { terms } => write!(
+                f,
+                "uniformization needs more than {terms} Poisson terms; \
+                 reduce t or raise the cap"
+            ),
+            SolveError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver stopped after {iterations} sweeps at \
+                 residual {residual:.3e}"
+            ),
+            SolveError::GoalUnreachable { state } => write!(
+                f,
+                "state {state} is a reachable dead end that does not satisfy \
+                 the goal predicate: the mean first-passage time is infinite \
+                 (use `cdf` to see where the distribution plateaus)"
+            ),
+            SolveError::SteadyStateUndefined => {
+                write!(f, "steady state undefined: the chain has absorbing states")
+            }
+            SolveError::NoAbsorbingStates => {
+                write!(f, "no absorbing state: absorption time is undefined")
+            }
+            SolveError::EmptyStateSpace => write!(f, "empty state space"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}

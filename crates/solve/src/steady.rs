@@ -1,0 +1,305 @@
+//! Layer 3b: steady-state and absorption-time solvers (Gauss–Seidel).
+//!
+//! * [`steady_state`] solves the global balance equations `πQ = 0`,
+//!   `Σπ = 1` for an irreducible chain by Gauss–Seidel sweeps over the
+//!   incoming-rate view of `Q`, with explicit convergence diagnostics.
+//! * [`mean_time_to_absorption`] solves `Q_TT τ = -1` for the expected
+//!   time each transient state needs to reach an absorbing state — the
+//!   analytic counterpart of the simulator's mean-latency estimate.
+
+use crate::ctmc::Ctmc;
+use crate::SolveError;
+
+/// Iteration limits and tolerance for the Gauss–Seidel solvers.
+#[derive(Debug, Clone)]
+pub struct IterOptions {
+    /// Convergence threshold on the sup-norm residual.
+    pub tolerance: f64,
+    /// Maximum number of sweeps before giving up.
+    pub max_iterations: usize,
+}
+
+impl Default for IterOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-12,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// A steady-state distribution with convergence diagnostics.
+#[derive(Debug, Clone)]
+pub struct SteadyState {
+    /// The stationary distribution π.
+    pub probs: Vec<f64>,
+    /// Sweeps performed.
+    pub iterations: usize,
+    /// Final sup-norm of `πQ` (the balance residual).
+    pub residual: f64,
+}
+
+/// Solves `πQ = 0`, `Σπ = 1` by Gauss–Seidel.
+///
+/// # Errors
+/// * [`SolveError::SteadyStateUndefined`] if the chain has an absorbing
+///   (zero-exit-rate) state but more than one state — the stationary
+///   distribution is then a question about absorption, not balance.
+/// * [`SolveError::NotConverged`] if the residual does not fall below
+///   the tolerance within the iteration budget (e.g. the chain is
+///   reducible).
+pub fn steady_state(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, SolveError> {
+    let n = ctmc.num_states();
+    if n == 0 {
+        return Err(SolveError::EmptyStateSpace);
+    }
+    if n == 1 {
+        return Ok(SteadyState {
+            probs: vec![1.0],
+            iterations: 0,
+            residual: 0.0,
+        });
+    }
+    if (0..n).any(|i| ctmc.is_absorbing(i)) {
+        return Err(SolveError::SteadyStateUndefined);
+    }
+    let incoming = ctmc.incoming();
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut qv = vec![0.0; n];
+    let mut residual = f64::INFINITY;
+    for sweep in 1..=opts.max_iterations {
+        // π_j ← (Σ_{i≠j} π_i q_ij) / |q_jj|, in place (Gauss–Seidel).
+        for j in 0..n {
+            let inflow: f64 = incoming[j].iter().map(|&(i, r)| pi[i] * r).sum();
+            pi[j] = inflow / -ctmc.diag(j);
+        }
+        let total: f64 = pi.iter().sum();
+        for p in &mut pi {
+            *p /= total;
+        }
+        // Residual: sup-norm of the balance equations πQ.
+        ctmc.vec_mul(&pi, &mut qv);
+        residual = qv.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        if residual <= opts.tolerance {
+            return Ok(SteadyState {
+                probs: pi,
+                iterations: sweep,
+                residual,
+            });
+        }
+    }
+    Err(SolveError::NotConverged {
+        iterations: opts.max_iterations,
+        residual,
+    })
+}
+
+/// Expected absorption times with convergence diagnostics.
+#[derive(Debug, Clone)]
+pub struct AbsorptionTimes {
+    /// `τ_i`: expected time (ms) to reach an absorbing state from state
+    /// `i` (0 for absorbing states).
+    pub per_state: Vec<f64>,
+    /// `Σ_i π0_i τ_i`: expected absorption time from the initial
+    /// distribution (ms).
+    pub mean: f64,
+    /// Sweeps performed.
+    pub iterations: usize,
+    /// Final sup-norm residual of `Q_TT τ + 1`.
+    pub residual: f64,
+}
+
+/// Solves the expected time to absorption from every state.
+///
+/// # Errors
+/// * [`SolveError::NoAbsorbingStates`] if the chain has none.
+/// * [`SolveError::NotConverged`] if absorption is not certain from
+///   some reachable state (the expected time is then infinite) or the
+///   iteration budget is exhausted.
+pub fn mean_time_to_absorption(
+    ctmc: &Ctmc,
+    opts: &IterOptions,
+) -> Result<AbsorptionTimes, SolveError> {
+    let n = ctmc.num_states();
+    if n == 0 {
+        return Err(SolveError::EmptyStateSpace);
+    }
+    if !(0..n).any(|i| ctmc.is_absorbing(i)) {
+        return Err(SolveError::NoAbsorbingStates);
+    }
+    let mut tau = vec![0.0; n];
+    let mut residual = f64::INFINITY;
+    for sweep in 1..=opts.max_iterations {
+        // τ_j ← (1 + Σ_k q_jk τ_k) / |q_jj| over transient states, in
+        // place (Gauss–Seidel on Q_TT τ = -1; absorbing τ stay 0). The
+        // pre-update defect |q_jj·τ_j + flow + 1| is a free by-product
+        // of the same flow sum and serves as the convergence residual:
+        // it vanishes exactly at the fixed point.
+        residual = 0.0;
+        for j in 0..n {
+            if ctmc.is_absorbing(j) {
+                continue;
+            }
+            let flow: f64 = ctmc.row(j).map(|(k, r)| r * tau[k]).sum();
+            residual = residual.max((ctmc.diag(j) * tau[j] + flow + 1.0).abs());
+            tau[j] = (1.0 + flow) / -ctmc.diag(j);
+        }
+        if residual <= opts.tolerance {
+            let mean = ctmc.initial().iter().zip(&tau).map(|(&p, &t)| p * t).sum();
+            return Ok(AbsorptionTimes {
+                per_state: tau,
+                mean,
+                iterations: sweep,
+                residual,
+            });
+        }
+    }
+    Err(SolveError::NotConverged {
+        iterations: opts.max_iterations,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ReachOptions, StateSpace};
+    use crate::Ctmc;
+    use ctsim_san::{Activity, Case, SanBuilder, SanModel};
+    use ctsim_stoch::Dist;
+
+    fn cyclic(n_stations: usize, means: &[f64]) -> SanModel {
+        let mut b = SanBuilder::new("cycle");
+        let places: Vec<_> = (0..n_stations)
+            .map(|i| b.place(format!("p{i}"), u32::from(i == 0)))
+            .collect();
+        for i in 0..n_stations {
+            b.add_activity(
+                Activity::timed(
+                    format!("t{i}"),
+                    Dist::Exp {
+                        mean: means[i % means.len()],
+                    },
+                )
+                .input(places[i], 1)
+                .case(Case::with_prob(1.0).output(places[(i + 1) % n_stations], 1)),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    /// In a cyclic chain the stationary probability of each state is
+    /// proportional to its mean holding time.
+    #[test]
+    fn cycle_stationary_probabilities_follow_holding_times() {
+        let means = [1.0, 3.0, 6.0];
+        let m = cyclic(3, &means);
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        let q = Ctmc::from_state_space(&ss).unwrap();
+        let sol = steady_state(&q, &IterOptions::default()).unwrap();
+        let total: f64 = means.iter().sum();
+        for (i, &p) in sol.probs.iter().enumerate() {
+            // State i of the exploration holds the token at station i.
+            let hold = ss.states[i]
+                .iter()
+                .position(|&t| t > 0)
+                .map(|st| means[st])
+                .unwrap();
+            assert!(
+                (p - hold / total).abs() < 1e-9,
+                "state {i}: π {p} vs {}",
+                hold / total
+            );
+        }
+        assert!(sol.residual <= 1e-12);
+        assert!(sol.iterations > 0);
+    }
+
+    #[test]
+    fn absorbing_chain_rejects_steady_state() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Exp { mean: 1.0 })
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        let m = b.build().unwrap();
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        let ctmc = Ctmc::from_state_space(&ss).unwrap();
+        assert!(matches!(
+            steady_state(&ctmc, &IterOptions::default()),
+            Err(SolveError::SteadyStateUndefined)
+        ));
+    }
+
+    /// A 3-stage Erlang-like pipeline: mean absorption time is the sum
+    /// of the stage means.
+    #[test]
+    fn pipeline_absorption_time_adds_stage_means() {
+        let mut b = SanBuilder::new("m");
+        let p0 = b.place("p0", 1);
+        let p1 = b.place("p1", 0);
+        let p2 = b.place("p2", 0);
+        let p3 = b.place("p3", 0);
+        for (i, (from, to, mean)) in [(p0, p1, 2.0), (p1, p2, 5.0), (p2, p3, 1.0)]
+            .into_iter()
+            .enumerate()
+        {
+            b.add_activity(
+                Activity::timed(format!("t{i}"), Dist::Exp { mean })
+                    .input(from, 1)
+                    .case(Case::with_prob(1.0).output(to, 1)),
+            );
+        }
+        let m = b.build().unwrap();
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        let ctmc = Ctmc::from_state_space(&ss).unwrap();
+        let sol = mean_time_to_absorption(&ctmc, &IterOptions::default()).unwrap();
+        assert!((sol.mean - 8.0).abs() < 1e-9, "mean {}", sol.mean);
+    }
+
+    /// A chain with no absorbing state cannot have absorption times.
+    #[test]
+    fn recurrent_chain_rejects_absorption_times() {
+        let m = cyclic(3, &[1.0]);
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        let ctmc = Ctmc::from_state_space(&ss).unwrap();
+        assert!(matches!(
+            mean_time_to_absorption(&ctmc, &IterOptions::default()),
+            Err(SolveError::NoAbsorbingStates)
+        ));
+    }
+
+    /// Competing absorption with a branch: closed-form check.
+    /// From s0: rate a to absorb, rate b to s1; s1 absorbs at rate c.
+    #[test]
+    fn branching_absorption_closed_form() {
+        let mut b = SanBuilder::new("m");
+        let s0 = b.place("s0", 1);
+        let s1 = b.place("s1", 0);
+        let done = b.place("done", 0);
+        b.add_activity(
+            Activity::timed("direct", Dist::Exp { mean: 2.0 }) // rate a = 0.5
+                .input(s0, 1)
+                .case(Case::with_prob(1.0).output(done, 1)),
+        );
+        b.add_activity(
+            Activity::timed("detour", Dist::Exp { mean: 1.0 }) // rate b = 1.0
+                .input(s0, 1)
+                .case(Case::with_prob(1.0).output(s1, 1)),
+        );
+        b.add_activity(
+            Activity::timed("finish", Dist::Exp { mean: 4.0 }) // rate c = 0.25
+                .input(s1, 1)
+                .case(Case::with_prob(1.0).output(done, 1)),
+        );
+        let m = b.build().unwrap();
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        let ctmc = Ctmc::from_state_space(&ss).unwrap();
+        let sol = mean_time_to_absorption(&ctmc, &IterOptions::default()).unwrap();
+        // τ(s0) = 1/(a+b) + b/(a+b) · 1/c = 2/3 + (2/3)·4 = 10/3.
+        assert!((sol.mean - 10.0 / 3.0).abs() < 1e-9, "mean {}", sol.mean);
+    }
+}

@@ -1,0 +1,257 @@
+//! Layer 3a: transient solution by uniformization.
+//!
+//! `π(t) = π(0) · e^{Qt}` is evaluated as the Poisson mixture
+//! `Σ_k Pois(Λt; k) · π(0) P^k` with `P = I + Q/Λ` and `Λ ≥ max_i |q_ii|`
+//! (Jensen 1953). The Poisson weights are computed Fox–Glynn style: from
+//! the mode outward in linear space with a late normalization, so no
+//! exponentials under- or overflow even for large `Λt`, and the series
+//! is truncated once the missing mass is below the requested tolerance.
+
+use crate::ctmc::Ctmc;
+use crate::SolveError;
+
+/// Options for the transient solver.
+#[derive(Debug, Clone)]
+pub struct TransientOptions {
+    /// Truncation tolerance: the Poisson mass left out of the sum.
+    pub epsilon: f64,
+    /// Hard cap on the number of Poisson terms (guards against absurd
+    /// `Λt`; one term costs one sparse matrix-vector product).
+    pub max_terms: usize,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-10,
+            max_terms: 2_000_000,
+        }
+    }
+}
+
+/// A transient probability vector with solver diagnostics.
+#[derive(Debug, Clone)]
+pub struct Transient {
+    /// `π(t)`, indexed by state.
+    pub probs: Vec<f64>,
+    /// The time the vector is for (ms).
+    pub t: f64,
+    /// Uniformization rate Λ used (1/ms).
+    pub lambda: f64,
+    /// Number of Poisson terms summed.
+    pub terms: usize,
+}
+
+/// Computes `π(t)` for the chain started from its initial distribution.
+///
+/// # Errors
+/// [`SolveError::TruncationTooLong`] if `Λt` needs more than
+/// `max_terms` Poisson terms at the requested tolerance.
+pub fn transient(ctmc: &Ctmc, t_ms: f64, opts: &TransientOptions) -> Result<Transient, SolveError> {
+    assert!(
+        t_ms >= 0.0 && t_ms.is_finite(),
+        "time must be finite and >= 0"
+    );
+    let n = ctmc.num_states();
+    let lambda = ctmc.max_exit_rate();
+    let lt = lambda * t_ms;
+    if lt == 0.0 {
+        return Ok(Transient {
+            probs: ctmc.initial().to_vec(),
+            t: t_ms,
+            lambda,
+            terms: 0,
+        });
+    }
+    let weights = poisson_weights(lt, opts)?;
+    // v_k = π(0) P^k, accumulated into out with weight w_k.
+    let mut v = ctmc.initial().to_vec();
+    let mut qv = vec![0.0; n];
+    let mut out = vec![0.0; n];
+    let last = weights.len() - 1;
+    for (k, &w) in weights.iter().enumerate() {
+        if w > 0.0 {
+            for (o, &x) in out.iter_mut().zip(&v) {
+                *o += w * x;
+            }
+        }
+        if k < last {
+            // v ← v P = v + (v Q)/Λ.
+            ctmc.vec_mul(&v, &mut qv);
+            for (x, &q) in v.iter_mut().zip(&qv) {
+                *x += q / lambda;
+            }
+        }
+    }
+    Ok(Transient {
+        probs: out,
+        t: t_ms,
+        lambda,
+        terms: weights.len(),
+    })
+}
+
+/// Normalized Poisson(lt) weights for `k = 0..=R`, with entries below
+/// the left truncation point zeroed. Computed outward from the mode so
+/// the unnormalized values stay in floating range.
+fn poisson_weights(lt: f64, opts: &TransientOptions) -> Result<Vec<f64>, SolveError> {
+    let mode = lt.floor() as usize;
+    if mode + 1 > opts.max_terms {
+        return Err(SolveError::TruncationTooLong {
+            terms: opts.max_terms,
+        });
+    }
+    // Unnormalized pmf relative to the mode value (= 1.0). The ratio
+    // test keeps both tails until they are negligible at tolerance.
+    let tail_cut = opts.epsilon * 1e-3;
+    let mut left = vec![]; // mode-1 downto L
+    let mut w = 1.0;
+    let mut k = mode;
+    while k > 0 {
+        w *= k as f64 / lt;
+        if w < tail_cut {
+            break;
+        }
+        left.push(w);
+        k -= 1;
+    }
+    let mut right = vec![]; // mode+1 upto R
+    let mut w = 1.0;
+    let mut k = mode;
+    loop {
+        k += 1;
+        if k > opts.max_terms + mode {
+            return Err(SolveError::TruncationTooLong {
+                terms: opts.max_terms,
+            });
+        }
+        w *= lt / k as f64;
+        // Past the mode the ratios shrink monotonically; stop once the
+        // remaining geometric tail is below tolerance.
+        if w < tail_cut && k as f64 > lt {
+            break;
+        }
+        right.push(w);
+    }
+    let first = mode - left.len();
+    let mut weights = vec![0.0; first];
+    weights.extend(left.iter().rev());
+    weights.push(1.0);
+    weights.extend(right.iter());
+    if weights.len() > opts.max_terms {
+        return Err(SolveError::TruncationTooLong {
+            terms: opts.max_terms,
+        });
+    }
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= total;
+    }
+    Ok(weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ReachOptions, StateSpace};
+    use ctsim_san::{Activity, Case, SanBuilder, SanModel};
+    use ctsim_stoch::Dist;
+
+    fn two_state(up_mean: f64, down_mean: f64) -> SanModel {
+        let mut b = SanBuilder::new("bd");
+        let up = b.place("up", 1);
+        let down = b.place("down", 0);
+        b.add_activity(
+            Activity::timed("fail", Dist::Exp { mean: up_mean })
+                .input(up, 1)
+                .case(Case::with_prob(1.0).output(down, 1)),
+        );
+        b.add_activity(
+            Activity::timed("repair", Dist::Exp { mean: down_mean })
+                .input(down, 1)
+                .case(Case::with_prob(1.0).output(up, 1)),
+        );
+        b.build().unwrap()
+    }
+
+    fn solve_two_state(t: f64, up_mean: f64, down_mean: f64) -> Vec<f64> {
+        let m = two_state(up_mean, down_mean);
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        let q = Ctmc::from_state_space(&ss).unwrap();
+        transient(&q, t, &TransientOptions::default())
+            .unwrap()
+            .probs
+    }
+
+    /// Closed form for the two-state chain started in state 0:
+    /// p0(t) = μ/(λ+μ) + λ/(λ+μ) e^{-(λ+μ)t}.
+    #[test]
+    fn matches_two_state_closed_form() {
+        let (lam, mu) = (1.0 / 4.0, 1.0 / 0.5); // means 4 and 0.5
+        for t in [0.0, 0.1, 0.5, 1.0, 3.0, 10.0, 100.0] {
+            let p = solve_two_state(t, 4.0, 0.5);
+            let expect = mu / (lam + mu) + lam / (lam + mu) * (-(lam + mu) * t).exp();
+            assert!(
+                (p[0] - expect).abs() < 1e-9,
+                "t={t}: p0 {} vs closed form {expect}",
+                p[0]
+            );
+            assert!((p[0] + p[1] - 1.0).abs() < 1e-9, "mass at t={t}");
+        }
+    }
+
+    /// Large Λt exercises the Fox–Glynn style mode-relative weights.
+    #[test]
+    fn large_time_stays_normalized_and_stationary() {
+        let p = solve_two_state(2000.0, 1.0, 1.0);
+        assert!((p[0] + p[1] - 1.0).abs() < 1e-9);
+        assert!((p[0] - 0.5).abs() < 1e-9, "stationary split, got {}", p[0]);
+    }
+
+    /// Poisson weights are a proper distribution around the mode.
+    #[test]
+    fn poisson_weights_are_normalized() {
+        for lt in [0.3, 1.0, 7.5, 300.0, 12_345.6] {
+            let w = poisson_weights(lt, &TransientOptions::default()).unwrap();
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "lt={lt}: sum {sum}");
+            // The mode has the largest weight.
+            let mode = lt.floor() as usize;
+            let max = w.iter().cloned().fold(0.0, f64::max);
+            assert_eq!(w[mode], max, "lt={lt}");
+        }
+    }
+
+    /// The term cap errors instead of looping.
+    #[test]
+    fn term_cap_is_enforced() {
+        let opts = TransientOptions {
+            max_terms: 100,
+            ..TransientOptions::default()
+        };
+        let err = poisson_weights(1e6, &opts).unwrap_err();
+        assert!(matches!(err, SolveError::TruncationTooLong { .. }));
+    }
+
+    /// An absorbing chain funnels all mass into the absorbing state.
+    #[test]
+    fn absorbing_chain_accumulates_mass() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Exp { mean: 2.0 })
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        let m = b.build().unwrap();
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        let ctmc = Ctmc::from_state_space(&ss).unwrap();
+        // P(absorbed by t) = 1 - e^{-t/2}.
+        for t in [0.5, 2.0, 8.0] {
+            let sol = transient(&ctmc, t, &TransientOptions::default()).unwrap();
+            let expect = 1.0 - (-t / 2.0f64).exp();
+            assert!((sol.probs[1] - expect).abs() < 1e-9, "t={t}");
+        }
+    }
+}

@@ -159,7 +159,9 @@ mod tests {
             fit.split_at
         );
         match fit.dist {
-            Dist::Bimodal { lo1, hi1, lo2, hi2, .. } => {
+            Dist::Bimodal {
+                lo1, hi1, lo2, hi2, ..
+            } => {
                 assert!((lo1 - 0.10).abs() < 0.005, "lo1 {lo1}");
                 assert!((hi1 - 0.13).abs() < 0.005, "hi1 {hi1}");
                 assert!((lo2 - 0.145).abs() < 0.01, "lo2 {lo2}");

@@ -4,25 +4,34 @@
 //! substream derived from a single experiment seed, so that adding a new
 //! component does not perturb the draws of existing ones (common random
 //! numbers across model variants).
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna),
+//! state-seeded through SplitMix64 — no external crates, so the
+//! workspace builds in offline environments. Determinism of a run
+//! depends only on the seed and the sequence of draws.
 
 /// A seedable, splittable RNG for simulations.
-///
-/// Wraps [`SmallRng`]; determinism of a run depends only on the seed and
-/// the sequence of draws.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
 }
 
 impl SimRng {
     /// Creates a stream from an experiment seed.
     pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state; the
+        // zero state is unreachable this way.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
         Self {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
             seed,
         }
     }
@@ -51,9 +60,36 @@ impl SimRng {
         self.substream(h)
     }
 
-    /// A uniform draw in `[0, 1)`.
+    /// The next raw 64-bit draw (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// The next raw 32-bit draw (upper half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills a byte slice with random data.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform draw in `[lo, hi)`.
@@ -63,9 +99,15 @@ impl SimRng {
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo <= hi, "uniform bounds out of order: [{lo}, {hi})");
         if lo == hi {
+            return lo;
+        }
+        let x = lo + (hi - lo) * self.unit();
+        // Floating rounding can land exactly on `hi`; keep the interval
+        // half-open as documented.
+        if x >= hi {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            x
         }
     }
 
@@ -75,27 +117,13 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift range reduction (bias < 2^-64 * n).
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// A Bernoulli draw with success probability `p` (clamped to `[0,1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         self.unit() < p.clamp(0.0, 1.0)
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -176,5 +204,25 @@ mod tests {
         let mut r = SimRng::new(3);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn index_is_in_range_and_roughly_uniform() {
+        let mut r = SimRng::new(17);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[r.index(5)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SimRng::new(23);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
     }
 }

@@ -146,11 +146,9 @@ impl CampaignNode {
                     CampaignFd::Oracle(OracleFd::suspecting(cfg.n, &crashed))
                 }
             }
-            FdSetup::Heartbeat { timeout } => CampaignFd::Heartbeat(HeartbeatFd::new(
-                me,
-                cfg.n,
-                FdParams::with_timeout(timeout),
-            )),
+            FdSetup::Heartbeat { timeout } => {
+                CampaignFd::Heartbeat(HeartbeatFd::new(me, cfg.n, FdParams::with_timeout(timeout)))
+            }
         };
         Self {
             me,
@@ -193,7 +191,8 @@ impl CampaignNode {
             exec: self.cur,
         };
         for ev in events {
-            self.engine.on_suspicion(&mut env, ev.target, ev.suspected, &query);
+            self.engine
+                .on_suspicion(&mut env, ev.target, ev.suspected, &query);
         }
         self.record_decision();
     }
@@ -237,7 +236,11 @@ impl Node<Tagged> for CampaignNode {
         // same nominal instants (within clock-sync error), every
         // `isolation_gap` ms, exactly as the paper's harness does.
         for k in 0..self.executions {
-            ctx.set_timer(self.warmup + self.gap * k as u64, TimerKind::Precise, k as u64);
+            ctx.set_timer(
+                self.warmup + self.gap * k as u64,
+                TimerKind::Precise,
+                k as u64,
+            );
         }
     }
 
@@ -433,13 +436,8 @@ mod tests {
     #[test]
     fn class2_coordinator_crash_slower_than_class1() {
         let base = run_campaign(&TestbedConfig::class1(5, 60, 3)).mean();
-        let crash = run_campaign(&TestbedConfig::class2(
-            5,
-            60,
-            CrashScenario::Coordinator,
-            3,
-        ))
-        .mean();
+        let crash =
+            run_campaign(&TestbedConfig::class2(5, 60, CrashScenario::Coordinator, 3)).mean();
         // Our level-triggered suspicion check makes the first round
         // collapse immediately, so the penalty is milder than the
         // paper's near-2x (see EXPERIMENTS.md); the ordering holds.

@@ -50,8 +50,7 @@ impl Node<Ping> for PingNode {
     }
 
     fn on_app_message(&mut self, ctx: &mut Ctx<'_, Ping>, _from: ProcessId, msg: Ping) {
-        let delay =
-            (ctx.now_true() - SimTime::from_nanos(msg.sent_true_ns)).as_ms();
+        let delay = (ctx.now_true() - SimTime::from_nanos(msg.sent_true_ns)).as_ms();
         if msg.broadcast {
             self.delays_broadcast.push(delay);
         } else {

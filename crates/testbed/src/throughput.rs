@@ -12,9 +12,9 @@
 
 use ctsim_core::consensus::{ConsensusEnv, ConsensusMsg, CtConsensus};
 use ctsim_des::{SimDuration, SimTime};
+use ctsim_neko::NodeConfig;
 use ctsim_neko::{Ctx, Node, ProcessId, Runtime, TimerKind};
 use ctsim_netsim::{HostParams, NetParams};
-use ctsim_neko::NodeConfig;
 use ctsim_stoch::SimRng;
 
 use crate::campaign::Tagged;
@@ -130,7 +130,8 @@ impl Node<Tagged> for ThroughputNode {
                 ctx,
                 exec: self.cur,
             };
-            self.engine.on_message(&mut env, from, msg.inner, &|_| false);
+            self.engine
+                .on_message(&mut env, from, msg.inner, &|_| false);
             self.chain(ctx);
         } else if msg.exec > self.cur {
             self.future.push((from, msg));
@@ -190,8 +191,7 @@ pub fn measure_throughput(n: usize, window_ms: f64, seed: u64) -> ThroughputResu
         .unwrap_or(0);
     let span_s = (window_ms - warm) / 1e3;
     let per_second = counted as f64 / span_s;
-    let isolated =
-        crate::run_campaign(&crate::TestbedConfig::class1(n, 50, seed ^ 0xabcd)).mean();
+    let isolated = crate::run_campaign(&crate::TestbedConfig::class1(n, 50, seed ^ 0xabcd)).mean();
     ThroughputResult {
         n,
         decided,

@@ -64,7 +64,5 @@ fn main() {
         reps.mean(),
         reps.ci90()
     );
-    println!(
-        "\nThe paper's §5.2 values for n = 3: 1.06 ms measured, 1.030 ms simulated."
-    );
+    println!("\nThe paper's §5.2 values for n = 3: 1.06 ms measured, 1.030 ms simulated.");
 }

@@ -60,7 +60,11 @@ impl Node<AbcastMsg<Command>> for Replica {
     fn on_start(&mut self, ctx: &mut Ctx<'_, AbcastMsg<Command>>) {
         self.abcast.on_start(ctx);
         for (k, (at_ms, _)) in self.workload.iter().enumerate() {
-            ctx.set_timer(SimDuration::from_ms(*at_ms), TimerKind::Precise, 500 + k as u64);
+            ctx.set_timer(
+                SimDuration::from_ms(*at_ms),
+                TimerKind::Precise,
+                500 + k as u64,
+            );
         }
     }
     fn on_app_message(
@@ -91,14 +95,46 @@ fn main() {
     // Conflicting concurrent commands submitted at different replicas.
     let workloads: Vec<Vec<(f64, Command)>> = vec![
         vec![
-            (1.0, Command::Deposit { account: 0, amount: 100 }),
-            (3.0, Command::Transfer { from: 0, to: 1, amount: 70 }),
+            (
+                1.0,
+                Command::Deposit {
+                    account: 0,
+                    amount: 100,
+                },
+            ),
+            (
+                3.0,
+                Command::Transfer {
+                    from: 0,
+                    to: 1,
+                    amount: 70,
+                },
+            ),
         ],
         vec![
-            (1.1, Command::Deposit { account: 1, amount: 50 }),
-            (3.1, Command::Transfer { from: 0, to: 2, amount: 70 }),
+            (
+                1.1,
+                Command::Deposit {
+                    account: 1,
+                    amount: 50,
+                },
+            ),
+            (
+                3.1,
+                Command::Transfer {
+                    from: 0,
+                    to: 2,
+                    amount: 70,
+                },
+            ),
         ],
-        vec![(2.0, Command::Deposit { account: 2, amount: 10 })],
+        vec![(
+            2.0,
+            Command::Deposit {
+                account: 2,
+                amount: 10,
+            },
+        )],
     ];
     let mut rt: Runtime<AbcastMsg<Command>, Replica> = Runtime::new(
         n,
@@ -141,5 +177,8 @@ fn main() {
             "delivery order diverged"
         );
     }
-    println!("total order: {:?}", order0.iter().map(|(o, s, _)| (o, s)).collect::<Vec<_>>());
+    println!(
+        "total order: {:?}",
+        order0.iter().map(|(o, s, _)| (o, s)).collect::<Vec<_>>()
+    );
 }

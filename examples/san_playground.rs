@@ -9,9 +9,7 @@
 
 use ct_consensus_repro::des::SimTime;
 use ct_consensus_repro::san::compose::{rep, Scope};
-use ct_consensus_repro::san::{
-    replicate, Activity, Case, SanBuilder, Simulator,
-};
+use ct_consensus_repro::san::{replicate, Activity, Case, SanBuilder, Simulator};
 use ct_consensus_repro::stoch::{Dist, SimRng};
 
 fn main() {

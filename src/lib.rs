@@ -12,6 +12,7 @@
 //! * [`fd`] — heartbeat failure detection and QoS metrics
 //! * [`consensus`] — the Chandra–Toueg ◇S consensus algorithm
 //! * [`models`] — the paper's SAN model of the algorithm
+//! * [`solve`] — analytic SAN solution (state space → CTMC → uniformization)
 //! * [`testbed`] — measurement campaigns on the simulated cluster
 //! * [`experiments`] — regeneration of every table and figure
 
@@ -23,5 +24,6 @@ pub use ctsim_models as models;
 pub use ctsim_neko as neko;
 pub use ctsim_netsim as netsim;
 pub use ctsim_san as san;
+pub use ctsim_solve as solve;
 pub use ctsim_stoch as stoch;
 pub use ctsim_testbed as testbed;

@@ -1,0 +1,105 @@
+//! Cross-validation of the two SAN solvers on the paper's consensus
+//! model: the analytic (CTMC) solution and the Monte-Carlo simulator
+//! must agree — the solver is exact, so the simulator's own 90 %
+//! confidence interval is the acceptance band (the same criterion the
+//! paper applies between its simulations and measurements).
+//!
+//! Runs use the exponential re-parameterisation
+//! ([`SanParams::exponential_baseline`]) — the analytic path's
+//! applicability condition — at the smallest model sizes so the tests
+//! stay fast in debug builds.
+
+use ct_consensus_repro::models::{build_model, latency_replications, SanParams};
+use ct_consensus_repro::san::SanModel;
+use ct_consensus_repro::solve::{
+    AnalyticRun, IterOptions, ReachOptions, SolveError, TransientOptions,
+};
+
+fn decided_predicate(
+    model: &SanModel,
+    n: usize,
+) -> impl Fn(&ct_consensus_repro::san::Marking) -> bool {
+    let decided: Vec<_> = (0..n)
+        .map(|i| model.place(&format!("decided_{i}")).expect("built model"))
+        .collect();
+    move |m| decided.iter().any(|&d| m.get(d) > 0)
+}
+
+/// Solves mean consensus latency exactly and checks it against the
+/// replicated simulation of the identical parameters.
+fn assert_agreement(params: &SanParams, reps: usize, seed: u64) -> (f64, f64, f64) {
+    let model = build_model(params);
+    let pred = decided_predicate(&model, params.n);
+    let run = AnalyticRun::first_passage(&model, &ReachOptions::default(), pred)
+        .expect("exponential model must be Markovian");
+    let exact = run
+        .mean(&IterOptions::default())
+        .expect("absorbing")
+        .mean_ms;
+    let sim = latency_replications(params, reps, seed, 10_000.0);
+    assert_eq!(sim.discarded, 0, "every replication must decide");
+    assert!(
+        (exact - sim.mean()).abs() <= sim.ci90(),
+        "analytic {exact} vs simulated {} ± {} ({} reps)",
+        sim.mean(),
+        sim.ci90(),
+        reps
+    );
+    (exact, sim.mean(), sim.ci90())
+}
+
+/// Class-1 (no crashes): the smallest non-degenerate consensus.
+#[test]
+fn n2_latency_agrees_within_sim_ci() {
+    let params = SanParams::exponential_baseline(2);
+    let (exact, _, _) = assert_agreement(&params, 4000, 2002);
+    // Regression pin for the exact value (20-state CTMC).
+    assert!((exact - 0.895).abs() < 0.01, "exact mean drifted: {exact}");
+}
+
+/// Class-2 (participant crash) at the paper's smallest simulated size —
+/// the Table 1 scenario with the smallest state space.
+#[test]
+fn n3_participant_crash_latency_agrees_within_sim_ci() {
+    let params = SanParams::exponential_baseline(3).with_crash(1);
+    assert_agreement(&params, 1200, 31337);
+}
+
+/// The analytic latency *distribution* (not just the mean) matches the
+/// empirical distribution: CDF points sit inside a 99 % binomial band
+/// of the replication sample.
+#[test]
+fn n2_latency_cdf_matches_empirical_distribution() {
+    let params = SanParams::exponential_baseline(2);
+    let model = build_model(&params);
+    let pred = decided_predicate(&model, 2);
+    let run =
+        AnalyticRun::first_passage(&model, &ReachOptions::default(), pred).expect("markovian");
+    let sim = latency_replications(&params, 4000, 77, 10_000.0);
+    let n = sim.samples.len() as f64;
+    let topts = TransientOptions::default();
+    for t in [0.3, 0.6, 0.9, 1.5, 2.5] {
+        let analytic = run.cdf(t, &topts).expect("transient");
+        let empirical = sim.samples.iter().filter(|&&x| x <= t).count() as f64 / n;
+        let band = 2.576 * (analytic * (1.0 - analytic) / n).sqrt() + 1e-9;
+        assert!(
+            (analytic - empirical).abs() <= band,
+            "t={t}: analytic CDF {analytic} vs empirical {empirical} (band {band})"
+        );
+    }
+}
+
+/// The applicability gate: the paper's baseline (deterministic CPU
+/// stages, bimodal network) must be *rejected* by the analytic path,
+/// not silently mis-solved.
+#[test]
+fn paper_baseline_is_rejected_as_non_markovian() {
+    let params = SanParams::paper_baseline(2);
+    let model = build_model(&params);
+    let pred = decided_predicate(&model, 2);
+    let err = AnalyticRun::first_passage(&model, &ReachOptions::default(), pred).unwrap_err();
+    assert!(
+        matches!(err, SolveError::NonMarkovian { .. }),
+        "expected NonMarkovian, got {err:?}"
+    );
+}

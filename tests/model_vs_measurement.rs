@@ -72,8 +72,7 @@ fn broadcast_ablation_reproduces_the_models_blind_spot() {
     unicast.broadcast_as_unicasts = true;
 
     let sim_bcast_none = latency_replications(&base, 200, 80, 1e4).mean();
-    let sim_bcast_part =
-        latency_replications(&base.clone().with_crash(1), 200, 80, 1e4).mean();
+    let sim_bcast_part = latency_replications(&base.clone().with_crash(1), 200, 80, 1e4).mean();
     assert!(
         sim_bcast_part < sim_bcast_none,
         "broadcast model: participant crash must help at n=3: \
@@ -81,8 +80,7 @@ fn broadcast_ablation_reproduces_the_models_blind_spot() {
     );
 
     let sim_uni_none = latency_replications(&unicast, 200, 80, 1e4).mean();
-    let sim_uni_part =
-        latency_replications(&unicast.clone().with_crash(1), 200, 80, 1e4).mean();
+    let sim_uni_part = latency_replications(&unicast.clone().with_crash(1), 200, 80, 1e4).mean();
     let bcast_benefit = sim_bcast_none - sim_bcast_part;
     let uni_benefit = sim_uni_none - sim_uni_part;
     assert!(

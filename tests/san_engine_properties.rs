@@ -28,8 +28,7 @@ fn arb_dist() -> impl Strategy<Value = Dist> {
     prop_oneof![
         (0.01f64..2.0).prop_map(Dist::Det),
         (0.01f64..2.0).prop_map(|m| Dist::Exp { mean: m }),
-        (0.01f64..1.0, 0.0f64..1.0)
-            .prop_map(|(lo, w)| Dist::Uniform { lo, hi: lo + w }),
+        (0.01f64..1.0, 0.0f64..1.0).prop_map(|(lo, w)| Dist::Uniform { lo, hi: lo + w }),
         ((1u32..4), (0.01f64..2.0)).prop_map(|(k, m)| Dist::Erlang { k, mean: m }),
     ]
 }

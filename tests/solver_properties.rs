@@ -1,0 +1,123 @@
+//! Property-based tests of the analytic SAN solver on randomly
+//! generated Markovian models: structural invariants that must hold
+//! regardless of topology, rates, or evaluation times.
+
+use ct_consensus_repro::san::{Activity, Case, SanBuilder, SanModel};
+use ct_consensus_repro::solve::{
+    steady_state, transient, Ctmc, IterOptions, ReachOptions, StateSpace, TransientOptions,
+};
+use ct_consensus_repro::stoch::Dist;
+use proptest::prelude::*;
+
+/// A birth–death chain over `means.len() + 1` levels: one token walks
+/// up with the forward means and down with the backward means. Always
+/// irreducible, so both solvers apply.
+fn birth_death(means: &[(f64, f64)]) -> SanModel {
+    let mut b = SanBuilder::new("bd");
+    let levels: Vec<_> = (0..=means.len())
+        .map(|i| b.place(format!("l{i}"), u32::from(i == 0)))
+        .collect();
+    for (i, &(fwd, bwd)) in means.iter().enumerate() {
+        b.add_activity(
+            Activity::timed(format!("up{i}"), Dist::Exp { mean: fwd })
+                .input(levels[i], 1)
+                .case(Case::with_prob(1.0).output(levels[i + 1], 1)),
+        );
+        b.add_activity(
+            Activity::timed(format!("down{i}"), Dist::Exp { mean: bwd })
+                .input(levels[i + 1], 1)
+                .case(Case::with_prob(1.0).output(levels[i], 1)),
+        );
+    }
+    b.build().expect("birth-death chain is valid")
+}
+
+fn solve_chain(means: &[(f64, f64)]) -> (usize, Ctmc) {
+    let model = birth_death(means);
+    let ss = StateSpace::explore(&model, &ReachOptions::default()).expect("explore");
+    let ctmc = Ctmc::from_state_space(&ss).expect("all-exponential");
+    (ss.len(), ctmc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32, .. ProptestConfig::default()
+    })]
+
+    /// Uniformization preserves probability mass: π(t) sums to 1
+    /// within 1e-9 for any rates and any horizon.
+    #[test]
+    fn transient_vectors_sum_to_one(
+        means in proptest::collection::vec((0.05f64..5.0, 0.05f64..5.0), 1..5),
+        t in 0.0f64..50.0,
+    ) {
+        let (n, ctmc) = solve_chain(&means);
+        let sol = transient(&ctmc, t, &TransientOptions::default()).expect("transient");
+        prop_assert_eq!(sol.probs.len(), n);
+        let total: f64 = sol.probs.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "mass {total} at t={t}");
+        for (s, &p) in sol.probs.iter().enumerate() {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&p), "π[{s}] = {p}");
+        }
+    }
+
+    /// The Gauss–Seidel fixed point satisfies the balance equations:
+    /// ‖πQ‖∞ ≈ 0 and Σπ = 1.
+    #[test]
+    fn steady_state_satisfies_balance(
+        means in proptest::collection::vec((0.05f64..5.0, 0.05f64..5.0), 1..5),
+    ) {
+        let (n, ctmc) = solve_chain(&means);
+        let sol = steady_state(&ctmc, &IterOptions::default()).expect("irreducible");
+        prop_assert!((sol.probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let mut residual = vec![0.0; n];
+        ctmc.vec_mul(&sol.probs, &mut residual);
+        for (s, &r) in residual.iter().enumerate() {
+            prop_assert!(r.abs() < 1e-9, "(πQ)[{s}] = {r}");
+        }
+        prop_assert!(sol.residual < 1e-9, "reported residual {}", sol.residual);
+    }
+
+    /// A two-state birth–death chain matches its closed-form transient
+    /// solution p₀(t) = μ/(λ+μ) + λ/(λ+μ)·e^{-(λ+μ)t}.
+    #[test]
+    fn two_state_matches_closed_form(
+        up_mean in 0.1f64..10.0,
+        down_mean in 0.1f64..10.0,
+        t in 0.0f64..20.0,
+    ) {
+        let (_, ctmc) = solve_chain(&[(up_mean, down_mean)]);
+        let sol = transient(&ctmc, t, &TransientOptions::default()).expect("transient");
+        let (lam, mu) = (1.0 / up_mean, 1.0 / down_mean);
+        let expect = mu / (lam + mu) + lam / (lam + mu) * (-(lam + mu) * t).exp();
+        prop_assert!(
+            (sol.probs[0] - expect).abs() < 1e-9,
+            "p0(t={t}) = {} vs closed form {expect}",
+            sol.probs[0]
+        );
+        // And the long-run limit matches the steady state.
+        let pi = steady_state(&ctmc, &IterOptions::default()).expect("steady");
+        prop_assert!((pi.probs[0] - mu / (lam + mu)).abs() < 1e-9);
+    }
+
+    /// Transient solutions converge to the steady state as t grows
+    /// (uniformization and Gauss–Seidel agree with each other).
+    #[test]
+    fn transient_converges_to_steady_state(
+        means in proptest::collection::vec((0.2f64..2.0, 0.2f64..2.0), 1..4),
+    ) {
+        let (n, ctmc) = solve_chain(&means);
+        // Slowest relaxation is bounded by the largest mean; 500 ms of
+        // sub-5ms stages is deep in the stationary regime.
+        let sol = transient(&ctmc, 500.0, &TransientOptions::default()).expect("transient");
+        let pi = steady_state(&ctmc, &IterOptions::default()).expect("steady");
+        for s in 0..n {
+            prop_assert!(
+                (sol.probs[s] - pi.probs[s]).abs() < 1e-6,
+                "state {s}: transient {} vs steady {}",
+                sol.probs[s],
+                pi.probs[s]
+            );
+        }
+    }
+}

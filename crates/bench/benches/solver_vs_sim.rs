@@ -6,12 +6,20 @@
 //! relative 90 % CI — already far looser than the solve. The campaign
 //! size is calibrated from a pilot run (CI half-width scales as
 //! 1/√reps) and printed with the bench name.
+//!
+//! The `ph_expansion` group measures the phase-type path on the
+//! paper's *real* parameters: solve time vs expansion order (n = 2)
+//! and exploration wall-clock vs thread count (n = 3 exponential,
+//! 1.35 × 10⁵ states). Every measurement is appended to
+//! `BENCH_solver.json` at the workspace root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ctsim_bench::BENCH_SEED;
 use ctsim_models::{build_model, latency_replications, SanParams};
 use ctsim_san::Marking;
-use ctsim_solve::{AnalyticRun, IterOptions, ReachOptions, TransientOptions};
+use ctsim_solve::{
+    AnalyticRun, IterOptions, ReachOptions, SolveOptions, StateSpace, TransientOptions,
+};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -53,6 +61,89 @@ fn bench(c: &mut Criterion) {
         },
     );
     g.finish();
+
+    ph_expansion(c);
+    write_results_json(c);
+}
+
+/// Phase-type expansion: solve time vs order on the paper's real
+/// (deterministic/bi-modal) n = 2 parameters, and exploration time vs
+/// thread count on the n = 3 exponential model.
+fn ph_expansion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ph_expansion");
+    g.sample_size(10);
+
+    let params = SanParams::paper_baseline(2);
+    let model = build_model(&params);
+    let decided: Vec<_> = (0..2)
+        .map(|i| model.place(&format!("decided_{i}")).unwrap())
+        .collect();
+    let goal = move |m: &Marking| decided.iter().any(|&d| m.get(d) > 0);
+
+    for order in [1u32, 2, 4, 8] {
+        let opts = SolveOptions::ph(order, 1);
+        // Record the state count in the name so BENCH_solver.json
+        // doubles as the growth table's data source.
+        let states = AnalyticRun::first_passage_with(&model, &opts, &goal)
+            .unwrap()
+            .space()
+            .len();
+        g.bench_function(format!("paper_n2_order{order}_states{states}"), |b| {
+            b.iter(|| {
+                let run = AnalyticRun::first_passage_with(&model, &opts, &goal).unwrap();
+                black_box(run.mean(&IterOptions::default()).unwrap().mean_ms)
+            })
+        });
+    }
+
+    // Thread scaling on a space large enough to shard: the n = 3
+    // exponential model (≈ 1.35 × 10⁵ tangible states). One full
+    // exploration per iteration; the result is identical per thread
+    // count (asserted by the property tests), only wall-clock moves.
+    let params3 = SanParams::exponential_baseline(3);
+    let model3 = build_model(&params3);
+    let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut sweep = vec![1usize, 2, cores];
+    sweep.sort_unstable();
+    sweep.dedup();
+    for threads in sweep {
+        let opts = ReachOptions {
+            threads,
+            ..ReachOptions::default()
+        };
+        g.bench_function(format!("explore_exp_n3_threads{threads}"), |b| {
+            b.iter(|| black_box(StateSpace::explore(&model3, &opts).unwrap().len()))
+        });
+    }
+    g.finish();
+}
+
+/// Appends every measurement of this run to `BENCH_solver.json` at the
+/// workspace root (overwritten each run; CI uploads it as an artifact).
+fn write_results_json(c: &Criterion) {
+    let mut body = String::from("{\n  \"bench\": \"solver_vs_sim\",\n");
+    body.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if c.is_full() { "bench" } else { "smoke" }
+    ));
+    body.push_str("  \"results\": [\n");
+    let rows: Vec<String> = c
+        .results()
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {} }}",
+                r.name, r.ns_per_iter, r.iters
+            )
+        })
+        .collect();
+    body.push_str(&rows.join(",\n"));
+    body.push_str("\n  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    match std::fs::write(path, body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
 }
 
 criterion_group!(benches, bench);

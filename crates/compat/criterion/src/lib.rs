@@ -16,10 +16,23 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// One finished measurement, kept so bench targets can export their
+/// numbers (e.g. to a JSON results file) beyond the console print.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Mean wall-clock per iteration, nanoseconds.
+    pub ns_per_iter: f64,
+    /// Iterations measured (1 in smoke mode).
+    pub iters: u64,
+}
+
 /// Benchmark driver; mirrors `criterion::Criterion`.
 pub struct Criterion {
     full: bool,
     measurement: Duration,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -27,6 +40,7 @@ impl Default for Criterion {
         Criterion {
             full: std::env::args().any(|a| a == "--bench"),
             measurement: Duration::from_millis(300),
+            results: Vec::new(),
         }
     }
 }
@@ -46,7 +60,25 @@ impl Criterion {
         };
         f(&mut b);
         b.report(&name);
+        if b.iters > 0 {
+            self.results.push(BenchResult {
+                name,
+                ns_per_iter: b.elapsed.as_nanos() as f64 / b.iters as f64,
+                iters: b.iters,
+            });
+        }
         self
+    }
+
+    /// Whether the driver runs full measurements (`cargo bench`) or
+    /// single smoke iterations (any other invocation).
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Every measurement taken so far, in registration order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 
     /// Opens a named group of benchmarks.
@@ -166,6 +198,7 @@ mod tests {
         let mut c = Criterion {
             full: false,
             measurement: Duration::from_millis(1),
+            results: Vec::new(),
         };
         let mut runs = 0;
         c.bench_function("t", |b| b.iter(|| runs += 1));
@@ -177,6 +210,7 @@ mod tests {
         let mut c = Criterion {
             full: true,
             measurement: Duration::from_millis(5),
+            results: Vec::new(),
         };
         let mut runs = 0u64;
         c.bench_function("t", |b| b.iter(|| runs += 1));
@@ -184,10 +218,28 @@ mod tests {
     }
 
     #[test]
+    fn results_are_recorded_with_group_prefixes() {
+        let mut c = Criterion {
+            full: false,
+            measurement: Duration::from_millis(1),
+            results: Vec::new(),
+        };
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("a", |b| b.iter(|| 1 + 1));
+        g.finish();
+        c.bench_function("solo", |b| b.iter(|| 2 + 2));
+        let names: Vec<&str> = c.results().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["grp/a", "solo"]);
+        assert!(c.results().iter().all(|r| r.iters == 1));
+        assert!(!c.is_full());
+    }
+
+    #[test]
     fn groups_prefix_names_and_chain() {
         let mut c = Criterion {
             full: false,
             measurement: Duration::from_millis(1),
+            results: Vec::new(),
         };
         let mut g = c.benchmark_group("grp");
         g.sample_size(10);

@@ -193,6 +193,8 @@ tuple_strategy! {
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
 /// Collection strategies (`proptest::collection::vec`).
@@ -205,7 +207,7 @@ pub mod collection {
         VecStrategy { element, lens }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         lens: Range<usize>,

@@ -2,15 +2,23 @@
 //!
 //! ```text
 //! repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|all> \
-//!       [--scale quick|default|full] [--seed N] [--out DIR]
+//!       [--scale quick|default|full] [--seed N] [--out DIR] \
+//!       [--ph-order K] [--threads T]
 //! ```
 //!
 //! Text renderings (with the paper's reference values inline) go to
 //! stdout; CSV series go to `--out` (default `results/`).
+//!
+//! `--ph-order` and `--threads` drive the `analytic` overlay's
+//! phase-type rows: the expansion order used to Markovianize the
+//! paper's deterministic/bi-modal stages, and the state-space
+//! exploration worker count (0 = all cores; the result is identical
+//! for any value).
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use ctsim_experiments::analytic::AnalyticOptions;
 use ctsim_experiments::{ablations, analytic, fig6, fig7, fig8, fig9, table1, throughput, Scale};
 
 struct Args {
@@ -18,6 +26,7 @@ struct Args {
     scale: Scale,
     seed: u64,
     out: PathBuf,
+    ph: AnalyticOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::Default;
     let mut seed = 20020623; // DSN 2002 conference date
     let mut out = PathBuf::from("results");
+    let mut ph = AnalyticOptions::default();
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -41,6 +51,20 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = PathBuf::from(args.next().ok_or("missing value for --out")?);
             }
+            "--ph-order" => {
+                ph.ph_order = args
+                    .next()
+                    .ok_or("missing value for --ph-order")?
+                    .parse::<u32>()
+                    .map_err(|e| e.to_string())?;
+            }
+            "--threads" => {
+                ph.threads = args
+                    .next()
+                    .ok_or("missing value for --threads")?
+                    .parse::<usize>()
+                    .map_err(|e| e.to_string())?;
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -49,12 +73,13 @@ fn parse_args() -> Result<Args, String> {
         scale,
         seed,
         out,
+        ph,
     })
 }
 
 fn usage() -> String {
     "usage: repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|ablations|throughput|analytic|all> \
-     [--scale quick|default|full] [--seed N] [--out DIR]"
+     [--scale quick|default|full] [--seed N] [--out DIR] [--ph-order K] [--threads T]"
         .to_string()
 }
 
@@ -266,20 +291,31 @@ fn main() {
 
     if want("analytic") {
         ran = true;
-        let a = analytic::run(args.scale, args.seed);
+        let a = analytic::run_with(args.scale, args.seed, &args.ph);
         println!("{}", a.render());
         write_csv(
             &args.out.join("analytic.csv"),
-            "scenario,n,states,analytic_ms,sim_ms,sim_ci90",
+            "scenario,n,ph_order,states,analytic_ms,ph_raw_ms,sim_ms,sim_ci90,agrees",
             a.rows.iter().map(|r| {
                 format!(
-                    "{:?},{},{},{},{:.4},{:.4}",
+                    "{:?},{},{},{},{},{},{:.4},{:.4},{}",
                     r.scenario,
                     r.n,
+                    r.ph_order.map_or(String::new(), |k| k.to_string()),
                     r.states,
                     r.analytic_ms.map_or(String::new(), |v| format!("{v:.6}")),
+                    r.ph_raw_ms.map_or(String::new(), |v| format!("{v:.6}")),
                     r.sim_ms,
                     r.sim_ci90,
+                    // Tri-state so a capped/skipped solve is never
+                    // mistaken for a disagreement (CI greps `,false$`).
+                    if r.skipped.is_some() {
+                        "skip"
+                    } else if r.agrees() {
+                        "true"
+                    } else {
+                        "false"
+                    },
                 )
             }),
         );
@@ -287,10 +323,12 @@ fn main() {
             if r.cdf.is_empty() {
                 continue;
             }
+            let model = r.ph_order.map_or("exp".to_string(), |k| format!("ph{k}"));
             write_csv(
-                &args
-                    .out
-                    .join(format!("analytic_cdf_{:?}_n{}.csv", r.scenario, r.n)),
+                &args.out.join(format!(
+                    "analytic_cdf_{:?}_{model}_n{}.csv",
+                    r.scenario, r.n
+                )),
                 "latency_ms,cdf",
                 r.cdf.iter().map(|(t, p)| format!("{t:.6},{p:.6}")),
             );

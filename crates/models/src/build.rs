@@ -16,7 +16,7 @@
 use ctsim_san::{Activity, Case, InputGate, OutputGate, PlaceId, SanBuilder, SanModel};
 use ctsim_stoch::Dist;
 
-use crate::params::{FdModel, SanParams, SojournDist};
+use crate::params::{FdModel, SanParams};
 
 /// Instantaneous-activity priorities: protocol logic fires before
 /// resource grants so that state transitions react to deliveries first.
@@ -266,25 +266,11 @@ pub fn build_model(p: &SanParams) -> SanModel {
                 }
                 FdModel::TwoState { t_mr, t_m, dist } => {
                     let trust_soj = t_mr - t_m;
-                    let (d_ts, d_st, d_ts0, d_st0) = match dist {
-                        SojournDist::Deterministic => (
-                            Dist::Det(trust_soj),
-                            Dist::Det(*t_m),
-                            // Stationary residual of a deterministic
-                            // cycle is uniform over the sojourn.
-                            Dist::Uniform {
-                                lo: 0.0,
-                                hi: trust_soj,
-                            },
-                            Dist::Uniform { lo: 0.0, hi: *t_m },
-                        ),
-                        SojournDist::Exponential => (
-                            Dist::Exp { mean: trust_soj },
-                            Dist::Exp { mean: *t_m },
-                            Dist::Exp { mean: trust_soj },
-                            Dist::Exp { mean: *t_m },
-                        ),
-                    };
+                    let (d_ts, d_st) = (dist.dist(trust_soj), dist.dist(*t_m));
+                    // Stationary residual (uniform over a deterministic
+                    // sojourn, memoryless for an exponential one) for
+                    // the age-biased initial transient.
+                    let (d_ts0, d_st0) = (dist.residual_dist(trust_soj), dist.residual_dist(*t_m));
                     let ini = b.place(format!("fdini_{i}_{j}"), 1);
                     let trust0 = b.place(format!("trust0_{i}_{j}"), 0);
                     let susp0 = b.place(format!("susp0_{i}_{j}"), 0);
@@ -676,6 +662,7 @@ pub fn build_model(p: &SanParams) -> SanModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::SojournDist;
     use ctsim_des::SimTime;
     use ctsim_san::{Simulator, StopReason};
     use ctsim_stoch::SimRng;

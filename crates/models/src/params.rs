@@ -1,6 +1,6 @@
 //! Parameters of the SAN consensus model.
 
-use ctsim_stoch::Dist;
+use ctsim_stoch::{Dist, PhaseType};
 
 /// How the two-state failure-detector sojourn times are distributed
 /// (paper §3.4: "a deterministic and an exponential distribution, so to
@@ -12,6 +12,37 @@ pub enum SojournDist {
     Deterministic,
     /// Exponential sojourns (high variance).
     Exponential,
+}
+
+impl SojournDist {
+    /// The sojourn distribution with the given mean (ms). The
+    /// exponential family routes through the order-1 [`PhaseType::fit`]
+    /// like every other Markovian mean-matching in this crate.
+    pub fn dist(self, mean: f64) -> Dist {
+        match self {
+            SojournDist::Deterministic => Dist::Det(mean),
+            SojournDist::Exponential => markovian(&Dist::Det(mean)),
+        }
+    }
+
+    /// The stationary *residual* (age-biased) sojourn distribution for
+    /// the initial transient: uniform over a deterministic sojourn,
+    /// unchanged for the memoryless exponential.
+    pub fn residual_dist(self, mean: f64) -> Dist {
+        match self {
+            SojournDist::Deterministic => Dist::Uniform { lo: 0.0, hi: mean },
+            SojournDist::Exponential => markovian(&Dist::Det(mean)),
+        }
+    }
+}
+
+/// The order-1 phase-type fit of `dist`: the mean-matched exponential.
+/// Every "make this stage Markovian" substitution in the model layer
+/// goes through this one spot instead of hand-rolling `Dist::Exp`.
+fn markovian(dist: &Dist) -> Dist {
+    PhaseType::fit(dist, 1)
+        .as_dist()
+        .expect("an order-1 fit of a non-Erlang target is one exponential")
 }
 
 /// The abstract failure-detector model.
@@ -117,7 +148,12 @@ impl SanParams {
     /// stage keeps its baseline *mean* but becomes exponential (CPU
     /// stages, handler work, and the network delays), so the model's
     /// marking process is a CTMC and the analytic solver in
-    /// `ctsim-solve` applies.
+    /// `ctsim-solve` applies natively.
+    ///
+    /// The substitution is an order-1 [`PhaseType::fit`] — the
+    /// degenerate end of the same moment-matching ladder the solver's
+    /// phase-type expansion climbs, so the mean-matching logic lives in
+    /// exactly one place.
     ///
     /// Latencies are not expected to match the paper's tables — the
     /// point of this family is cross-validation: the simulator run on
@@ -126,12 +162,8 @@ impl SanParams {
     pub fn exponential_baseline(n: usize) -> Self {
         let mut p = Self::paper_baseline(n);
         p.service = ServiceTiming::Exponential;
-        p.net_unicast = Dist::Exp {
-            mean: p.net_unicast.mean(),
-        };
-        p.net_broadcast = Dist::Exp {
-            mean: p.net_broadcast.mean(),
-        };
+        p.net_unicast = markovian(&p.net_unicast);
+        p.net_broadcast = markovian(&p.net_broadcast);
         p
     }
 
@@ -140,7 +172,7 @@ impl SanParams {
     pub fn service_dist(&self, mean: f64) -> Dist {
         match self.service {
             ServiceTiming::Deterministic => Dist::Det(mean),
-            ServiceTiming::Exponential => Dist::Exp { mean },
+            ServiceTiming::Exponential => markovian(&Dist::Det(mean)),
         }
     }
 

@@ -1,14 +1,13 @@
 //! Layer 2: the sparse generator matrix of the underlying CTMC.
 //!
-//! A SAN whose timed activities are all exponential is, after vanishing
-//! elimination, a continuous-time Markov chain over the tangible states:
-//! completing activity `a` (rate `1/mean_a`) moves the chain along each
-//! of the activity's probabilistic outcomes. The generator `Q` is stored
-//! in compressed-sparse-row (CSR) form with the diagonal split out, the
+//! A SAN whose timed activities are all exponential — natively or after
+//! phase-type expansion — is, after vanishing elimination, a
+//! continuous-time Markov chain over the tangible states: each
+//! [`Transition`](crate::Transition) of the reachability graph carries
+//! its generator contribution (exponential event rate × branching
+//! probability) directly. The generator `Q` is stored in
+//! compressed-sparse-row (CSR) form with the diagonal split out, the
 //! layout both the uniformization and the Gauss–Seidel solvers want.
-
-use ctsim_san::Timing;
-use ctsim_stoch::Dist;
 
 use crate::graph::StateSpace;
 use crate::SolveError;
@@ -37,8 +36,11 @@ impl Ctmc {
     ///
     /// # Errors
     /// [`SolveError::NonMarkovian`] if any transition is driven by a
-    /// non-exponential timed activity: the embedded process is then not
-    /// a CTMC and the analytic path does not apply (use the simulator).
+    /// non-exponential timed activity that was not phase-type expanded
+    /// (its `rate` is NaN): the embedded process is then not a CTMC and
+    /// the analytic path does not apply — raise
+    /// [`ReachOptions::ph_order`](crate::ReachOptions::ph_order) or use
+    /// the simulator.
     pub fn from_state_space(ss: &StateSpace<'_>) -> Result<Self, SolveError> {
         let model = ss.model();
         let n = ss.len();
@@ -52,24 +54,20 @@ impl Ctmc {
             // destination because the graph sorts its transitions.
             let mut acc: Vec<(usize, f64)> = Vec::with_capacity(outs.len());
             for t in outs {
-                let Timing::Timed(dist) = model.timing(t.activity) else {
-                    unreachable!("reachability transitions come from timed activities")
-                };
-                let Dist::Exp { mean } = *dist else {
+                if t.rate.is_nan() {
                     return Err(SolveError::NonMarkovian {
                         activity: model.activity_name(t.activity).to_string(),
                     });
-                };
+                }
                 if t.target == s {
                     // A completion that re-enters its source state is
                     // invisible to the marking process: it contributes
                     // neither an off-diagonal rate nor exit rate.
                     continue;
                 }
-                let r = t.prob / mean;
                 match acc.iter_mut().find(|(d, _)| *d == t.target) {
-                    Some((_, existing)) => *existing += r,
-                    None => acc.push((t.target, r)),
+                    Some((_, existing)) => *existing += t.rate,
+                    None => acc.push((t.target, t.rate)),
                 }
             }
             acc.sort_unstable_by_key(|&(d, _)| d);
@@ -99,6 +97,13 @@ impl Ctmc {
     /// Number of states.
     pub fn num_states(&self) -> usize {
         self.n
+    }
+
+    /// The raw CSR layout `(row_ptr, col, rate, diag)` — exposed so
+    /// callers can assert bit-level reproducibility of the generator
+    /// across exploration thread counts.
+    pub fn csr(&self) -> (&[usize], &[usize], &[f64], &[f64]) {
+        (&self.row_ptr, &self.col, &self.rate, &self.diag)
     }
 
     /// Number of stored off-diagonal rates.

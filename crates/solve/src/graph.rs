@@ -8,14 +8,53 @@
 //! within a priority level, then case probabilities) until only
 //! "tangible" markings remain — exactly the race the simulator resolves
 //! by sampling, resolved here in distribution.
+//!
+//! # Phase-type expansion
+//!
+//! With [`ReachOptions::ph_order`] ≥ 1, non-exponential timed activities
+//! no longer poison the analytic path: each one is replaced by its
+//! [`PhaseType`] fit (hyper-Erlang, matched moments — see
+//! `ctsim_stoch::phase`), and the state vector gains one *phase counter*
+//! per expanded activity, appended after the place markings. A counter
+//! is `0` while its activity is disabled; on enabling it jumps to the
+//! first stage of a probabilistically chosen branch (the PH initial
+//! distribution — a branching of the state like a vanishing
+//! resolution), then walks through the branch's exponential stages.
+//! Completing the last stage fires the activity's cases exactly like a
+//! native exponential completion. Counters mirror the simulator's
+//! "restart" reactivation policy, judged at tangible markings: an
+//! activity continuously enabled across a completion keeps its phase
+//! (its sampled clock keeps running), one that is disabled resets to 0
+//! and re-enters afresh when next enabled.
+//!
+//! Everything downstream is unchanged: the expanded graph is still a
+//! CTMC, each [`Transition`] now carrying its generator `rate`
+//! directly (stage rate × branching probability).
+//!
+//! # Parallel exploration
+//!
+//! Expanded state spaces grow multiplicatively (see the crate docs for
+//! a growth table), so exploration fans out across
+//! [`ReachOptions::threads`] workers with the same chunked
+//! `std::thread::scope` pattern as `ctsim_san::replicate`: the
+//! breadth-first frontier is processed level-synchronously, each level
+//! sharded into contiguous chunks whose successor sets are computed in
+//! parallel (worker reads of the striped state index are lock-free
+//! because interning is confined to the sequential merge between
+//! levels), then merged **in frontier order**. Discovery order is
+//! therefore exactly the sequential BFS order, and the resulting state
+//! numbering, transition lists, and CSR generator are byte-identical
+//! regardless of thread count.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ctsim_san::{ActivityId, Marking, SanModel, Timing};
+use ctsim_stoch::{Dist, PhaseType};
 
 use crate::SolveError;
 
-/// Exploration limits.
+/// Exploration limits and expansion/parallelism knobs.
 #[derive(Debug, Clone)]
 pub struct ReachOptions {
     /// Abort with [`SolveError::StateSpaceTooLarge`] beyond this many
@@ -26,6 +65,16 @@ pub struct ReachOptions {
     /// activities feeding each other tokens, the analytic analogue of
     /// the simulator's instantaneous-livelock guard).
     pub max_vanishing_depth: usize,
+    /// Phase-type expansion order for non-exponential timed activities:
+    /// the per-branch stage budget handed to [`PhaseType::fit`]. `0`
+    /// (the default) disables expansion, restoring the strict behaviour
+    /// where any reachable non-exponential activity makes the CTMC
+    /// build fail with [`SolveError::NonMarkovian`].
+    pub ph_order: u32,
+    /// Worker threads for the exploration (`0` = one per available
+    /// core, `1` = in-place sequential). The result is identical — to
+    /// the byte — for every value; this is purely a wall-clock knob.
+    pub threads: usize,
 }
 
 impl Default for ReachOptions {
@@ -33,33 +82,56 @@ impl Default for ReachOptions {
         Self {
             max_states: 1 << 20,
             max_vanishing_depth: 4096,
+            ph_order: 0,
+            threads: 1,
         }
     }
 }
 
 /// One probabilistic transition of the reachability graph: completing
-/// `activity` in the source state leads to tangible state `target` with
-/// probability `prob` (case probability × vanishing-path probability;
-/// the `prob`s of one activity in one source state sum to 1).
+/// `activity` (or, for expanded activities, one exponential stage of
+/// it) in the source state leads to tangible state `target` with
+/// probability `prob` (case probability × vanishing-path probability ×
+/// phase-entry probability; the `prob`s of one activity in one source
+/// state sum to 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Transition {
-    /// The timed activity whose completion triggers the move.
+    /// The timed activity whose (stage) completion triggers the move.
     pub activity: ActivityId,
     /// Branching probability of this particular outcome.
     pub prob: f64,
+    /// Generator-matrix contribution `q` of this transition (1/ms):
+    /// the exponential event rate times `prob`. `NaN` when the source
+    /// activity is non-exponential and expansion is disabled — the
+    /// CTMC build turns that into [`SolveError::NonMarkovian`].
+    pub rate: f64,
+    /// Whether this move completes the activity (fires its cases).
+    /// `false` only for internal phase advances of expanded activities
+    /// — impulse rewards must ignore those.
+    pub completes: bool,
     /// Index of the destination state.
     pub target: usize,
 }
 
 /// The tangible reachable state space of a model.
+///
+/// With phase-type expansion active, each state vector is the flat
+/// place marking followed by one phase counter per expanded activity;
+/// [`StateSpace::marking`] exposes only the place prefix.
 pub struct StateSpace<'m> {
     model: &'m SanModel,
-    /// Tangible markings, as flat token vectors.
-    pub states: Vec<Vec<u32>>,
+    /// Number of places — the length of the marking prefix of each
+    /// state vector.
+    base: usize,
+    /// Number of appended phase counters (0 without expansion).
+    pub phase_slots: usize,
+    /// Tangible markings, as flat token vectors (places, then phases).
+    pub states: Vec<Arc<[u32]>>,
     /// Outgoing transitions per state (empty for absorbing states).
     pub transitions: Vec<Vec<Transition>>,
     /// Initial probability distribution over tangible states (the
-    /// initial marking's vanishing chain may branch probabilistically).
+    /// initial marking's vanishing chain may branch probabilistically,
+    /// as may phase entry).
     pub initial: Vec<(usize, f64)>,
     /// Marks states at which the absorbing predicate held (if one was
     /// given); their outgoing transitions are suppressed.
@@ -71,11 +143,342 @@ impl std::fmt::Debug for StateSpace<'_> {
         f.debug_struct("StateSpace")
             .field("model", &self.model.name())
             .field("states", &self.states.len())
+            .field("phase_slots", &self.phase_slots)
             .field(
                 "transitions",
                 &self.transitions.iter().map(Vec::len).sum::<usize>(),
             )
             .finish()
+    }
+}
+
+/// How an expanded activity's phase counter steps through its branches:
+/// phases are numbered `1..=num_phases`, branches laid out
+/// consecutively.
+struct PhasePlan {
+    /// Stage rate per phase (index `phase - 1`), 1/ms.
+    rates: Vec<f64>,
+    /// Whether the phase is the last stage of its branch.
+    last: Vec<bool>,
+    /// Entry distribution: `(first phase of branch, probability)`.
+    starts: Vec<(u32, f64)>,
+}
+
+impl PhasePlan {
+    fn new(ph: &PhaseType) -> Self {
+        let mut rates = Vec::new();
+        let mut last = Vec::new();
+        let mut starts = Vec::new();
+        let mut off = 0u32;
+        for b in ph.branches() {
+            if b.prob > 0.0 {
+                starts.push((off + 1, b.prob));
+            }
+            for s in 0..b.stages {
+                rates.push(b.rate);
+                last.push(s + 1 == b.stages);
+            }
+            off += b.stages;
+        }
+        Self {
+            rates,
+            last,
+            starts,
+        }
+    }
+}
+
+/// The per-model phase-type expansion: which timed activities are
+/// expanded and which phase-counter slot each one owns.
+struct Expansion {
+    /// Per activity index: the phase plan, if expanded.
+    plans: Vec<Option<PhasePlan>>,
+    /// Per activity index: absolute slot in the state vector
+    /// (`usize::MAX` when not expanded).
+    slots: Vec<usize>,
+    /// `(activity index, slot)` of every expanded activity, slot order.
+    expanded: Vec<(ActivityId, usize)>,
+}
+
+impl Expansion {
+    fn build(model: &SanModel, ph_order: u32) -> Result<Self, SolveError> {
+        let n = model.num_activities();
+        let base = model.num_places();
+        let mut plans: Vec<Option<PhasePlan>> = (0..n).map(|_| None).collect();
+        let mut slots = vec![usize::MAX; n];
+        let mut expanded = Vec::new();
+        if ph_order >= 1 {
+            for a in model.activity_ids() {
+                let Timing::Timed(dist) = model.timing(a) else {
+                    continue;
+                };
+                if matches!(dist, Dist::Exp { .. }) {
+                    continue;
+                }
+                let mean = dist.mean();
+                if !(mean.is_finite() && mean > 0.0) {
+                    return Err(SolveError::PhaseUnfittable {
+                        activity: model.activity_name(a).to_string(),
+                    });
+                }
+                let slot = base + expanded.len();
+                plans[a.index()] = Some(PhasePlan::new(&PhaseType::fit(dist, ph_order)));
+                slots[a.index()] = slot;
+                expanded.push((a, slot));
+            }
+        }
+        Ok(Self {
+            plans,
+            slots,
+            expanded,
+        })
+    }
+
+    fn num_slots(&self) -> usize {
+        self.expanded.len()
+    }
+}
+
+/// A not-yet-interned transition produced by a worker.
+struct Proto {
+    activity: ActivityId,
+    prob: f64,
+    rate: f64,
+    completes: bool,
+    target: ProtoTarget,
+}
+
+/// Worker-side target resolution: states already interned at the start
+/// of the level are resolved lock-free against the striped index;
+/// genuinely new states travel as token vectors to the merge phase.
+enum ProtoTarget {
+    Known(usize),
+    New(Vec<u32>),
+}
+
+/// The state index, striped over several hash maps keyed by a fixed
+/// (seed-free) FNV-1a hash so stripe choice is deterministic. Workers
+/// read it concurrently without locks — all inserts happen in the
+/// single-threaded merge phase between levels.
+struct StripedIndex {
+    stripes: Vec<HashMap<Arc<[u32]>, usize>>,
+}
+
+const STRIPES: usize = 16;
+
+impl StripedIndex {
+    fn new() -> Self {
+        Self {
+            stripes: (0..STRIPES).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    fn stripe_of(tokens: &[u32]) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &t in tokens {
+            h ^= t as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h % STRIPES as u64) as usize
+    }
+
+    fn get(&self, tokens: &[u32]) -> Option<usize> {
+        self.stripes[Self::stripe_of(tokens)].get(tokens).copied()
+    }
+
+    fn insert(&mut self, tokens: Arc<[u32]>, i: usize) {
+        self.stripes[Self::stripe_of(&tokens)].insert(tokens, i);
+    }
+}
+
+/// Minimum frontier size before spawning worker threads.
+const PARALLEL_THRESHOLD: usize = 32;
+
+/// Maximum source states whose proto-transitions are materialised
+/// before a sequential merge commits them: bounds peak memory and how
+/// far past `max_states` a doomed exploration can run.
+const MERGE_CHUNK: usize = 4096;
+
+type AbsorbFn<'a> = dyn Fn(&Marking) -> bool + Sync + 'a;
+
+/// Shared read-only context for successor computation.
+struct Explorer<'m, 'a> {
+    model: &'m SanModel,
+    opts: &'a ReachOptions,
+    expansion: &'a Expansion,
+    absorb: Option<&'a AbsorbFn<'a>>,
+    base: usize,
+    /// Timed activities, declaration order.
+    timed: Vec<ActivityId>,
+}
+
+impl Explorer<'_, '_> {
+    /// Materialises the place prefix of an extended state vector.
+    fn marking_of(&self, ext: &[u32]) -> Marking {
+        self.model.marking_from(&ext[..self.base])
+    }
+
+    /// Distributes phase counters over a freshly reached tangible place
+    /// marking: kept where an activity other than `completed` stayed
+    /// enabled (its clock keeps running), re-entered (branch split)
+    /// where an activity is newly enabled or just completed, zero where
+    /// disabled. Absorbing markings get all-zero counters — their
+    /// future is irrelevant, and canonicalising them merges states.
+    fn continue_phases(
+        &self,
+        old_ext: Option<&[u32]>,
+        completed: Option<ActivityId>,
+        tokens: &[u32],
+        prob: f64,
+        out: &mut Vec<(Vec<u32>, f64)>,
+    ) {
+        let slots = self.expansion.num_slots();
+        let mut ext = vec![0u32; self.base + slots];
+        ext[..self.base].copy_from_slice(tokens);
+        if slots == 0 {
+            out.push((ext, prob));
+            return;
+        }
+        let marking = self.model.marking_from(tokens);
+        if self.absorb.is_some_and(|f| f(&marking)) {
+            out.push((ext, prob));
+            return;
+        }
+        let mut results = vec![(ext, prob)];
+        for &(a, slot) in &self.expansion.expanded {
+            if !self.model.is_enabled(a, &marking) {
+                continue; // counter stays 0
+            }
+            // A non-zero counter in the old state means the activity
+            // was enabled there (the exploration invariant), so its
+            // clock keeps running unless it is the one that completed.
+            let keep = completed != Some(a) && old_ext.is_some_and(|o| o[slot] >= 1);
+            if keep {
+                let old = old_ext.expect("keep implies old state")[slot];
+                for (e, _) in &mut results {
+                    e[slot] = old;
+                }
+                continue;
+            }
+            let starts = &self.expansion.plans[a.index()]
+                .as_ref()
+                .expect("expanded activity has a plan")
+                .starts;
+            if let [(phase, _)] = starts.as_slice() {
+                for (e, _) in &mut results {
+                    e[slot] = *phase;
+                }
+                continue;
+            }
+            let mut split = Vec::with_capacity(results.len() * starts.len());
+            for (e, p) in results {
+                for &(phase, bp) in starts {
+                    let mut e2 = e.clone();
+                    e2[slot] = phase;
+                    split.push((e2, p * bp));
+                }
+            }
+            results = split;
+        }
+        out.append(&mut results);
+    }
+
+    /// Emits the completion outcomes of activity `a` from `ext`, where
+    /// `base_rate` is the exponential rate of the completing event.
+    fn completions(
+        &self,
+        ext: &[u32],
+        a: ActivityId,
+        base_rate: f64,
+        out: &mut Vec<(Vec<u32>, f64)>,
+        protos: &mut Vec<Proto>,
+        index: &StripedIndex,
+    ) -> Result<(), SolveError> {
+        for case in 0..self.model.num_cases(a) {
+            let case_p = self.model.case_prob(a, case);
+            if case_p <= 0.0 {
+                continue;
+            }
+            let mut after = self.marking_of(ext);
+            self.model.fire_case(&mut after, a, case);
+            let mut dist: Vec<(Vec<u32>, f64)> = Vec::new();
+            resolve_vanishing(
+                self.model,
+                self.opts,
+                after.tokens().to_vec(),
+                case_p,
+                &mut dist,
+            )?;
+            out.clear();
+            for (tokens, p) in dist {
+                self.continue_phases(Some(ext), Some(a), &tokens, p, out);
+            }
+            for (tokens, p) in out.drain(..) {
+                let target = match index.get(&tokens) {
+                    Some(i) => ProtoTarget::Known(i),
+                    None => ProtoTarget::New(tokens),
+                };
+                protos.push(Proto {
+                    activity: a,
+                    prob: p,
+                    rate: base_rate * p,
+                    completes: true,
+                    target,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes every outgoing proto-transition of one tangible state.
+    fn successors(&self, ext: &[u32], index: &StripedIndex) -> Result<Vec<Proto>, SolveError> {
+        let marking = self.marking_of(ext);
+        let mut protos = Vec::new();
+        let mut scratch = Vec::new();
+        for &a in &self.timed {
+            if !self.model.is_enabled(a, &marking) {
+                continue;
+            }
+            match &self.expansion.plans[a.index()] {
+                Some(plan) => {
+                    let slot = self.expansion.slots[a.index()];
+                    let phase = ext[slot];
+                    debug_assert!(phase >= 1, "enabled expanded activity must hold a phase");
+                    let rate = plan.rates[(phase - 1) as usize];
+                    if plan.last[(phase - 1) as usize] {
+                        self.completions(ext, a, rate, &mut scratch, &mut protos, index)?;
+                    } else {
+                        let mut next = ext.to_vec();
+                        next[slot] = phase + 1;
+                        let target = match index.get(&next) {
+                            Some(i) => ProtoTarget::Known(i),
+                            None => ProtoTarget::New(next),
+                        };
+                        protos.push(Proto {
+                            activity: a,
+                            prob: 1.0,
+                            rate,
+                            completes: false,
+                            target,
+                        });
+                    }
+                }
+                None => {
+                    let Timing::Timed(dist) = self.model.timing(a) else {
+                        unreachable!("timed list only holds timed activities")
+                    };
+                    // Unexpanded non-exponential activities keep the
+                    // strict contract: explore fine, carry a NaN rate,
+                    // fail at the CTMC build.
+                    let base_rate = match *dist {
+                        Dist::Exp { mean } => 1.0 / mean,
+                        _ => f64::NAN,
+                    };
+                    self.completions(ext, a, base_rate, &mut scratch, &mut protos, index)?;
+                }
+            }
+        }
+        Ok(protos)
     }
 }
 
@@ -99,7 +502,7 @@ impl<'m> StateSpace<'m> {
     pub fn explore_absorbing(
         model: &'m SanModel,
         opts: &ReachOptions,
-        absorb: impl Fn(&Marking) -> bool,
+        absorb: impl Fn(&Marking) -> bool + Sync,
     ) -> Result<Self, SolveError> {
         Self::explore_inner(model, opts, Some(&absorb))
     }
@@ -107,90 +510,185 @@ impl<'m> StateSpace<'m> {
     fn explore_inner(
         model: &'m SanModel,
         opts: &ReachOptions,
-        absorb: Option<&dyn Fn(&Marking) -> bool>,
+        absorb: Option<&AbsorbFn<'_>>,
     ) -> Result<Self, SolveError> {
+        let expansion = Expansion::build(model, opts.ph_order)?;
+        let base = model.num_places();
+        let explorer = Explorer {
+            model,
+            opts,
+            expansion: &expansion,
+            absorb,
+            base,
+            timed: model
+                .activity_ids()
+                .filter(|&a| matches!(model.timing(a), Timing::Timed(_)))
+                .collect(),
+        };
         let mut ss = Self {
             model,
+            base,
+            phase_slots: expansion.num_slots(),
             states: Vec::new(),
             transitions: Vec::new(),
             initial: Vec::new(),
             absorbing: Vec::new(),
         };
-        let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
-        let timed: Vec<ActivityId> = model
-            .activity_ids()
-            .filter(|&a| matches!(model.timing(a), Timing::Timed(_)))
-            .collect();
+        let mut index = StripedIndex::new();
 
-        // Resolve the initial marking's vanishing chain into the
-        // initial tangible distribution.
+        // Resolve the initial marking's vanishing chain (and phase
+        // entry) into the initial tangible distribution.
         let init_tokens = model.initial_marking().tokens().to_vec();
         let mut init_dist: Vec<(Vec<u32>, f64)> = Vec::new();
         resolve_vanishing(model, opts, init_tokens, 1.0, &mut init_dist)?;
-        let mut initial: HashMap<usize, f64> = HashMap::new();
+        let mut init_ext: Vec<(Vec<u32>, f64)> = Vec::new();
         for (tokens, p) in init_dist {
-            let idx = ss.intern(&mut index, tokens, opts, absorb)?;
-            *initial.entry(idx).or_insert(0.0) += p;
+            explorer.continue_phases(None, None, &tokens, p, &mut init_ext);
         }
-        ss.initial = initial.into_iter().collect();
-        ss.initial.sort_unstable_by_key(|&(i, _)| i);
+        let mut initial: Vec<(usize, f64)> = Vec::new();
+        for (tokens, p) in init_ext {
+            let idx = ss.intern(&mut index, tokens, opts, absorb)?;
+            match initial.iter_mut().find(|(i, _)| *i == idx) {
+                Some((_, q)) => *q += p,
+                None => initial.push((idx, p)),
+            }
+        }
+        initial.sort_unstable_by_key(|&(i, _)| i);
+        ss.initial = initial;
 
-        // Breadth-first frontier over tangible states.
-        let mut next = 0usize;
-        while next < ss.states.len() {
-            let s = next;
-            next += 1;
-            if ss.absorbing[s] {
-                continue;
+        let workers = match opts.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            t => t,
+        };
+
+        // Level-synchronous breadth-first exploration: identical state
+        // discovery order to a sequential FIFO for any worker count.
+        // Levels are processed in bounded slices so the materialised
+        // proto-transitions (which carry token vectors for new states)
+        // never exceed MERGE_CHUNK source states — in particular, a
+        // space blowing past `max_states` aborts after at most one
+        // slice of wasted work, not one full level.
+        let mut level_start = 0usize;
+        while level_start < ss.states.len() {
+            let level_end = ss.states.len();
+            let mut pos = level_start;
+            while pos < level_end {
+                let hi = (pos + MERGE_CHUNK).min(level_end);
+                ss.merge_slice(&explorer, &mut index, opts, absorb, pos, hi, workers)?;
+                pos = hi;
             }
-            let marking = model.marking_from(&ss.states[s]);
-            for &a in &timed {
-                if !model.is_enabled(a, &marking) {
-                    continue;
-                }
-                let mut outs: Vec<Transition> = Vec::new();
-                for case in 0..model.num_cases(a) {
-                    let case_p = model.case_prob(a, case);
-                    if case_p <= 0.0 {
-                        continue;
-                    }
-                    let mut after = model.marking_from(&ss.states[s]);
-                    model.fire_case(&mut after, a, case);
-                    let mut dist: Vec<(Vec<u32>, f64)> = Vec::new();
-                    resolve_vanishing(model, opts, after.tokens().to_vec(), case_p, &mut dist)?;
-                    for (tokens, p) in dist {
-                        let idx = ss.intern(&mut index, tokens, opts, absorb)?;
-                        outs.push(Transition {
-                            activity: a,
-                            prob: p,
-                            target: idx,
-                        });
-                    }
-                }
-                // Merge duplicate targets for a compact graph.
-                outs.sort_unstable_by_key(|t| t.target);
-                outs.dedup_by(|b, a| {
-                    if a.target == b.target {
-                        a.prob += b.prob;
-                        true
-                    } else {
-                        false
-                    }
-                });
-                ss.transitions[s].extend(outs);
-            }
+            level_start = level_end;
         }
         Ok(ss)
     }
 
+    /// Computes the successors of states `lo..hi` (all in the current
+    /// BFS level) across `workers` threads, then interns and commits
+    /// them sequentially in frontier order.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_slice(
+        &mut self,
+        explorer: &Explorer<'_, '_>,
+        index: &mut StripedIndex,
+        opts: &ReachOptions,
+        absorb: Option<&AbsorbFn<'_>>,
+        lo: usize,
+        hi: usize,
+        workers: usize,
+    ) -> Result<(), SolveError> {
+        let results = {
+            let slice = &self.states[lo..hi];
+            let flags = &self.absorbing[lo..hi];
+            let index_ref: &StripedIndex = index;
+            let run_one = |i: usize| -> Result<Vec<Proto>, SolveError> {
+                if flags[i] {
+                    Ok(Vec::new())
+                } else {
+                    explorer.successors(&slice[i], index_ref)
+                }
+            };
+            if workers <= 1 || slice.len() < PARALLEL_THRESHOLD {
+                (0..slice.len()).map(run_one).collect::<Vec<_>>()
+            } else {
+                let chunk = slice.len().div_ceil(workers);
+                let mut chunks: Vec<Vec<Result<Vec<Proto>, SolveError>>> =
+                    Vec::with_capacity(workers);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let wlo = w * chunk;
+                            let whi = ((w + 1) * chunk).min(slice.len());
+                            let run_one = &run_one;
+                            scope.spawn(move || (wlo..whi).map(run_one).collect::<Vec<_>>())
+                        })
+                        .collect();
+                    for h in handles {
+                        chunks.push(h.join().expect("exploration worker panicked"));
+                    }
+                });
+                chunks.into_iter().flatten().collect()
+            }
+        };
+        // Sequential merge, in frontier order: intern new targets,
+        // merge duplicate targets per activity, commit transitions.
+        for (off, protos) in results.into_iter().enumerate() {
+            let s = lo + off;
+            let protos = protos?;
+            let mut outs: Vec<Transition> = Vec::with_capacity(protos.len());
+            for p in protos {
+                let target = match p.target {
+                    ProtoTarget::Known(i) => i,
+                    ProtoTarget::New(tokens) => self.intern(index, tokens, opts, absorb)?,
+                };
+                outs.push(Transition {
+                    activity: p.activity,
+                    prob: p.prob,
+                    rate: p.rate,
+                    completes: p.completes,
+                    target,
+                });
+            }
+            // Merge duplicate targets within each activity's run
+            // for a compact graph (activities are contiguous).
+            let mut merged: Vec<Transition> = Vec::with_capacity(outs.len());
+            let mut i = 0;
+            while i < outs.len() {
+                let mut j = i;
+                while j < outs.len() && outs[j].activity == outs[i].activity {
+                    j += 1;
+                }
+                let group = &mut outs[i..j];
+                group.sort_unstable_by_key(|t| t.target);
+                for t in group.iter() {
+                    match merged.last_mut() {
+                        Some(m)
+                            if m.activity == t.activity
+                                && m.target == t.target
+                                && m.completes == t.completes =>
+                        {
+                            m.prob += t.prob;
+                            m.rate += t.rate;
+                        }
+                        _ => merged.push(*t),
+                    }
+                }
+                i = j;
+            }
+            self.transitions[s] = merged;
+        }
+        Ok(())
+    }
+
     fn intern(
         &mut self,
-        index: &mut HashMap<Vec<u32>, usize>,
+        index: &mut StripedIndex,
         tokens: Vec<u32>,
         opts: &ReachOptions,
-        absorb: Option<&dyn Fn(&Marking) -> bool>,
+        absorb: Option<&AbsorbFn<'_>>,
     ) -> Result<usize, SolveError> {
-        if let Some(&i) = index.get(&tokens) {
+        if let Some(i) = index.get(&tokens) {
             return Ok(i);
         }
         if self.states.len() >= opts.max_states {
@@ -200,9 +698,10 @@ impl<'m> StateSpace<'m> {
         }
         let i = self.states.len();
         let absorbing = match absorb {
-            Some(pred) => pred(&self.model.marking_from(&tokens)),
+            Some(pred) => pred(&self.model.marking_from(&tokens[..self.base])),
             None => false,
         };
+        let tokens: Arc<[u32]> = tokens.into();
         index.insert(tokens.clone(), i);
         self.states.push(tokens);
         self.transitions.push(Vec::new());
@@ -230,9 +729,16 @@ impl<'m> StateSpace<'m> {
         self.transitions.iter().map(Vec::len).sum()
     }
 
+    /// Number of places (the marking prefix length of each state
+    /// vector; phase counters follow).
+    pub fn num_places(&self) -> usize {
+        self.base
+    }
+
     /// Materialises state `i` as a [`Marking`] (for reward evaluation).
+    /// Phase counters are not part of the marking.
     pub fn marking(&self, i: usize) -> Marking {
-        self.model.marking_from(&self.states[i])
+        self.model.marking_from(&self.states[i][..self.base])
     }
 }
 
@@ -318,6 +824,8 @@ mod tests {
         assert_eq!(ss.initial, vec![(0, 1.0)]);
         assert_eq!(ss.transitions[0].len(), 1);
         assert_eq!(ss.transitions[0][0].target, 1);
+        assert!((ss.transitions[0][0].rate - 0.5).abs() < 1e-12);
+        assert!(ss.transitions[0][0].completes);
         assert!(ss.transitions[1].is_empty(), "q-state is dead");
     }
 
@@ -487,5 +995,216 @@ mod tests {
         let a = ss.transitions[0][0].target;
         assert!(ss.absorbing[a]);
         assert!(ss.transitions[a].is_empty());
+    }
+
+    /// A deterministic activity expanded at order k becomes an Erlang
+    /// chain: k phase states plus the absorbing end.
+    #[test]
+    fn det_activity_expands_to_erlang_chain() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Det(2.0))
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        let m = b.build().unwrap();
+        for order in [1u32, 3, 4] {
+            let opts = ReachOptions {
+                ph_order: order,
+                ..ReachOptions::default()
+            };
+            let ss = StateSpace::explore(&m, &opts).unwrap();
+            assert_eq!(ss.phase_slots, 1);
+            assert_eq!(
+                ss.len(),
+                order as usize + 1,
+                "order {order}: one state per stage plus the end"
+            );
+            // Every stage advances at rate k/mean; the last completes.
+            let rate = order as f64 / 2.0;
+            let mut completions = 0;
+            for outs in &ss.transitions {
+                for t in outs {
+                    assert!((t.rate - rate).abs() < 1e-12);
+                    completions += usize::from(t.completes);
+                }
+            }
+            assert_eq!(completions, 1, "exactly one completing transition");
+        }
+    }
+
+    /// A bimodal activity expands to a two-branch hyper-Erlang: the
+    /// initial distribution splits over the branch heads.
+    #[test]
+    fn bimodal_activity_splits_on_entry() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        let dist = Dist::bimodal(0.8, (0.05, 0.08), (0.095, 0.3));
+        b.add_activity(
+            Activity::timed("t", dist.clone())
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        let m = b.build().unwrap();
+        let opts = ReachOptions {
+            ph_order: 4,
+            ..ReachOptions::default()
+        };
+        let ss = StateSpace::explore(&m, &opts).unwrap();
+        // cv² ≈ 0.43 → mixed Erlang(2)/Erlang(3): two initial states.
+        assert_eq!(ss.initial.len(), 2, "branch split at activation");
+        let total: f64 = ss.initial.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // All rates are finite: the expanded graph is Markovian.
+        for outs in &ss.transitions {
+            for t in outs {
+                assert!(t.rate.is_finite() && t.rate > 0.0);
+            }
+        }
+    }
+
+    /// Without expansion, non-exponential transitions carry NaN rates
+    /// (the CTMC build rejects them); with expansion they are finite.
+    #[test]
+    fn unexpanded_non_exponential_rates_are_nan() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::timed("det", Dist::Det(1.0))
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        let m = b.build().unwrap();
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        assert!(ss.transitions[0][0].rate.is_nan());
+    }
+
+    /// Phase counters freeze in absorbing states (canonical zero), so
+    /// goal states reached in different phases merge.
+    #[test]
+    fn absorbing_states_have_canonical_phases() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        let r = b.place("r", 1);
+        b.add_activity(
+            Activity::timed("goal", Dist::Exp { mean: 1.0 })
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        // A background deterministic ticker that stays enabled forever.
+        b.add_activity(
+            Activity::timed("tick", Dist::Det(1.0))
+                .input(r, 1)
+                .case(Case::with_prob(1.0).output(r, 1)),
+        );
+        let m = b.build().unwrap();
+        let opts = ReachOptions {
+            ph_order: 4,
+            ..ReachOptions::default()
+        };
+        let ss = StateSpace::explore_absorbing(&m, &opts, move |mk| mk.get(q) >= 1).unwrap();
+        let absorbed: Vec<usize> = (0..ss.len()).filter(|&s| ss.absorbing[s]).collect();
+        assert_eq!(absorbed.len(), 1, "one canonical absorbing state");
+        let a = absorbed[0];
+        assert!(ss.states[a][ss.num_places()..].iter().all(|&x| x == 0));
+    }
+
+    /// A disabled expanded activity loses its phase (restart policy);
+    /// continuously enabled ones keep it.
+    #[test]
+    fn restart_policy_resets_phase_on_disable() {
+        // `det` needs p; `drain` (exponential) consumes p first with
+        // some probability, disabling `det` mid-phase. The state right
+        // after draining must carry phase 0 for `det`.
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        let r = b.place("r", 0);
+        b.add_activity(
+            Activity::timed("det", Dist::Det(1.0))
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 1)),
+        );
+        b.add_activity(
+            Activity::timed("drain", Dist::Exp { mean: 1.0 })
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(r, 1)),
+        );
+        let m = b.build().unwrap();
+        let opts = ReachOptions {
+            ph_order: 4,
+            ..ReachOptions::default()
+        };
+        let ss = StateSpace::explore(&m, &opts).unwrap();
+        let det_slot = ss.num_places();
+        for s in 0..ss.len() {
+            let tokens = &ss.states[s];
+            if tokens[p.index()] == 0 {
+                assert_eq!(tokens[det_slot], 0, "disabled activity keeps no phase");
+            } else {
+                assert!(tokens[det_slot] >= 1, "enabled activity holds a phase");
+            }
+        }
+    }
+
+    /// Exploration is identical for any thread count, including the
+    /// exact state ordering and every transition field.
+    #[test]
+    fn parallel_exploration_is_deterministic() {
+        // A branching model big enough to cross the parallel threshold:
+        // several tokens walking independent deterministic pipelines.
+        let mut b = SanBuilder::new("m");
+        for lane in 0..4 {
+            let mut prev = b.place(format!("l{lane}_0"), 1);
+            for st in 1..5 {
+                let next = b.place(format!("l{lane}_{st}"), 0);
+                b.add_activity(
+                    Activity::timed(
+                        format!("t{lane}_{st}"),
+                        if st % 2 == 0 {
+                            Dist::Exp { mean: 1.0 }
+                        } else {
+                            Dist::Det(0.5)
+                        },
+                    )
+                    .input(prev, 1)
+                    .case(Case::with_prob(1.0).output(next, 1)),
+                );
+                prev = next;
+            }
+        }
+        let m = b.build().unwrap();
+        let explore = |threads: usize| {
+            let opts = ReachOptions {
+                ph_order: 3,
+                threads,
+                ..ReachOptions::default()
+            };
+            StateSpace::explore(&m, &opts).unwrap()
+        };
+        let seq = explore(1);
+        assert!(seq.len() > PARALLEL_THRESHOLD, "model too small to test");
+        for threads in [2, 8] {
+            let par = explore(threads);
+            assert_eq!(seq.states, par.states, "{threads} threads: states");
+            assert_eq!(seq.initial, par.initial);
+            assert_eq!(seq.absorbing, par.absorbing);
+            assert_eq!(seq.transitions.len(), par.transitions.len());
+            for (a, b) in seq.transitions.iter().zip(&par.transitions) {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.activity, y.activity);
+                    assert_eq!(x.target, y.target);
+                    assert_eq!(x.completes, y.completes);
+                    assert_eq!(x.prob.to_bits(), y.prob.to_bits());
+                    assert_eq!(x.rate.to_bits(), y.rate.to_bits());
+                }
+            }
+        }
     }
 }

@@ -14,7 +14,7 @@
 //! 2. [`Ctmc`] — the sparse (CSR) generator matrix `Q`; models with a
 //!    reachable non-exponential timed activity are rejected with
 //!    [`SolveError::NonMarkovian`];
-//! 3. [`transient`] (uniformization with Fox–Glynn style Poisson
+//! 3. [`transient()`] (uniformization with Fox–Glynn style Poisson
 //!    truncation) and [`steady_state`] (Gauss–Seidel with convergence
 //!    diagnostics), plus [`mean_time_to_absorption`] for first-passage
 //!    means;
@@ -26,14 +26,70 @@
 //!
 //! # When does the analytic path apply?
 //!
-//! Exactly when every *reachable* timed activity has `Dist::Exp`
-//! timing. The paper's baseline parameterisation mixes deterministic
-//! CPU stages with bimodal network delays, so it is simulated; its
-//! exponential re-parameterisation
+//! Natively, exactly when every *reachable* timed activity has
+//! `Dist::Exp` timing. The paper's baseline parameterisation mixes
+//! deterministic CPU stages with bimodal network delays, so by default
+//! it is simulated; its exponential re-parameterisation
 //! (`ctsim_models::SanParams::exponential_baseline`) is solved, and the
 //! simulator must agree with the solution within its own confidence
 //! interval — a cross-validation of both engines (see
 //! `experiments::analytic` and `tests/analytic_vs_sim.rs`).
+//!
+//! # Phase-type expansion
+//!
+//! With [`ReachOptions::ph_order`] ≥ 1 (or [`SolveOptions::ph`]), the
+//! applicability condition widens to *any* timed distribution with a
+//! positive finite mean: each non-exponential timed activity is
+//! replaced during reachability exploration by its hyper-Erlang
+//! [`PhaseType`](ctsim_stoch::PhaseType) fit, and the state vector
+//! gains one phase counter per expanded activity. The moment-matching
+//! rules (see `ctsim_stoch::phase`):
+//!
+//! | target                    | expansion (order `K`)                     | moments matched |
+//! |---------------------------|-------------------------------------------|-----------------|
+//! | `Exp`, `Erlang`           | itself (exact passthrough)                | all             |
+//! | `cv² > 1` (heavy tail)    | balanced-means hyperexponential, 2 phases | first two       |
+//! | `1/K ≤ cv² < 1`           | mixed Erlang(k−1)/Erlang(k), `k = ⌈1/cv²⌉`| first two       |
+//! | `cv² < 1/K` (e.g. `Det`)  | Erlang(K), the min-variance order-K PH    | mean only       |
+//!
+//! Deterministic stages therefore converge at rate `1/K` in variance;
+//! the convergence tests in `tests/analytic_vs_sim.rs` show the PH
+//! answer entering the simulator's 90 % confidence band as the order
+//! grows on the paper's *real* Fig. 7 parameters.
+//!
+//! The price is state-space growth — roughly the product of the phase
+//! counts of the concurrently enabled expanded activities. Measured on
+//! the paper's consensus model (class 1, no crashes, first-passage
+//! exploration to the first decision; order 1 equals the exponential
+//! count because every expansion collapses to one phase):
+//!
+//! | n | `ph_order` 1 | 2 | 3 | 4 |
+//! |---|-------------:|--------:|----------:|----------:|
+//! | 2 |           20 |      42 |        82 |       111 |
+//! | 3 |      135 125 | 534 429 | 2 335 749 | > 4 × 10⁶ |
+//!
+//! n = 3 at order 3 already needs minutes of exploration and gigabytes
+//! of state table — which is why exploration is multi-threaded (below)
+//! and why `experiments::analytic` keeps n = 3 phase-type rows behind
+//! the full scale, where the state cap turns them into explicit skips.
+//!
+//! Prefer the **simulator** when the expanded space would exceed a few
+//! million states (deep PH orders, large `n`, two-state FD submodels),
+//! when distribution tails beyond the second moment matter, or when
+//! the model is honestly non-Markovian in structure (the PH answer is
+//! an approximation for `Det`/`Uniform`-like stages, exact only in the
+//! matched moments). Prefer the **solver** for small-`n` exact answers,
+//! CI-fast regression pins, and tail probabilities far beyond what
+//! replications can resolve.
+//!
+//! # Parallel exploration
+//!
+//! [`ReachOptions::threads`] fans the breadth-first exploration out
+//! over `std::thread` workers (level-synchronous sharded frontier,
+//! lock-free reads of a striped state index, in-order merge). The
+//! discovery order — and therefore the CSR generator — is byte-
+//! identical for every thread count; `threads` is purely a wall-clock
+//! knob, exactly like the replication fan-out in `ctsim_san::replicate`.
 //!
 //! # Example
 //!
@@ -78,12 +134,49 @@ pub use steady::{
 };
 pub use transient::{transient, Transient, TransientOptions};
 
+/// Every knob of one analytic solve, bundled: exploration limits plus
+/// phase-type order and thread count (in [`ReachOptions`]), iterative-
+/// solver tolerances, and transient truncation. The `repro analytic`
+/// command and the experiment layer configure solves through this.
+#[derive(Debug, Clone, Default)]
+pub struct SolveOptions {
+    /// Exploration limits, phase-type expansion order, threads.
+    pub reach: ReachOptions,
+    /// Gauss–Seidel tolerance and sweep budget.
+    pub iter: IterOptions,
+    /// Uniformization truncation tolerance and term cap.
+    pub transient: TransientOptions,
+}
+
+impl SolveOptions {
+    /// Default options with the given phase-type order and exploration
+    /// thread count (`threads = 0` means one worker per core).
+    pub fn ph(ph_order: u32, threads: usize) -> Self {
+        Self {
+            reach: ReachOptions {
+                ph_order,
+                threads,
+                ..ReachOptions::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
 /// Why an analytic solve failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SolveError {
-    /// A reachable timed activity is not exponentially distributed, so
-    /// the marking process is not a CTMC. Use the simulator instead.
+    /// A reachable timed activity is not exponentially distributed and
+    /// phase-type expansion is off, so the marking process is not a
+    /// CTMC. Raise [`ReachOptions::ph_order`] or use the simulator.
     NonMarkovian {
+        /// Name of the offending activity.
+        activity: String,
+    },
+    /// Phase-type expansion was requested but an activity's delay
+    /// distribution has no positive finite mean to match (e.g. a point
+    /// mass at zero — model that as an instantaneous activity).
+    PhaseUnfittable {
         /// Name of the offending activity.
         activity: String,
     },
@@ -131,7 +224,13 @@ impl fmt::Display for SolveError {
             SolveError::NonMarkovian { activity } => write!(
                 f,
                 "timed activity `{activity}` is not exponential: the model \
-                 has no underlying CTMC (use the simulation solver)"
+                 has no underlying CTMC (enable phase-type expansion via \
+                 ph_order or use the simulation solver)"
+            ),
+            SolveError::PhaseUnfittable { activity } => write!(
+                f,
+                "timed activity `{activity}` has no positive finite mean \
+                 delay: no phase-type distribution can represent it"
             ),
             SolveError::StateSpaceTooLarge { limit } => {
                 write!(f, "reachable state space exceeds {limit} states")

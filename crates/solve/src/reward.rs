@@ -10,14 +10,13 @@
 //! workflow ("time until a predicate holds") into a `RunOutcome`-style
 //! result comparable against [`ctsim_san::replicate`] statistics.
 
-use ctsim_san::{ActivityId, Marking, SanModel, Timing};
-use ctsim_stoch::Dist;
+use ctsim_san::{ActivityId, Marking, SanModel};
 
 use crate::ctmc::Ctmc;
 use crate::graph::{ReachOptions, StateSpace};
 use crate::steady::{mean_time_to_absorption, IterOptions};
 use crate::transient::{transient, TransientOptions};
-use crate::SolveError;
+use crate::{SolveError, SolveOptions};
 
 /// Expected value of a rate reward (a function of the marking) under a
 /// probability vector over the state space.
@@ -42,30 +41,32 @@ pub fn probability(space: &StateSpace<'_>, probs: &[f64], pred: impl Fn(&Marking
 }
 
 /// Expected completion frequency (1/ms) of impulse-rewarded activities:
-/// `Σ_s π_s Σ_a enabled(a, s) · r(a)/mean_a`. With `r = 1` for one
-/// activity this is its long-run firing rate, the analytic counterpart
-/// of [`ctsim_san::Simulator::firing_counts`] per unit time.
+/// `Σ_s π_s Σ_t completing(t) · r(activity_t) · rate_t`. With `r = 1`
+/// for one activity this is its long-run firing rate, the analytic
+/// counterpart of [`ctsim_san::Simulator::firing_counts`] per unit
+/// time. Internal phase advances of expanded activities do not count as
+/// completions; transitions of unexpanded non-exponential activities
+/// (NaN rate) are skipped, as before the phase-type layer.
 pub fn expected_impulse_rate(
     space: &StateSpace<'_>,
     probs: &[f64],
     reward: impl Fn(ActivityId) -> f64,
 ) -> f64 {
     assert_eq!(probs.len(), space.len());
-    let model = space.model();
     let mut total = 0.0;
     for (s, outs) in space.transitions.iter().enumerate() {
         if probs[s] <= 0.0 {
             continue;
         }
         for t in outs {
+            if !t.completes || !t.rate.is_finite() {
+                continue;
+            }
             let r = reward(t.activity);
             if r == 0.0 {
                 continue;
             }
-            let Timing::Timed(Dist::Exp { mean }) = model.timing(t.activity) else {
-                continue;
-            };
-            total += probs[s] * t.prob * r / mean;
+            total += probs[s] * t.rate * r;
         }
     }
     total
@@ -111,15 +112,27 @@ impl<'m> AnalyticRun<'m> {
     /// # Errors
     /// Exploration errors ([`SolveError::StateSpaceTooLarge`],
     /// [`SolveError::VanishingLoop`]) or [`SolveError::NonMarkovian`]
-    /// when a reachable timed activity is not exponential.
+    /// when a reachable timed activity is not exponential and
+    /// [`ReachOptions::ph_order`] is 0 (no phase-type expansion).
     pub fn first_passage(
         model: &'m SanModel,
         opts: &ReachOptions,
-        goal: impl Fn(&Marking) -> bool,
+        goal: impl Fn(&Marking) -> bool + Sync,
     ) -> Result<Self, SolveError> {
         let space = StateSpace::explore_absorbing(model, opts, goal)?;
         let ctmc = Ctmc::from_state_space(&space)?;
         Ok(Self { space, ctmc })
+    }
+
+    /// [`AnalyticRun::first_passage`] with the top-level
+    /// [`SolveOptions`] bundle — the entry point experiment code uses
+    /// to dial phase-type order and exploration threads.
+    pub fn first_passage_with(
+        model: &'m SanModel,
+        opts: &SolveOptions,
+        goal: impl Fn(&Marking) -> bool + Sync,
+    ) -> Result<Self, SolveError> {
+        Self::first_passage(model, &opts.reach, goal)
     }
 
     /// The explored state space.

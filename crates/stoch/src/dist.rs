@@ -130,6 +130,43 @@ impl Dist {
         }
     }
 
+    /// The exact variance of the distribution (ms²).
+    pub fn variance(&self) -> f64 {
+        match *self {
+            Dist::Det(_) => 0.0,
+            Dist::Exp { mean } => mean * mean,
+            Dist::Uniform { lo, hi } => (hi - lo) * (hi - lo) / 12.0,
+            Dist::Weibull { shape, scale } => {
+                let g1 = gamma(1.0 + 1.0 / shape);
+                let g2 = gamma(1.0 + 2.0 / shape);
+                scale * scale * (g2 - g1 * g1)
+            }
+            Dist::Erlang { k, mean } => mean * mean / k.max(1) as f64,
+            Dist::Bimodal {
+                p1,
+                lo1,
+                hi1,
+                lo2,
+                hi2,
+            } => {
+                // E[X²] of U[a,b] is (a² + ab + b²)/3.
+                let m2 = |lo: f64, hi: f64| (lo * lo + lo * hi + hi * hi) / 3.0;
+                let second = p1 * m2(lo1, hi1) + (1.0 - p1) * m2(lo2, hi2);
+                let mean = self.mean();
+                (second - mean * mean).max(0.0)
+            }
+            // A deterministic shift leaves the variance untouched.
+            Dist::Shifted { ref jitter, .. } => jitter.variance(),
+        }
+    }
+
+    /// The squared coefficient of variation `Var(X)/E[X]²` (0 for
+    /// deterministic, 1 for exponential; NaN when the mean is 0).
+    pub fn scv(&self) -> f64 {
+        let m = self.mean();
+        self.variance() / (m * m)
+    }
+
     /// The cumulative distribution function `P(X <= x)`.
     pub fn cdf(&self, x: f64) -> f64 {
         if x.is_nan() {

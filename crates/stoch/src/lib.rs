@@ -12,6 +12,9 @@
 //! * empirical CDFs for the latency-distribution figures
 //!   ([`stats::Ecdf`]),
 //! * the bimodal-fit procedure of the paper's §5.1 ([`fit`]),
+//! * phase-type (hyper-Erlang) moment matching, which the analytic
+//!   solver uses to Markovianize deterministic and bi-modal stages
+//!   ([`PhaseType`]),
 //! * reproducible, splittable RNG streams ([`SimRng`]).
 //!
 //! All durations handled by this crate are `f64` **milliseconds** — the
@@ -20,9 +23,11 @@
 
 pub mod dist;
 pub mod fit;
+pub mod phase;
 pub mod rng;
 pub mod stats;
 
 pub use dist::Dist;
+pub use phase::{PhBranch, PhaseType};
 pub use rng::SimRng;
 pub use stats::{BatchMeans, Ecdf, Histogram, OnlineStats};

@@ -1,0 +1,408 @@
+//! Phase-type (hyper-Erlang) approximation of delay distributions.
+//!
+//! The analytic solver in `ctsim-solve` requires every timed activity to
+//! be exponential — the paper's actual parameterisation (deterministic
+//! CPU stages, bi-modal uniform network delays) is not. The standard
+//! Markovianization trick is to replace each non-exponential delay by a
+//! *phase-type* distribution: an absorbing chain of exponential stages
+//! whose absorption time matches the target's first moments. The CTMC
+//! machinery then applies unchanged, at the price of a larger state
+//! space (one phase counter per active expanded activity).
+//!
+//! This module keeps the representation deliberately structured — a
+//! **hyper-Erlang** mixture, i.e. a probabilistic choice among Erlang
+//! branches — rather than a general (α, T) matrix pair. Hyper-Erlang
+//! distributions are dense in the non-negative distributions, every
+//! moment is in closed form, and the branch/stage structure maps
+//! directly onto the per-activity phase counters the reachability
+//! exploration maintains.
+//!
+//! [`PhaseType::fit`] is the moment-matching entry point:
+//!
+//! * `Exp` and `Erlang` targets pass through **exactly** (they already
+//!   are phase-type);
+//! * targets with squared coefficient of variation `cv² > 1` get the
+//!   balanced-means two-phase hyperexponential (exact first two
+//!   moments);
+//! * targets with `1/order ≤ cv² ≤ 1` get the classic mixed
+//!   Erlang(k−1)/Erlang(k) fit (Tijms), again exact in the first two
+//!   moments, with `k = ⌈1/cv²⌉`;
+//! * lower-variance targets (deterministic stages in particular, where
+//!   `cv² = 0`) cannot be matched by any finite chain: they get an
+//!   `Erlang(order)`, the minimum-variance phase-type of that order, so
+//!   the approximation error shrinks as `1/order`.
+
+use crate::dist::Dist;
+
+/// One Erlang branch of a hyper-Erlang distribution: with probability
+/// `prob`, the delay is the sum of `stages` iid exponential stages of
+/// rate `rate` (1/ms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhBranch {
+    /// Probability of taking this branch (branch probs sum to 1).
+    pub prob: f64,
+    /// Number of exponential stages (≥ 1).
+    pub stages: u32,
+    /// Rate of every stage in this branch (1/ms).
+    pub rate: f64,
+}
+
+impl PhBranch {
+    /// Mean of this branch's Erlang: `stages / rate`.
+    pub fn mean(&self) -> f64 {
+        self.stages as f64 / self.rate
+    }
+
+    /// Second moment of this branch's Erlang: `k(k+1)/rate²`.
+    pub fn second_moment(&self) -> f64 {
+        let k = self.stages as f64;
+        k * (k + 1.0) / (self.rate * self.rate)
+    }
+}
+
+/// A hyper-Erlang phase-type distribution: a probabilistic mixture of
+/// Erlang branches. See the module docs for why this representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseType {
+    branches: Vec<PhBranch>,
+}
+
+impl PhaseType {
+    /// A single exponential phase with the given mean (ms).
+    ///
+    /// # Panics
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(mean: f64) -> Self {
+        Self::erlang(1, mean)
+    }
+
+    /// An Erlang of `k` stages with *total* mean `mean` (ms) — the same
+    /// convention as [`Dist::Erlang`].
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `mean` is not positive and finite.
+    pub fn erlang(k: u32, mean: f64) -> Self {
+        assert!(k >= 1, "an Erlang needs at least one stage");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "phase-type mean must be positive and finite, got {mean}"
+        );
+        Self {
+            branches: vec![PhBranch {
+                prob: 1.0,
+                stages: k,
+                rate: k as f64 / mean,
+            }],
+        }
+    }
+
+    /// A hyperexponential: branch `i` is a single exponential stage of
+    /// mean `means[i]` taken with probability `probs[i]`.
+    ///
+    /// # Panics
+    /// Panics if the slices disagree in length, are empty, the probs do
+    /// not sum to 1, or any mean is not positive and finite.
+    pub fn hyperexponential(probs: &[f64], means: &[f64]) -> Self {
+        assert_eq!(probs.len(), means.len(), "probs/means length mismatch");
+        assert!(!probs.is_empty(), "hyperexponential needs a branch");
+        let total: f64 = probs.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "branch probabilities must sum to 1, got {total}"
+        );
+        let branches = probs
+            .iter()
+            .zip(means)
+            .map(|(&p, &m)| {
+                assert!(p >= 0.0, "negative branch probability");
+                assert!(m.is_finite() && m > 0.0, "branch mean must be positive");
+                PhBranch {
+                    prob: p,
+                    stages: 1,
+                    rate: 1.0 / m,
+                }
+            })
+            .collect();
+        Self { branches }
+    }
+
+    /// Fits a phase-type approximation of `dist` with at most `order`
+    /// stages per branch, matching the first two moments exactly
+    /// whenever the order allows (see the module docs for the rules).
+    ///
+    /// `Exp` and `Erlang` targets are returned exactly (passthrough),
+    /// even when the Erlang's stage count exceeds `order` — an exact
+    /// representation always beats an approximation of the same family.
+    ///
+    /// # Panics
+    /// Panics if `order == 0` or `dist` has a non-positive or
+    /// non-finite mean (such a delay has no phase-type representation;
+    /// model it as an instantaneous activity instead).
+    pub fn fit(dist: &Dist, order: u32) -> Self {
+        assert!(order >= 1, "phase-type order must be at least 1");
+        match *dist {
+            Dist::Exp { mean } => Self::exponential(mean),
+            Dist::Erlang { k, mean } => Self::erlang(k.max(1), mean),
+            ref other => {
+                let m1 = other.mean();
+                assert!(
+                    m1.is_finite() && m1 > 0.0,
+                    "cannot fit a phase-type to a distribution with mean {m1}"
+                );
+                let cv2 = other.variance() / (m1 * m1);
+                Self::fit_moments(m1, cv2, order)
+            }
+        }
+    }
+
+    /// Two-moment fit from `(mean, cv²)` directly.
+    fn fit_moments(m1: f64, cv2: f64, order: u32) -> Self {
+        if (cv2 - 1.0).abs() < 1e-12 {
+            return Self::exponential(m1);
+        }
+        if cv2 > 1.0 {
+            // Balanced-means two-phase hyperexponential: matches the
+            // first two moments for any cv² > 1 with just two phases.
+            let p = 0.5 * (1.0 + ((cv2 - 1.0) / (cv2 + 1.0)).sqrt());
+            return Self::hyperexponential(
+                &[p, 1.0 - p],
+                &[m1 / (2.0 * p), m1 / (2.0 * (1.0 - p))],
+            );
+        }
+        // cv² < 1: mixed Erlang(k−1)/Erlang(k) with a common rate
+        // (Tijms 1994). Exact when 1/k ≤ cv² (i.e. k = ⌈1/cv²⌉ fits in
+        // the order budget); otherwise the best-in-order Erlang(order).
+        let needed = (1.0 / cv2).ceil();
+        if !needed.is_finite() || needed > order as f64 {
+            return Self::erlang(order, m1);
+        }
+        let k = (needed as u32).max(2);
+        let kf = k as f64;
+        let p = (kf * cv2 - (kf * (1.0 + cv2) - kf * kf * cv2).sqrt()) / (1.0 + cv2);
+        let rate = (kf - p) / m1;
+        if p <= 1e-12 {
+            return Self::erlang(k, m1);
+        }
+        Self {
+            branches: vec![
+                PhBranch {
+                    prob: p,
+                    stages: k - 1,
+                    rate,
+                },
+                PhBranch {
+                    prob: 1.0 - p,
+                    stages: k,
+                    rate,
+                },
+            ],
+        }
+    }
+
+    /// The branches of the mixture, in a stable order.
+    pub fn branches(&self) -> &[PhBranch] {
+        &self.branches
+    }
+
+    /// Total number of phases `Σ_b stages_b` — the size of the phase
+    /// counter an expanded activity contributes to the state vector.
+    pub fn num_phases(&self) -> u32 {
+        self.branches.iter().map(|b| b.stages).sum()
+    }
+
+    /// The exact mean (ms).
+    pub fn mean(&self) -> f64 {
+        self.branches.iter().map(|b| b.prob * b.mean()).sum()
+    }
+
+    /// The exact second moment `E[X²]` (ms²).
+    pub fn second_moment(&self) -> f64 {
+        self.branches
+            .iter()
+            .map(|b| b.prob * b.second_moment())
+            .sum()
+    }
+
+    /// The exact variance (ms²).
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        (self.second_moment() - m * m).max(0.0)
+    }
+
+    /// The squared coefficient of variation.
+    pub fn scv(&self) -> f64 {
+        let m = self.mean();
+        self.variance() / (m * m)
+    }
+
+    /// The CDF `P(X ≤ x)`: a mixture of Erlang CDFs.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        if x <= 0.0 {
+            return 0.0;
+        }
+        self.branches
+            .iter()
+            .map(|b| {
+                b.prob
+                    * Dist::Erlang {
+                        k: b.stages,
+                        mean: b.mean(),
+                    }
+                    .cdf(x)
+            })
+            .sum()
+    }
+
+    /// The equivalent [`Dist`], when one exists: `Exp` for a single
+    /// one-stage branch, `Erlang` for a single multi-stage branch,
+    /// `None` for genuine mixtures (which `Dist` cannot express).
+    pub fn as_dist(&self) -> Option<Dist> {
+        match self.branches.as_slice() {
+            [b] if b.stages == 1 => Some(Dist::Exp { mean: b.mean() }),
+            [b] => Some(Dist::Erlang {
+                k: b.stages,
+                mean: b.mean(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_two_moments(ph: &PhaseType, dist: &Dist) {
+        assert!(
+            (ph.mean() - dist.mean()).abs() < 1e-9,
+            "mean {} vs {}",
+            ph.mean(),
+            dist.mean()
+        );
+        assert!(
+            (ph.variance() - dist.variance()).abs() < 1e-9,
+            "variance {} vs {}",
+            ph.variance(),
+            dist.variance()
+        );
+    }
+
+    #[test]
+    fn exponential_and_erlang_pass_through_exactly() {
+        let e = Dist::Exp { mean: 2.5 };
+        let ph = PhaseType::fit(&e, 1);
+        assert_eq!(ph.as_dist(), Some(e.clone()));
+        assert_two_moments(&ph, &e);
+        // Erlang passthrough is exact even above the order budget.
+        let k = Dist::Erlang { k: 7, mean: 3.0 };
+        let ph = PhaseType::fit(&k, 2);
+        assert_eq!(ph.num_phases(), 7);
+        assert_eq!(ph.as_dist(), Some(k.clone()));
+        assert_two_moments(&ph, &k);
+    }
+
+    #[test]
+    fn order_one_fit_is_mean_matched_exponential() {
+        for d in [
+            Dist::Det(0.115),
+            Dist::Uniform { lo: 0.05, hi: 0.3 },
+            Dist::bimodal(0.8, (0.05, 0.08), (0.095, 0.3)),
+        ] {
+            let ph = PhaseType::fit(&d, 1);
+            assert_eq!(ph.as_dist(), Some(Dist::Exp { mean: d.mean() }));
+        }
+    }
+
+    #[test]
+    fn low_variance_targets_get_mixed_erlang_with_exact_moments() {
+        // Uniform cv² = 1/3·((hi−lo)/(hi+lo))²·4 ≤ 1/3 → k ≥ 3.
+        let u = Dist::Uniform { lo: 1.0, hi: 3.0 };
+        let k = (1.0 / u.scv()).ceil() as u32;
+        let ph = PhaseType::fit(&u, k);
+        assert_two_moments(&ph, &u);
+        assert!(ph.num_phases() <= 2 * k);
+        // The paper's bimodal network delay, cv² ≈ 0.43 → k = 3.
+        let b = Dist::bimodal(0.8, (0.05, 0.08), (0.095, 0.3));
+        let ph = PhaseType::fit(&b, 4);
+        assert_two_moments(&ph, &b);
+    }
+
+    #[test]
+    fn high_variance_targets_get_hyperexponential_with_exact_moments() {
+        // Weibull with shape < 1 has cv² > 1.
+        let w = Dist::Weibull {
+            shape: 0.6,
+            scale: 1.0,
+        };
+        assert!(w.scv() > 1.0);
+        let ph = PhaseType::fit(&w, 4);
+        assert_eq!(ph.num_phases(), 2, "H2 needs two phases");
+        assert_two_moments(&ph, &w);
+    }
+
+    #[test]
+    fn deterministic_target_gets_erlang_of_the_full_order() {
+        let d = Dist::Det(0.025);
+        for order in [1u32, 2, 4, 16] {
+            let ph = PhaseType::fit(&d, order);
+            assert_eq!(ph.num_phases(), order);
+            assert!((ph.mean() - 0.025).abs() < 1e-12, "mean is always exact");
+            let expect_var = 0.025 * 0.025 / order as f64;
+            assert!((ph.variance() - expect_var).abs() < 1e-12);
+        }
+        // Variance decreases monotonically with the order.
+        let v4 = PhaseType::fit(&d, 4).variance();
+        let v16 = PhaseType::fit(&d, 16).variance();
+        assert!(v16 < v4);
+    }
+
+    #[test]
+    fn insufficient_order_falls_back_to_best_in_order_erlang() {
+        // cv² = 1/12 / 1 ≈ 0.083 → needs k = 12; order 4 can't match.
+        let u = Dist::Uniform { lo: 0.5, hi: 1.5 };
+        let ph = PhaseType::fit(&u, 4);
+        assert_eq!(ph.num_phases(), 4);
+        assert!((ph.mean() - 1.0).abs() < 1e-12, "mean still exact");
+        assert!(
+            ph.variance() > u.variance(),
+            "variance floor is mean²/order"
+        );
+    }
+
+    #[test]
+    fn cdf_is_a_proper_distribution_function() {
+        let ph = PhaseType::fit(&Dist::bimodal(0.8, (0.05, 0.08), (0.095, 0.3)), 4);
+        assert_eq!(ph.cdf(0.0), 0.0);
+        let mut prev = 0.0;
+        for i in 1..200 {
+            let c = ph.cdf(i as f64 * 0.01);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!(ph.cdf(100.0) > 0.999999);
+    }
+
+    #[test]
+    fn shifted_jitter_fits_through_the_total_moments() {
+        let s = Dist::shifted(1.0, Dist::Exp { mean: 0.5 });
+        // cv² = 0.25/2.25 = 1/9 → k = 9 matches exactly.
+        let ph = PhaseType::fit(&s, 9);
+        assert_two_moments(&ph, &s);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 1")]
+    fn zero_order_panics() {
+        let _ = PhaseType::fit(&Dist::Det(1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean")]
+    fn zero_mean_panics() {
+        let _ = PhaseType::fit(&Dist::Det(0.0), 4);
+    }
+}

@@ -6,7 +6,7 @@ use ct_consensus_repro::san::{Activity, Case, SanBuilder, SanModel};
 use ct_consensus_repro::solve::{
     steady_state, transient, Ctmc, IterOptions, ReachOptions, StateSpace, TransientOptions,
 };
-use ct_consensus_repro::stoch::Dist;
+use ct_consensus_repro::stoch::{Dist, PhaseType};
 use proptest::prelude::*;
 
 /// A birth–death chain over `means.len() + 1` levels: one token walks
@@ -118,6 +118,155 @@ proptest! {
                 sol.probs[s],
                 pi.probs[s]
             );
+        }
+    }
+}
+
+/// A random fittable target distribution: positive mean, and its
+/// squared coefficient of variation bounded away from the regimes a
+/// small-order fit cannot match (the test picks the order from cv²).
+fn arb_fittable() -> impl Strategy<Value = Dist> {
+    prop_oneof![
+        (0.05f64..5.0).prop_map(|m| Dist::Exp { mean: m }),
+        (1u32..8, 0.05f64..5.0).prop_map(|(k, m)| Dist::Erlang { k, mean: m }),
+        (0.05f64..2.0, 0.05f64..3.0).prop_map(|(lo, w)| Dist::Uniform { lo, hi: lo + w }),
+        // Weibull spans both cv² < 1 (shape > 1) and cv² > 1 (shape < 1).
+        (0.6f64..3.0, 0.1f64..2.0).prop_map(|(shape, scale)| Dist::Weibull { shape, scale }),
+        (
+            0.1f64..0.9,
+            0.05f64..1.0,
+            0.01f64..0.5,
+            0.05f64..1.0,
+            0.01f64..0.8
+        )
+            .prop_map(|(p1, lo1, w1, gap, w2)| {
+                let hi1 = lo1 + w1;
+                Dist::bimodal(p1, (lo1, hi1), (hi1 + gap, hi1 + gap + w2))
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96, .. ProptestConfig::default()
+    })]
+
+    /// `PhaseType::fit` matches the target's first two moments within
+    /// 1e-9 whenever the order is large enough (`⌈1/cv²⌉` stages), for
+    /// every fittable `Dist` variant.
+    #[test]
+    fn phase_fit_matches_first_two_moments(dist in arb_fittable()) {
+        let cv2 = dist.scv();
+        // The mixed-Erlang rule needs k = ⌈1/cv²⌉ stages; cap the test
+        // at 64 to keep degenerate near-deterministic draws bounded.
+        let needed = if cv2 >= 1.0 { 2.0 } else { (1.0 / cv2).ceil() };
+        if !(needed.is_finite() && needed <= 64.0) {
+            return Ok(()); // cv² ≈ 0: only mean-matchable, skip
+        }
+        let ph = PhaseType::fit(&dist, needed as u32);
+        prop_assert!(
+            (ph.mean() - dist.mean()).abs() < 1e-9,
+            "mean {} vs {} for {dist:?}",
+            ph.mean(),
+            dist.mean()
+        );
+        prop_assert!(
+            (ph.variance() - dist.variance()).abs() < 1e-9,
+            "variance {} vs {} for {dist:?} (cv² {cv2})",
+            ph.variance(),
+            dist.variance()
+        );
+        // Branch probabilities form a distribution.
+        let total: f64 = ph.branches().iter().map(|b| b.prob).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "branch mass {total}");
+    }
+
+    /// Whatever the order budget, the fitted mean is always exact —
+    /// even when the variance cannot be matched.
+    #[test]
+    fn phase_fit_mean_is_always_exact(dist in arb_fittable(), order in 1u32..8) {
+        let ph = PhaseType::fit(&dist, order);
+        prop_assert!(
+            (ph.mean() - dist.mean()).abs() < 1e-9,
+            "mean {} vs {} at order {order} for {dist:?}",
+            ph.mean(),
+            dist.mean()
+        );
+    }
+}
+
+/// A randomized mix of deterministic, bimodal, and exponential lanes
+/// whose expanded exploration is large enough to exercise the parallel
+/// fan-out.
+fn lane_model(lanes: &[(f64, u32)]) -> SanModel {
+    let mut b = SanBuilder::new("lanes");
+    for (lane, &(mean, kind)) in lanes.iter().enumerate() {
+        let mut prev = b.place(format!("l{lane}_0"), 1);
+        for st in 0..4 {
+            let next = b.place(format!("l{lane}_{}", st + 1), 0);
+            let dist = match (st as u32 + kind) % 3 {
+                0 => Dist::Det(mean),
+                1 => Dist::bimodal(0.7, (0.5 * mean, 0.8 * mean), (mean, 2.0 * mean)),
+                _ => Dist::Exp { mean },
+            };
+            b.add_activity(
+                Activity::timed(format!("t{lane}_{st}"), dist)
+                    .input(prev, 1)
+                    .case(Case::with_prob(1.0).output(next, 1)),
+            );
+            prev = next;
+        }
+    }
+    b.build().expect("lane model is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, .. ProptestConfig::default()
+    })]
+
+    /// Parallel exploration is a pure wall-clock knob: threads 1, 2,
+    /// and 8 produce identical state spaces and bit-identical CSR
+    /// generators, for random models and expansion orders.
+    #[test]
+    fn parallel_exploration_matches_sequential(
+        lanes in proptest::collection::vec((0.2f64..2.0, 0u32..3), 2..4),
+        ph_order in 1u32..4,
+    ) {
+        let model = lane_model(&lanes);
+        let explore = |threads: usize| {
+            let opts = ReachOptions {
+                ph_order,
+                threads,
+                ..ReachOptions::default()
+            };
+            let ss = StateSpace::explore(&model, &opts).expect("explore");
+            let ctmc = Ctmc::from_state_space(&ss).expect("expanded model is Markovian");
+            (ss, ctmc)
+        };
+        let (ss1, q1) = explore(1);
+        for threads in [2usize, 8] {
+            let (ssn, qn) = explore(threads);
+            prop_assert_eq!(&ss1.states, &ssn.states, "states at {} threads", threads);
+            prop_assert_eq!(&ss1.initial, &ssn.initial);
+            prop_assert_eq!(ss1.transitions.len(), ssn.transitions.len());
+            for (a, b) in ss1.transitions.iter().zip(&ssn.transitions) {
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert_eq!(x.target, y.target);
+                    prop_assert_eq!(x.prob.to_bits(), y.prob.to_bits());
+                    prop_assert_eq!(x.rate.to_bits(), y.rate.to_bits());
+                    prop_assert_eq!(x.completes, y.completes);
+                }
+            }
+            // The CSR generator is byte-identical.
+            let (rp1, c1, r1, d1) = q1.csr();
+            let (rpn, cn, rn, dn) = qn.csr();
+            prop_assert_eq!(rp1, rpn);
+            prop_assert_eq!(c1, cn);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(r1), bits(rn));
+            prop_assert_eq!(bits(d1), bits(dn));
         }
     }
 }

@@ -8,19 +8,26 @@
 //! 1/√reps) and printed with the bench name.
 //!
 //! The `ph_expansion` group measures the phase-type path on the
-//! paper's *real* parameters: solve time vs expansion order (n = 2)
-//! and exploration wall-clock vs thread count (n = 3 exponential,
-//! 1.35 × 10⁵ states). Every measurement is appended to
-//! `BENCH_solver.json` at the workspace root.
+//! paper's *real* parameters: solve time vs expansion order (n = 2).
+//! The `concurrent_intern` group sweeps exploration threads over the
+//! lock-free intern table at n = 2 (order-4 expansion, latency-scale)
+//! and n = 3 (exponential ≈ 1.35 × 10⁵ states, order-2 ≈ 5.3 × 10⁵) —
+//! its rows are timed directly (best of a fixed repeat count, so even
+//! the smoke run yields a stable number) and carry the state count in
+//! the name, making each row a throughput measurement. Every
+//! measurement is appended to `BENCH_solver.json` at the workspace
+//! root; `ci/bench_baseline.json` pins the committed baseline that the
+//! `bench_check` binary gates against in CI.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchResult, Criterion};
 use ctsim_bench::BENCH_SEED;
-use ctsim_models::{build_model, latency_replications, SanParams};
+use ctsim_models::{build_model, decided_place_ids, latency_replications, SanParams};
 use ctsim_san::Marking;
 use ctsim_solve::{
     AnalyticRun, IterOptions, ReachOptions, SolveOptions, StateSpace, TransientOptions,
 };
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench(c: &mut Criterion) {
     let params = SanParams::exponential_baseline(2);
@@ -63,12 +70,12 @@ fn bench(c: &mut Criterion) {
     g.finish();
 
     ph_expansion(c);
-    write_results_json(c);
+    let intern_rows = concurrent_intern();
+    write_results_json(c, &intern_rows);
 }
 
 /// Phase-type expansion: solve time vs order on the paper's real
-/// (deterministic/bi-modal) n = 2 parameters, and exploration time vs
-/// thread count on the n = 3 exponential model.
+/// (deterministic/bi-modal) n = 2 parameters.
 fn ph_expansion(c: &mut Criterion) {
     let mut g = c.benchmark_group("ph_expansion");
     g.sample_size(10);
@@ -95,32 +102,88 @@ fn ph_expansion(c: &mut Criterion) {
             })
         });
     }
-
-    // Thread scaling on a space large enough to shard: the n = 3
-    // exponential model (≈ 1.35 × 10⁵ tangible states). One full
-    // exploration per iteration; the result is identical per thread
-    // count (asserted by the property tests), only wall-clock moves.
-    let params3 = SanParams::exponential_baseline(3);
-    let model3 = build_model(&params3);
-    let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
-    let mut sweep = vec![1usize, 2, cores];
-    sweep.sort_unstable();
-    sweep.dedup();
-    for threads in sweep {
-        let opts = ReachOptions {
-            threads,
-            ..ReachOptions::default()
-        };
-        g.bench_function(format!("explore_exp_n3_threads{threads}"), |b| {
-            b.iter(|| black_box(StateSpace::explore(&model3, &opts).unwrap().len()))
-        });
-    }
     g.finish();
 }
 
-/// Appends every measurement of this run to `BENCH_solver.json` at the
-/// workspace root (overwritten each run; CI uploads it as an artifact).
-fn write_results_json(c: &Criterion) {
+/// Thread sweep over the lock-free concurrent intern table: full
+/// exploration wall-clock at n = 2 and n = 3, self-timed (best of
+/// `repeats` runs) so every mode — including the CI smoke run the
+/// bench-regression gate consumes — yields a stable number. The state
+/// count rides in the row name, turning each row into a throughput
+/// metric (states per nanosecond) for `bench_check`.
+fn concurrent_intern() -> Vec<BenchResult> {
+    let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut rows = Vec::new();
+    let mut sweep =
+        |label: &str, params: SanParams, ph_order: u32, mut threads: Vec<usize>, repeats: u32| {
+            threads.sort_unstable();
+            threads.dedup();
+            let model = build_model(&params);
+            // The first-passage space of the latency workflow — the same
+            // exploration `repro analytic` and the CI scalability gate run.
+            let decided = decided_place_ids(&model, params.n);
+            for t in threads {
+                let opts = ReachOptions {
+                    ph_order,
+                    threads: t,
+                    max_states: 4 << 20,
+                    ..ReachOptions::default()
+                };
+                let mut best = f64::INFINITY;
+                let mut states = 0usize;
+                for _ in 0..repeats {
+                    let start = Instant::now();
+                    let ss = StateSpace::explore_absorbing(&model, &opts, |m| {
+                        decided.iter().any(|&d| m.get(d) > 0)
+                    })
+                    .unwrap();
+                    states = black_box(ss.len());
+                    best = best.min(start.elapsed().as_nanos() as f64);
+                }
+                let name = format!("concurrent_intern/explore_{label}_threads{t}_states{states}");
+                println!("timed {name:<68} {best:>14.0} ns/iter (best of {repeats})");
+                rows.push(BenchResult {
+                    name,
+                    ns_per_iter: best,
+                    iters: u64::from(repeats),
+                });
+            }
+        };
+    // n = 2 order 4: a hundred-state space — measures the engine's
+    // fixed costs (table setup, canonical renumber) at latency scale.
+    sweep(
+        "paper_n2_order4",
+        SanParams::paper_baseline(2),
+        4,
+        vec![1, 8],
+        50,
+    );
+    // n = 3 exponential (≈ 1.35 × 10⁵ states): the gated throughput
+    // metric, plus the thread sweep (`sweep` dedups the list).
+    sweep(
+        "exp_n3",
+        SanParams::exponential_n3(),
+        0,
+        vec![1, 2, cores],
+        2,
+    );
+    // n = 3 order 2 (≈ 5.3 × 10⁵ states): the scalability-gate
+    // workload itself.
+    sweep(
+        "paper_n3_order2",
+        SanParams::paper_n3(),
+        2,
+        vec![1, cores],
+        1,
+    );
+    rows
+}
+
+/// Appends every measurement of this run — the criterion-driven groups
+/// plus the self-timed `concurrent_intern` rows — to
+/// `BENCH_solver.json` at the workspace root (overwritten each run; CI
+/// uploads it as an artifact and gates it with `bench_check`).
+fn write_results_json(c: &Criterion, extra: &[BenchResult]) {
     let mut body = String::from("{\n  \"bench\": \"solver_vs_sim\",\n");
     body.push_str(&format!(
         "  \"mode\": \"{}\",\n",
@@ -130,6 +193,7 @@ fn write_results_json(c: &Criterion) {
     let rows: Vec<String> = c
         .results()
         .iter()
+        .chain(extra)
         .map(|r| {
             format!(
                 "    {{ \"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {} }}",

@@ -1,0 +1,186 @@
+//! `bench_check` — the CI bench-regression gate.
+//!
+//! Compares the exploration-throughput metric of a fresh
+//! `BENCH_solver.json` (produced by the `solver_vs_sim` bench, smoke
+//! mode included) against the committed baseline
+//! `ci/bench_baseline.json`, and fails on a regression beyond the
+//! allowed fraction (default 25 %).
+//!
+//! ```text
+//! bench_check <current.json> <baseline.json> [--max-regression 0.25]
+//! ```
+//!
+//! Raw nanoseconds are machine-bound, so the gate compares a
+//! **normalised** throughput: the single-thread n = 3 exploration's
+//! states-per-nanosecond, multiplied by the per-replication cost of
+//! the simulator campaign from the same run. The simulator work is a
+//! fixed, allocation-light workload whose wall-clock tracks the host's
+//! general speed, so the ratio cancels runner-to-runner variation to
+//! first order and isolates *relative* regressions of the exploration
+//! engine (slower interning, lost parallel section, packed-encoding
+//! overhead). Both files must come from the same bench code for names
+//! to line up.
+
+use std::process::ExitCode;
+
+/// The gated metric: single-thread first-passage exploration of the
+/// n = 3 exponential consensus model over the concurrent intern table.
+const EXPLORE_PREFIX: &str = "concurrent_intern/explore_exp_n3_threads1_states";
+
+/// The calibration workload: the simulator replication campaign, whose
+/// name carries its replication count as `..._x<reps>`.
+const CALIBRATE_PREFIX: &str = "solver_vs_sim/simulator_n2_replications_for_1pct_ci_x";
+
+struct Row {
+    name: String,
+    ns_per_iter: f64,
+}
+
+/// Minimal extractor for the flat `{ "name": ..., "ns_per_iter": ... }`
+/// rows our bench writer emits (the workspace builds offline — no JSON
+/// crate — and the format is ours end to end).
+fn parse_rows(text: &str) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\":") else {
+            continue;
+        };
+        let rest = &line[name_at + 7..];
+        let Some(open) = rest.find('"') else { continue };
+        let Some(close) = rest[open + 1..].find('"') else {
+            continue;
+        };
+        let name = rest[open + 1..open + 1 + close].to_string();
+        let Some(ns_at) = line.find("\"ns_per_iter\":") else {
+            continue;
+        };
+        let tail = line[ns_at + 14..]
+            .trim_start()
+            .trim_end_matches(['}', ',', ' '].as_ref());
+        let ns: f64 = match tail.split(',').next().unwrap_or("").trim().parse() {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        rows.push(Row {
+            name,
+            ns_per_iter: ns,
+        });
+    }
+    rows
+}
+
+/// States-per-nanosecond of the gated exploration row (state count is
+/// embedded in the row name).
+fn explore_throughput(rows: &[Row]) -> Option<f64> {
+    let row = rows.iter().find(|r| r.name.starts_with(EXPLORE_PREFIX))?;
+    let states: f64 = row.name[EXPLORE_PREFIX.len()..].parse().ok()?;
+    (row.ns_per_iter > 0.0).then(|| states / row.ns_per_iter)
+}
+
+/// Nanoseconds per simulator replication (the machine-speed yardstick).
+fn ns_per_replication(rows: &[Row]) -> Option<f64> {
+    let row = rows.iter().find(|r| r.name.starts_with(CALIBRATE_PREFIX))?;
+    let reps: f64 = row.name[CALIBRATE_PREFIX.len()..].parse().ok()?;
+    (reps > 0.0).then(|| row.ns_per_iter / reps)
+}
+
+/// The normalised exploration-throughput metric of one results file:
+/// states explored per unit of "one simulator replication" of work.
+fn normalised(rows: &[Row]) -> Result<f64, String> {
+    let tp = explore_throughput(rows)
+        .ok_or_else(|| format!("no `{EXPLORE_PREFIX}*` row (did the bench run?)"))?;
+    let cal = ns_per_replication(rows)
+        .ok_or_else(|| format!("no `{CALIBRATE_PREFIX}*` calibration row"))?;
+    Ok(tp * cal)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut current, mut baseline, mut max_regression) = (None, None, 0.25f64);
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--max-regression" {
+            max_regression = it
+                .next()
+                .ok_or("missing value for --max-regression")?
+                .parse::<f64>()
+                .map_err(|e| e.to_string())?;
+        } else if current.is_none() {
+            current = Some(a);
+        } else if baseline.is_none() {
+            baseline = Some(a);
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+    }
+    let usage = "usage: bench_check <current.json> <baseline.json> [--max-regression 0.25]";
+    let current = current.ok_or(usage)?;
+    let baseline = baseline.ok_or(usage)?;
+
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let cur_rows = parse_rows(&read(&current)?);
+    let base_rows = parse_rows(&read(&baseline)?);
+
+    let cur = normalised(&cur_rows).map_err(|e| format!("{current}: {e}"))?;
+    let base = normalised(&base_rows).map_err(|e| format!("{baseline}: {e}"))?;
+
+    let ratio = cur / base;
+    println!("exploration throughput (normalised against simulator replication cost):");
+    println!("  baseline: {base:.4}  ({baseline})");
+    println!("  current:  {cur:.4}  ({current})");
+    println!(
+        "  ratio:    {ratio:.3}  (gate: >= {:.3})",
+        1.0 - max_regression
+    );
+    if ratio < 1.0 - max_regression {
+        return Err(format!(
+            "exploration throughput regressed {:.1}% (allowed {:.0}%)",
+            (1.0 - ratio) * 100.0,
+            max_regression * 100.0
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "solver_vs_sim",
+  "mode": "smoke",
+  "results": [
+    { "name": "solver_vs_sim/simulator_n2_replications_for_1pct_ci_x2500", "ns_per_iter": 25000000.0, "iters": 1 },
+    { "name": "concurrent_intern/explore_exp_n3_threads1_states135125", "ns_per_iter": 700000000.0, "iters": 2 }
+  ]
+}"#;
+
+    #[test]
+    fn parses_and_normalises() {
+        let rows = parse_rows(SAMPLE);
+        assert_eq!(rows.len(), 2);
+        let tp = explore_throughput(&rows).unwrap();
+        assert!((tp - 135125.0 / 7e8).abs() < 1e-12);
+        let cal = ns_per_replication(&rows).unwrap();
+        assert!((cal - 10000.0).abs() < 1e-9);
+        let norm = normalised(&rows).unwrap();
+        assert!((norm - tp * cal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_rows_are_reported() {
+        let rows = parse_rows("{}");
+        assert!(normalised(&rows).is_err());
+    }
+}

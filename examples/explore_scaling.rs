@@ -1,0 +1,95 @@
+//! Measures state-space exploration wall-clock and peak RSS for the
+//! consensus model — the data source for the README state-growth table
+//! and for eyeballing the concurrent-intern speedup.
+//!
+//! ```sh
+//! cargo run --release --example explore_scaling -- <n> <ph_order> <threads> [fp|solve] [repeats]
+//! ```
+
+use std::time::Instant;
+
+use ct_consensus_repro::models::{build_model, decided_place_ids, SanParams};
+use ct_consensus_repro::solve::{AnalyticRun, IterOptions, ReachOptions, StateSpace};
+
+fn peak_rss_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().map_or(3, |s| s.parse().unwrap());
+    let ph_order: u32 = args.get(1).map_or(0, |s| s.parse().unwrap());
+    let threads: usize = args.get(2).map_or(1, |s| s.parse().unwrap());
+    let first_passage = args.get(3).is_some_and(|s| s == "fp" || s == "solve");
+    let solve = args.get(3).is_some_and(|s| s == "solve");
+
+    let params = if ph_order == 0 {
+        SanParams::exponential_baseline(n)
+    } else {
+        SanParams::paper_baseline(n)
+    };
+    let model = build_model(&params);
+    let opts = ReachOptions {
+        ph_order,
+        threads,
+        max_states: 16 << 20,
+        ..ReachOptions::default()
+    };
+    let start = Instant::now();
+    let decided = decided_place_ids(&model, n);
+    if solve {
+        let goal =
+            move |m: &ct_consensus_repro::san::Marking| decided.iter().any(|&d| m.get(d) > 0);
+        let run = AnalyticRun::first_passage(&model, &opts, goal).unwrap();
+        let explored = start.elapsed();
+        let out = run.mean(&IterOptions::default()).unwrap();
+        println!(
+            "n={n} ph_order={ph_order} threads={threads}: {} states, mean {:.6} ms, \
+             explore {:.3}s, total {:.3}s, peak RSS {:.1} MB",
+            out.states,
+            out.mean_ms,
+            explored.as_secs_f64(),
+            start.elapsed().as_secs_f64(),
+            peak_rss_mb()
+        );
+        return;
+    }
+    let repeats: usize = args.get(4).map_or(1, |s| s.parse().unwrap());
+    let explore_once = || {
+        if first_passage {
+            StateSpace::explore_absorbing(&model, &opts, |m| decided.iter().any(|&d| m.get(d) > 0))
+                .unwrap()
+        } else {
+            StateSpace::explore(&model, &opts).unwrap()
+        }
+    };
+    let mut best = f64::INFINITY;
+    let mut ss = explore_once();
+    best = best.min(start.elapsed().as_secs_f64());
+    for _ in 1..repeats {
+        let t = Instant::now();
+        ss = explore_once();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let dt = std::time::Duration::from_secs_f64(best);
+    println!(
+        "n={n} ph_order={ph_order} threads={threads} fp={first_passage}: \
+         {} states, {} transitions, {:.6}s, peak RSS {:.1} MB",
+        ss.len(),
+        ss.num_transitions(),
+        dt.as_secs_f64(),
+        peak_rss_mb()
+    );
+}

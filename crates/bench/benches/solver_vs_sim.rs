@@ -24,7 +24,8 @@ use ctsim_bench::BENCH_SEED;
 use ctsim_models::{build_model, decided_place_ids, latency_replications, SanParams};
 use ctsim_san::Marking;
 use ctsim_solve::{
-    AnalyticRun, IterOptions, ReachOptions, SolveOptions, StateSpace, TransientOptions,
+    AnalyticRun, IterOptions, ReachOptions, SolveOptions, SolverBackend, StateSpace,
+    TransientOptions,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -70,8 +71,9 @@ fn bench(c: &mut Criterion) {
     g.finish();
 
     ph_expansion(c);
-    let intern_rows = concurrent_intern();
-    write_results_json(c, &intern_rows);
+    let mut extra = concurrent_intern();
+    extra.extend(solver_backends());
+    write_results_json(c, &extra);
 }
 
 /// Phase-type expansion: solve time vs order on the paper's real
@@ -179,8 +181,83 @@ fn concurrent_intern() -> Vec<BenchResult> {
     rows
 }
 
+/// Solve-phase wall-clock per linear-algebra backend: the
+/// `Q_TT τ = -1` mean solve on the prebuilt n = 2 order-4 and n = 3
+/// exponential first-passage CTMCs (exploration excluded — the
+/// `concurrent_intern` group owns that). Self-timed best-of-N like the
+/// intern sweep, with the state count in the row name so each row is a
+/// solve-throughput metric; `bench_check` gates the n = 3 single-thread
+/// rows of every backend against `ci/bench_baseline.json`.
+fn solver_backends() -> Vec<BenchResult> {
+    let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut rows = Vec::new();
+    let mut sweep = |label: &str, params: SanParams, ph_order: u32, repeats: u32| {
+        let model = build_model(&params);
+        let decided = decided_place_ids(&model, params.n);
+        let opts = ReachOptions {
+            ph_order,
+            threads: 0,
+            max_states: 4 << 20,
+            ..ReachOptions::default()
+        };
+        // One exploration, shared by every backend timing.
+        let run =
+            AnalyticRun::first_passage(&model, &opts, |m| decided.iter().any(|&d| m.get(d) > 0))
+                .unwrap();
+        let states = run.space().len();
+        let mut reference = f64::NAN;
+        for backend in SolverBackend::ALL {
+            // Gauss–Seidel is sequential by construction; sweep the
+            // SpMV shard count only for the parallel backends.
+            let mut threads = if backend == SolverBackend::GaussSeidel {
+                vec![1]
+            } else {
+                vec![1, cores]
+            };
+            threads.dedup();
+            for &t in &threads {
+                let iter = IterOptions::with_backend(backend, t);
+                let mut best = f64::INFINITY;
+                let mut mean = f64::NAN;
+                for _ in 0..repeats {
+                    let start = Instant::now();
+                    mean = black_box(run.mean(&iter).unwrap().mean_ms);
+                    best = best.min(start.elapsed().as_nanos() as f64);
+                }
+                if reference.is_nan() {
+                    reference = mean;
+                }
+                // The documented cross-backend contract (and the CI
+                // agreement matrix) gate at 1e-6 relative; assert the
+                // same bound here, not a tighter one.
+                assert!(
+                    (mean - reference).abs() <= 1e-6 * reference.abs(),
+                    "{backend} diverges from the reference mean: {mean} vs {reference}"
+                );
+                let name = format!(
+                    "solver_backends/solve_{label}_{}_threads{t}_states{states}",
+                    backend.slug()
+                );
+                println!("timed {name:<68} {best:>14.0} ns/iter (best of {repeats})");
+                rows.push(BenchResult {
+                    name,
+                    ns_per_iter: best,
+                    iters: u64::from(repeats),
+                });
+            }
+        }
+    };
+    // n = 2 order 4: backend fixed costs at latency scale.
+    sweep("paper_n2_order4", SanParams::paper_baseline(2), 4, 20);
+    // n = 3 exponential (≈ 1.35 × 10⁵ states): the gated solve-phase
+    // throughput metric, one row per backend.
+    sweep("exp_n3", SanParams::exponential_n3(), 0, 2);
+    rows
+}
+
 /// Appends every measurement of this run — the criterion-driven groups
-/// plus the self-timed `concurrent_intern` rows — to
+/// plus the self-timed `concurrent_intern` and `solver_backends` rows
+/// — to
 /// `BENCH_solver.json` at the workspace root (overwritten each run; CI
 /// uploads it as an artifact and gates it with `bench_check`).
 fn write_results_json(c: &Criterion, extra: &[BenchResult]) {

@@ -1,8 +1,8 @@
 //! `bench_check` — the CI bench-regression gate.
 //!
-//! Compares the exploration-throughput metric of a fresh
-//! `BENCH_solver.json` (produced by the `solver_vs_sim` bench, smoke
-//! mode included) against the committed baseline
+//! Compares the exploration- and solve-phase throughput metrics of a
+//! fresh `BENCH_solver.json` (produced by the `solver_vs_sim` bench,
+//! smoke mode included) against the committed baseline
 //! `ci/bench_baseline.json`, and fails on a regression beyond the
 //! allowed fraction (default 25 %).
 //!
@@ -10,22 +10,46 @@
 //! bench_check <current.json> <baseline.json> [--max-regression 0.25]
 //! ```
 //!
-//! Raw nanoseconds are machine-bound, so the gate compares a
-//! **normalised** throughput: the single-thread n = 3 exploration's
-//! states-per-nanosecond, multiplied by the per-replication cost of
-//! the simulator campaign from the same run. The simulator work is a
-//! fixed, allocation-light workload whose wall-clock tracks the host's
-//! general speed, so the ratio cancels runner-to-runner variation to
-//! first order and isolates *relative* regressions of the exploration
-//! engine (slower interning, lost parallel section, packed-encoding
-//! overhead). Both files must come from the same bench code for names
-//! to line up.
+//! Raw nanoseconds are machine-bound, so every gate compares a
+//! **normalised** throughput: the workload's states-per-nanosecond,
+//! multiplied by the per-replication cost of the simulator campaign
+//! from the same run. The simulator work is a fixed, allocation-light
+//! workload whose wall-clock tracks the host's general speed, so the
+//! ratio cancels runner-to-runner variation to first order and
+//! isolates *relative* regressions of the gated phase. Gated metrics:
+//!
+//! * **exploration** — single-thread first-passage exploration of the
+//!   n = 3 exponential model over the concurrent intern table (the
+//!   PR 3 gate);
+//! * **solve (per backend)** — the single-thread `Q_TT τ = -1` mean
+//!   solve on the same n = 3 CTMC, one gate per linear-algebra
+//!   backend, so a regression in any of Gauss–Seidel, Jacobi, or
+//!   Krylov fails CI even while the others stay fast.
+//!
+//! Both files must come from the same bench code for names to line up.
 
 use std::process::ExitCode;
 
-/// The gated metric: single-thread first-passage exploration of the
-/// n = 3 exponential consensus model over the concurrent intern table.
-const EXPLORE_PREFIX: &str = "concurrent_intern/explore_exp_n3_threads1_states";
+/// The gated workloads: display label and row-name prefix (the state
+/// count follows the prefix in the row name).
+const GATES: &[(&str, &str)] = &[
+    (
+        "explore",
+        "concurrent_intern/explore_exp_n3_threads1_states",
+    ),
+    (
+        "solve/gauss-seidel",
+        "solver_backends/solve_exp_n3_gauss_seidel_threads1_states",
+    ),
+    (
+        "solve/jacobi",
+        "solver_backends/solve_exp_n3_jacobi_threads1_states",
+    ),
+    (
+        "solve/krylov",
+        "solver_backends/solve_exp_n3_krylov_threads1_states",
+    ),
+];
 
 /// The calibration workload: the simulator replication campaign, whose
 /// name carries its replication count as `..._x<reps>`.
@@ -69,11 +93,11 @@ fn parse_rows(text: &str) -> Vec<Row> {
     rows
 }
 
-/// States-per-nanosecond of the gated exploration row (state count is
+/// States-per-nanosecond of the row matching `prefix` (state count is
 /// embedded in the row name).
-fn explore_throughput(rows: &[Row]) -> Option<f64> {
-    let row = rows.iter().find(|r| r.name.starts_with(EXPLORE_PREFIX))?;
-    let states: f64 = row.name[EXPLORE_PREFIX.len()..].parse().ok()?;
+fn throughput(rows: &[Row], prefix: &str) -> Option<f64> {
+    let row = rows.iter().find(|r| r.name.starts_with(prefix))?;
+    let states: f64 = row.name[prefix.len()..].parse().ok()?;
     (row.ns_per_iter > 0.0).then(|| states / row.ns_per_iter)
 }
 
@@ -84,11 +108,12 @@ fn ns_per_replication(rows: &[Row]) -> Option<f64> {
     (reps > 0.0).then(|| row.ns_per_iter / reps)
 }
 
-/// The normalised exploration-throughput metric of one results file:
-/// states explored per unit of "one simulator replication" of work.
-fn normalised(rows: &[Row]) -> Result<f64, String> {
-    let tp = explore_throughput(rows)
-        .ok_or_else(|| format!("no `{EXPLORE_PREFIX}*` row (did the bench run?)"))?;
+/// The normalised throughput of one gated workload in one results
+/// file: states processed per unit of "one simulator replication" of
+/// work.
+fn normalised(rows: &[Row], prefix: &str) -> Result<f64, String> {
+    let tp = throughput(rows, prefix)
+        .ok_or_else(|| format!("no `{prefix}*` row (did the bench run?)"))?;
     let cal = ns_per_replication(rows)
         .ok_or_else(|| format!("no `{CALIBRATE_PREFIX}*` calibration row"))?;
     Ok(tp * cal)
@@ -122,25 +147,30 @@ fn run() -> Result<(), String> {
     let cur_rows = parse_rows(&read(&current)?);
     let base_rows = parse_rows(&read(&baseline)?);
 
-    let cur = normalised(&cur_rows).map_err(|e| format!("{current}: {e}"))?;
-    let base = normalised(&base_rows).map_err(|e| format!("{baseline}: {e}"))?;
-
-    let ratio = cur / base;
-    println!("exploration throughput (normalised against simulator replication cost):");
-    println!("  baseline: {base:.4}  ({baseline})");
-    println!("  current:  {cur:.4}  ({current})");
-    println!(
-        "  ratio:    {ratio:.3}  (gate: >= {:.3})",
-        1.0 - max_regression
-    );
-    if ratio < 1.0 - max_regression {
-        return Err(format!(
-            "exploration throughput regressed {:.1}% (allowed {:.0}%)",
-            (1.0 - ratio) * 100.0,
-            max_regression * 100.0
-        ));
+    let mut failures = Vec::new();
+    println!("normalised throughput (states per simulator-replication of work):");
+    for &(label, prefix) in GATES {
+        let cur = normalised(&cur_rows, prefix).map_err(|e| format!("{current}: {e}"))?;
+        let base = normalised(&base_rows, prefix).map_err(|e| format!("{baseline}: {e}"))?;
+        let ratio = cur / base;
+        println!(
+            "  {label:<20} baseline {base:>10.4}  current {cur:>10.4}  ratio {ratio:.3}  \
+             (gate: >= {:.3})",
+            1.0 - max_regression
+        );
+        if ratio < 1.0 - max_regression {
+            failures.push(format!(
+                "{label} throughput regressed {:.1}% (allowed {:.0}%)",
+                (1.0 - ratio) * 100.0,
+                max_regression * 100.0
+            ));
+        }
     }
-    Ok(())
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
 }
 
 fn main() -> ExitCode {
@@ -162,25 +192,35 @@ mod tests {
   "mode": "smoke",
   "results": [
     { "name": "solver_vs_sim/simulator_n2_replications_for_1pct_ci_x2500", "ns_per_iter": 25000000.0, "iters": 1 },
-    { "name": "concurrent_intern/explore_exp_n3_threads1_states135125", "ns_per_iter": 700000000.0, "iters": 2 }
+    { "name": "concurrent_intern/explore_exp_n3_threads1_states135125", "ns_per_iter": 700000000.0, "iters": 2 },
+    { "name": "solver_backends/solve_exp_n3_gauss_seidel_threads1_states135125", "ns_per_iter": 90000000.0, "iters": 2 },
+    { "name": "solver_backends/solve_exp_n3_jacobi_threads1_states135125", "ns_per_iter": 150000000.0, "iters": 2 },
+    { "name": "solver_backends/solve_exp_n3_krylov_threads1_states135125", "ns_per_iter": 60000000.0, "iters": 2 }
   ]
 }"#;
 
     #[test]
-    fn parses_and_normalises() {
+    fn parses_and_normalises_every_gate() {
         let rows = parse_rows(SAMPLE);
-        assert_eq!(rows.len(), 2);
-        let tp = explore_throughput(&rows).unwrap();
-        assert!((tp - 135125.0 / 7e8).abs() < 1e-12);
+        assert_eq!(rows.len(), 5);
         let cal = ns_per_replication(&rows).unwrap();
         assert!((cal - 10000.0).abs() < 1e-9);
-        let norm = normalised(&rows).unwrap();
-        assert!((norm - tp * cal).abs() < 1e-12);
+        for &(label, prefix) in GATES {
+            let tp = throughput(&rows, prefix).unwrap_or_else(|| panic!("no row for {label}"));
+            assert!(tp > 0.0, "{label}");
+            let norm = normalised(&rows, prefix).unwrap();
+            assert!((norm - tp * cal).abs() < 1e-12, "{label}");
+        }
+        // Spot-check one: the explore gate.
+        let tp = throughput(&rows, GATES[0].1).unwrap();
+        assert!((tp - 135125.0 / 7e8).abs() < 1e-12);
     }
 
     #[test]
     fn missing_rows_are_reported() {
         let rows = parse_rows("{}");
-        assert!(normalised(&rows).is_err());
+        for &(_, prefix) in GATES {
+            assert!(normalised(&rows, prefix).is_err());
+        }
     }
 }

@@ -20,21 +20,24 @@
 //!   order-K mean is kept alongside in `ph_raw_ms`. The overlay CDF
 //!   comes from the order-K solve.
 
+use std::time::Instant;
+
 use ctsim_models::{build_model, latency_replications, SanParams};
-use ctsim_solve::{extrapolated_mean, AnalyticRun, SolveError, SolveOptions};
+use ctsim_solve::{extrapolated_mean, AnalyticRun, SolveError, SolveOptions, SolverBackend};
 use ctsim_testbed::CrashScenario;
 
 use crate::scale::Scale;
 
 /// Knobs for the phase-type rows, surfaced as `repro analytic
-/// --ph-order K --threads T [--n N]`.
+/// --ph-order K --threads T [--n N] [--solver BACKEND]`.
 #[derive(Debug, Clone)]
 pub struct AnalyticOptions {
     /// Phase-type expansion order for the paper-parameter rows
     /// (`0` disables those rows entirely).
     pub ph_order: u32,
-    /// Exploration worker threads (`0` = one per core). Results are
-    /// identical for every value.
+    /// Exploration worker threads (`0` = one per core), reused for the
+    /// solver backend's sharded SpMV. Results are identical for every
+    /// value.
     pub threads: usize,
     /// Run the overlay for exactly this process count instead of the
     /// scale's default sweep. An explicit `n` also lifts the scale's
@@ -43,6 +46,11 @@ pub struct AnalyticOptions {
     /// million-state space instead of reporting a cap skip — this is
     /// the mode the CI scalability gate runs.
     pub n: Option<usize>,
+    /// Which linear-algebra backend solves the CTMC (`repro analytic
+    /// --solver gauss-seidel|jacobi|krylov`). Every backend must land
+    /// on the same means — the CI `solver-backends` matrix gates their
+    /// agreement to ≤ 1e-6 relative.
+    pub backend: SolverBackend,
 }
 
 impl Default for AnalyticOptions {
@@ -51,6 +59,7 @@ impl Default for AnalyticOptions {
             ph_order: 4,
             threads: 0,
             n: None,
+            backend: SolverBackend::default(),
         }
     }
 }
@@ -69,6 +78,13 @@ pub struct AnalyticRow {
     pub analytic_ms: Option<f64>,
     /// Raw order-K phase-type mean (ms), before extrapolation.
     pub ph_raw_ms: Option<f64>,
+    /// Wall-clock (ms) of the linear-algebra *solve* phase — the
+    /// `Q_TT τ = -1` mean solves (both orders for extrapolated rows),
+    /// excluding exploration and the CDF grid. This is what
+    /// `--solver` trades off; 0 when the row was skipped.
+    pub solve_ms: f64,
+    /// Which backend produced the analytic columns.
+    pub backend: SolverBackend,
     /// Tangible states of the underlying CTMC (0 when skipped).
     pub states: usize,
     /// Analytic latency CDF points `(t_ms, P(latency ≤ t))`.
@@ -166,8 +182,10 @@ fn max_states(scale: Scale) -> usize {
 }
 
 /// Solves the first-passage mean for the given parameters at the given
-/// solve options; returns `(mean, states, cdf)`.
-type SolveOutcome = Result<(f64, usize, Vec<(f64, f64)>), SolveError>;
+/// solve options; returns `(mean, states, cdf, solve_ms)` where
+/// `solve_ms` is the wall-clock of the mean solve alone (no
+/// exploration, no CDF grid).
+type SolveOutcome = Result<(f64, usize, Vec<(f64, f64)>, f64), SolveError>;
 
 /// Largest state space for which the overlay CDF is evaluated. Each
 /// CDF point is a full uniformization sweep — on a half-million-state
@@ -184,7 +202,9 @@ fn solve_mean_and_cdf(params: &SanParams, opts: &SolveOptions, want_cdf: bool) -
     let run = AnalyticRun::first_passage_with(&model, opts, move |m| {
         decided.iter().any(|&d| m.get(d) > 0)
     })?;
+    let solve_start = Instant::now();
     let mean = run.mean(&opts.iter)?;
+    let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
     let cdf = if want_cdf && mean.states <= CDF_MAX_STATES {
         cdf_grid(mean.mean_ms)
             .into_iter()
@@ -193,7 +213,7 @@ fn solve_mean_and_cdf(params: &SanParams, opts: &SolveOptions, want_cdf: bool) -
     } else {
         Vec::new()
     };
-    Ok((mean.mean_ms, mean.states, cdf))
+    Ok((mean.mean_ms, mean.states, cdf, solve_ms))
 }
 
 fn skippable(e: &SolveError) -> bool {
@@ -238,19 +258,21 @@ pub fn run_with(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
                 params = params.with_crash(idx);
             }
             let reps = latency_replications(&params, analytic_reps(scale), seed, 10_000.0);
-            let mut opts = SolveOptions::ph(0, ph.threads);
+            let mut opts = SolveOptions::ph_with_backend(0, ph.threads, ph.backend);
             opts.reach.max_states = if ph.n.is_some() {
                 params.recommended_max_states(1)
             } else {
                 max_states(scale)
             };
             let row = match solve_mean_and_cdf(&params, &opts, true) {
-                Ok((mean, states, cdf)) => AnalyticRow {
+                Ok((mean, states, cdf, solve_ms)) => AnalyticRow {
                     scenario,
                     n,
                     ph_order: None,
                     analytic_ms: Some(mean),
                     ph_raw_ms: None,
+                    solve_ms,
+                    backend: ph.backend,
                     states,
                     cdf,
                     sim_ms: reps.mean(),
@@ -265,6 +287,8 @@ pub fn run_with(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
                     ph_order: None,
                     analytic_ms: None,
                     ph_raw_ms: None,
+                    solve_ms: 0.0,
+                    backend: ph.backend,
                     states: 0,
                     cdf: Vec::new(),
                     sim_ms: reps.mean(),
@@ -293,28 +317,29 @@ fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRo
     let params = SanParams::paper_baseline(n);
     let reps = latency_replications(&params, analytic_reps(scale), seed, 10_000.0);
     let k = ph.ph_order;
-    let mut opts = SolveOptions::ph(k, ph.threads);
+    let mut opts = SolveOptions::ph_with_backend(k, ph.threads, ph.backend);
     opts.reach.max_states = if ph.n.is_some() {
         params.recommended_max_states(k)
     } else {
         max_states(scale)
     };
-    let solved = solve_mean_and_cdf(&params, &opts, true).and_then(|(mk, states, cdf)| {
-        let mean = if k >= 2 {
+    let solved = solve_mean_and_cdf(&params, &opts, true).and_then(|(mk, states, cdf, t_k)| {
+        let (mean, solve_ms) = if k >= 2 {
             // Richardson extrapolation over the order: the dominant
             // error of the Erlang(K) stand-ins for deterministic
             // stages is ∝ 1/K (see `ctsim_solve::extrapolated_mean`).
-            let mut prev = SolveOptions::ph(k - 1, ph.threads);
+            let mut prev = SolveOptions::ph_with_backend(k - 1, ph.threads, ph.backend);
             prev.reach.max_states = opts.reach.max_states;
-            let (mk1, _, _) = solve_mean_and_cdf(&params, &prev, false)?;
-            extrapolated_mean(&[(k - 1, mk1), (k, mk)]).expect("two order points")
+            let (mk1, _, _, t_k1) = solve_mean_and_cdf(&params, &prev, false)?;
+            let mean = extrapolated_mean(&[(k - 1, mk1), (k, mk)]).expect("two order points");
+            (mean, t_k + t_k1)
         } else {
-            mk
+            (mk, t_k)
         };
-        Ok((mean, mk, states, cdf))
+        Ok((mean, mk, states, cdf, solve_ms))
     });
     match solved {
-        Ok((mean, raw, states, cdf)) => {
+        Ok((mean, raw, states, cdf, solve_ms)) => {
             // Engine cross-validation: simulate the PH-substituted
             // model — exactly the expanded CTMC just solved — and
             // require the raw order-K mean inside its 90 % CI. A
@@ -331,6 +356,8 @@ fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRo
                 ph_order: Some(k),
                 analytic_ms: Some(mean),
                 ph_raw_ms: Some(raw),
+                solve_ms,
+                backend: ph.backend,
                 states,
                 cdf,
                 sim_ms: reps.mean(),
@@ -346,6 +373,8 @@ fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRo
             ph_order: Some(k),
             analytic_ms: None,
             ph_raw_ms: None,
+            solve_ms: 0.0,
+            backend: ph.backend,
             states: 0,
             cdf: Vec::new(),
             sim_ms: reps.mean(),
@@ -389,9 +418,15 @@ impl Analytic {
             }
         }
         let mut s = String::new();
-        s.push_str("Analytic overlay — exact solve vs simulation (ms)\n");
+        let backend = self
+            .rows
+            .first()
+            .map_or_else(|| SolverBackend::default().name(), |r| r.backend.name());
+        s.push_str(&format!(
+            "Analytic overlay — exact solve vs simulation (ms), solver backend: {backend}\n"
+        ));
         s.push_str(
-            "scenario           |  n | model | states | analytic |     sim |    ci90 | agree | engine\n",
+            "scenario           |  n | model | states | analytic | solve_ms |     sim |    ci90 | agree | engine\n",
         );
         for r in &self.rows {
             let model = match r.ph_order {
@@ -408,12 +443,13 @@ impl Analytic {
                 }
             };
             s.push_str(&format!(
-                "{} |{:>3} | {} |{:>7} |{} |{} |{:>8.4} | {:<5} | {}\n",
+                "{} |{:>3} | {} |{:>7} |{} |{:>9.3} |{} |{:>8.4} | {:<5} | {}\n",
                 name(r.scenario),
                 r.n,
                 model,
                 r.states,
                 r.analytic_ms.map_or("       —".into(), crate::cell),
+                r.solve_ms,
                 crate::cell(r.sim_ms),
                 r.sim_ci90,
                 verdict(r.agrees()),
@@ -460,6 +496,7 @@ mod tests {
             ph_order: 2,
             threads: 1,
             n: Some(2),
+            ..AnalyticOptions::default()
         };
         let a = run_with(Scale::Quick, 11, &opts);
         assert!(a.rows.iter().all(|r| r.n == 2), "only the overridden n");
@@ -471,6 +508,36 @@ mod tests {
         // Both engines must agree on the identical stochastic model —
         // the CI-gated column.
         assert!(a.rows.iter().all(|r| r.engine_agrees()));
+    }
+
+    /// Every solver backend reproduces the same overlay means: the
+    /// in-process mirror of the CI `solver-backends` agreement matrix,
+    /// gated at the same 1e-6 relative budget.
+    #[test]
+    fn backends_agree_on_the_overlay_means() {
+        let solve = |backend: SolverBackend| {
+            let opts = AnalyticOptions {
+                ph_order: 3,
+                threads: 2,
+                n: Some(2),
+                backend,
+            };
+            run_with(Scale::Quick, 11, &opts)
+        };
+        let reference = solve(SolverBackend::GaussSeidel);
+        for backend in [SolverBackend::Jacobi, SolverBackend::Krylov] {
+            let a = solve(backend);
+            assert_eq!(a.rows.len(), reference.rows.len());
+            for (r, b) in reference.rows.iter().zip(&a.rows) {
+                let (rm, bm) = (r.analytic_ms.unwrap(), b.analytic_ms.unwrap());
+                assert!(
+                    (rm - bm).abs() <= 1e-6 * rm.abs(),
+                    "{backend}: {bm} vs gauss-seidel {rm}"
+                );
+                assert_eq!(b.backend, backend);
+                assert!(b.engine_agrees(), "{backend}");
+            }
+        }
     }
 
     #[test]

@@ -3,20 +3,24 @@
 //! ```text
 //! repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|all> \
 //!       [--scale quick|default|full] [--seed N] [--out DIR] \
-//!       [--ph-order K] [--threads T] [--n N]
+//!       [--ph-order K] [--threads T] [--n N] [--solver BACKEND]
 //! ```
 //!
 //! Text renderings (with the paper's reference values inline) go to
 //! stdout; CSV series go to `--out` (default `results/`).
 //!
-//! `--ph-order`, `--threads`, and `--n` drive the `analytic` overlay:
-//! the phase-type expansion order used to Markovianize the paper's
-//! deterministic/bi-modal stages, the state-space exploration worker
-//! count (0 = all cores; the result is identical for any value), and
-//! an explicit process count replacing the scale's n sweep (`--n 3`
-//! lifts the state cap to the model's recommended value so the
-//! half-million-state order-2 expansion actually solves — the CI
-//! scalability gate runs exactly that).
+//! `--ph-order`, `--threads`, `--n`, and `--solver` drive the
+//! `analytic` overlay: the phase-type expansion order used to
+//! Markovianize the paper's deterministic/bi-modal stages, the
+//! state-space exploration worker count (0 = all cores; the result is
+//! identical for any value — it is reused for the solver's sharded
+//! SpMV), an explicit process count replacing the scale's n sweep
+//! (`--n 3` lifts the state cap to the model's recommended value so
+//! the half-million-state order-2 expansion actually solves — the CI
+//! scalability gate runs exactly that), and the linear-algebra backend
+//! (`gauss-seidel` | `jacobi` | `krylov`) the CTMC is solved with —
+//! every backend must produce the same means, which the CI
+//! `solver-backends` matrix job gates at ≤ 1e-6 relative.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -76,6 +80,9 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| e.to_string())?,
                 );
             }
+            "--solver" => {
+                ph.backend = args.next().ok_or("missing value for --solver")?.parse()?;
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -90,7 +97,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|ablations|throughput|analytic|all> \
-     [--scale quick|default|full] [--seed N] [--out DIR] [--ph-order K] [--threads T] [--n N]"
+     [--scale quick|default|full] [--seed N] [--out DIR] [--ph-order K] [--threads T] [--n N] \
+     [--solver gauss-seidel|jacobi|krylov]"
         .to_string()
 }
 
@@ -306,7 +314,7 @@ fn main() {
         println!("{}", a.render());
         write_csv(
             &args.out.join("analytic.csv"),
-            "scenario,n,ph_order,states,analytic_ms,ph_raw_ms,sim_ms,sim_ci90,\
+            "scenario,n,ph_order,states,analytic_ms,ph_raw_ms,solver,solve_ms,sim_ms,sim_ci90,\
              agrees,ph_sim_ms,ph_sim_ci90,engine",
             a.rows.iter().map(|r| {
                 // Both verdicts are tri-state so a capped/skipped solve
@@ -327,13 +335,15 @@ fn main() {
                     }
                 };
                 format!(
-                    "{:?},{},{},{},{},{},{:.4},{:.4},{},{},{},{}",
+                    "{:?},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{}",
                     r.scenario,
                     r.n,
                     r.ph_order.map_or(String::new(), |k| k.to_string()),
                     r.states,
                     r.analytic_ms.map_or(String::new(), |v| format!("{v:.6}")),
                     r.ph_raw_ms.map_or(String::new(), |v| format!("{v:.6}")),
+                    r.backend,
+                    r.solve_ms,
                     r.sim_ms,
                     r.sim_ci90,
                     verdict(r.agrees()),

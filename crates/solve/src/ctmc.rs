@@ -9,6 +9,8 @@
 //! compressed-sparse-row (CSR) form with the diagonal split out, the
 //! layout both the uniformization and the Gauss–Seidel solvers want.
 
+use std::sync::OnceLock;
+
 use crate::graph::StateSpace;
 use crate::SolveError;
 
@@ -29,6 +31,58 @@ pub struct Ctmc {
     initial: Vec<f64>,
     /// States with no outgoing rate (absorbing or deadlocked).
     absorbing: Vec<bool>,
+    /// Lazily built, cached incoming (column-oriented) view — shared by
+    /// every solver backend, so repeated solves on the same generator
+    /// (order sweeps, residual checks, CDF grids) pay the transpose
+    /// once instead of per call.
+    incoming: OnceLock<Incoming>,
+}
+
+/// The transposed (incoming) CSR view of the generator: for each
+/// destination state, its predecessors and the rates from them, in
+/// ascending predecessor order.
+#[derive(Debug, Clone)]
+pub struct Incoming {
+    /// Column starts into `entries` (length `n + 1`).
+    col_ptr: Vec<usize>,
+    /// `(source, rate)` pairs, grouped by destination.
+    entries: Vec<(usize, f64)>,
+}
+
+impl Incoming {
+    fn build(ctmc: &Ctmc) -> Self {
+        let n = ctmc.n;
+        let mut col_ptr = vec![0usize; n + 1];
+        for &j in &ctmc.col {
+            col_ptr[j + 1] += 1;
+        }
+        for j in 0..n {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut entries = vec![(0usize, 0.0f64); ctmc.col.len()];
+        // Row-major traversal fills each column's predecessor list in
+        // ascending source order — the deterministic summation order
+        // the gather kernels rely on.
+        for i in 0..n {
+            for (j, r) in ctmc.row(i) {
+                entries[cursor[j]] = (i, r);
+                cursor[j] += 1;
+            }
+        }
+        Self { col_ptr, entries }
+    }
+
+    /// Column starts (a CSR offset array over destinations) — the
+    /// shard-balancing input of the parallel kernels.
+    pub(crate) fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The `(source, rate)` predecessors of destination `j`.
+    pub fn column(&self, j: usize) -> &[(usize, f64)] {
+        &self.entries[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
 }
 
 impl Ctmc {
@@ -91,6 +145,7 @@ impl Ctmc {
             diag,
             initial,
             absorbing,
+            incoming: OnceLock::new(),
         })
     }
 
@@ -141,37 +196,39 @@ impl Ctmc {
         self.diag.iter().fold(0.0, |m, &d| m.max(-d))
     }
 
-    /// Dense row-vector product `out = x · Q` (1/ms units).
+    /// Dense row-vector product `out = x · Q` (1/ms units), gathered
+    /// over the cached incoming view. See [`Ctmc::vec_mul_threads`]
+    /// for the sharded variant — this is the single-worker call.
     ///
     /// # Panics
     /// Panics if slice lengths disagree with the state count.
     pub fn vec_mul(&self, x: &[f64], out: &mut [f64]) {
-        assert_eq!(x.len(), self.n);
-        assert_eq!(out.len(), self.n);
-        out.fill(0.0);
-        for i in 0..self.n {
-            let xi = x[i];
-            if xi == 0.0 {
-                continue;
-            }
-            out[i] += xi * self.diag[i];
-            for (j, r) in self.row(i) {
-                out[j] += xi * r;
-            }
-        }
+        crate::spmv::vec_mul(self, x, out, 1);
     }
 
-    /// The column-oriented (incoming) view: for each state, its
-    /// predecessors and the rates from them. Built on demand by the
-    /// steady-state solver.
+    /// [`Ctmc::vec_mul`] sharded over `threads` workers (`0` = one per
+    /// core). Every output element is gathered by exactly one worker
+    /// in a fixed order, so the result is bit-identical for every
+    /// `threads` value.
+    pub fn vec_mul_threads(&self, x: &[f64], out: &mut [f64], threads: usize) {
+        crate::spmv::vec_mul(self, x, out, threads);
+    }
+
+    /// The cached column-oriented (incoming) view: for each state, its
+    /// predecessors and the rates from them, in ascending source order.
+    /// Built on first use and shared by every solver backend — repeated
+    /// solves on the same generator (order sweeps, per-sweep residuals)
+    /// no longer pay the transpose each call.
+    pub fn incoming_view(&self) -> &Incoming {
+        self.incoming.get_or_init(|| Incoming::build(self))
+    }
+
+    /// The incoming view as per-state vectors. Prefer
+    /// [`Ctmc::incoming_view`], which is cached and allocation-free;
+    /// this adapter survives for callers that want owned lists.
     pub fn incoming(&self) -> Vec<Vec<(usize, f64)>> {
-        let mut inc = vec![Vec::new(); self.n];
-        for i in 0..self.n {
-            for (j, r) in self.row(i) {
-                inc[j].push((i, r));
-            }
-        }
-        inc
+        let view = self.incoming_view();
+        (0..self.n).map(|j| view.column(j).to_vec()).collect()
     }
 }
 

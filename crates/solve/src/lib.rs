@@ -113,6 +113,51 @@
 //! knob, exactly like the replication fan-out in `ctsim_san::replicate`
 //! (see `graph` module docs for the full argument).
 //!
+//! # Solver backends
+//!
+//! The linear-algebra layer behind [`steady_state`] and
+//! [`mean_time_to_absorption`] is pluggable via
+//! [`IterOptions::backend`]: all backends solve the same systems to
+//! the same sup-norm residual — converged answers are
+//! backend-independent down to round-off, which the CI
+//! `solver-backends` matrix gates at ≤ 1e-6 relative — but they
+//! iterate very differently. Measured single-thread solve-phase
+//! wall-clock of the consensus first-passage mean (`Q_TT τ = -1`, this
+//! repository's reference host; reproduce with
+//! `cargo run --release --example solver_backends -- <n> <ph_order>`):
+//!
+//! | workload | states | `gauss-seidel` | `jacobi` | `krylov` |
+//! |---|---:|---:|---:|---:|
+//! | n = 2 order 4   |       111 |  66 µs |  74 µs | **23 µs** |
+//! | n = 3 exp       |   135 125 |  36 ms |  46 ms | **3.4 ms** |
+//! | n = 3 order 2   |   534 429 | 432 ms | 535 ms | **22 ms**  |
+//! | n = 3 order 3   | 2 335 749 | **4.8 s** | 8.7 s | 5.8 s   |
+//!
+//! Rules of thumb:
+//!
+//! * [`SolverBackend::Krylov`] — restarted GMRES, right-preconditioned
+//!   by a backward Gauss–Seidel substitution for absorption systems —
+//!   is the default choice for first-passage solves up to ~1 M states
+//!   (the canonical BFS numbering makes those systems near-triangular,
+//!   so GMRES closes in a handful of matvecs where sweeps need one
+//!   iteration per BFS level), and the *only* backend that survives
+//!   stiff two-timescale chains whose sweep contraction is `1 − O(ε)`.
+//! * [`SolverBackend::GaussSeidel`] — the reference. Smallest constant
+//!   factor per iteration; competitive again on multi-million-state
+//!   spaces where the Krylov basis and orthogonalization overhead
+//!   grow. Sequential by construction.
+//! * [`SolverBackend::Jacobi`] — every update is one sharded SpMV over
+//!   [`IterOptions::threads`] workers, so it is the backend that turns
+//!   cores into solve throughput on large chains; on a single core it
+//!   needs Gauss–Seidel-like iteration counts without the in-place
+//!   acceleration (the table above is single-thread — its worst case).
+//!
+//! Every backend returns [`SolveError::NotConverged`] with finite
+//! diagnostics instead of NaNs or hangs on reducible or pathological
+//! chains (`tests/solver_backends.rs` property-tests that contract at
+//! 1/2/4/8 threads). The uniformization loop of [`transient()`]
+//! reuses the same sharded SpMV via [`TransientOptions::threads`].
+//!
 //! # Example
 //!
 //! ```
@@ -140,15 +185,19 @@
 
 use std::fmt;
 
+pub mod backend;
 pub mod ctmc;
 pub mod graph;
 mod intern;
+mod krylov;
 mod pack;
 pub mod reward;
+mod spmv;
 pub mod steady;
 pub mod transient;
 
-pub use ctmc::Ctmc;
+pub use backend::SolverBackend;
+pub use ctmc::{Ctmc, Incoming};
 pub use graph::{ReachOptions, StateSpace, Transition};
 pub use reward::{
     expected_impulse_rate, expected_rate_reward, probability, AnalyticOutcome, AnalyticRun,
@@ -160,15 +209,16 @@ pub use transient::{transient, Transient, TransientOptions};
 
 /// Every knob of one analytic solve, bundled: exploration limits plus
 /// phase-type order and thread count (in [`ReachOptions`]), iterative-
-/// solver tolerances, and transient truncation. The `repro analytic`
-/// command and the experiment layer configure solves through this.
+/// solver backend/tolerances, and transient truncation. The
+/// `repro analytic` command and the experiment layer configure solves
+/// through this.
 #[derive(Debug, Clone, Default)]
 pub struct SolveOptions {
     /// Exploration limits, phase-type expansion order, threads.
     pub reach: ReachOptions,
-    /// Gauss–Seidel tolerance and sweep budget.
+    /// Linear-algebra backend, tolerance, and iteration budget.
     pub iter: IterOptions,
-    /// Uniformization truncation tolerance and term cap.
+    /// Uniformization truncation tolerance, term cap, and SpMV threads.
     pub transient: TransientOptions,
 }
 
@@ -184,6 +234,18 @@ impl SolveOptions {
             },
             ..Self::default()
         }
+    }
+
+    /// [`SolveOptions::ph`] with a solver backend: the exploration
+    /// thread count is reused for the backend's sharded SpMV and the
+    /// uniformization loop, so one `--threads` knob drives every
+    /// parallel section of the solve.
+    pub fn ph_with_backend(ph_order: u32, threads: usize, backend: SolverBackend) -> Self {
+        let mut opts = Self::ph(ph_order, threads);
+        opts.iter.backend = backend;
+        opts.iter.threads = threads;
+        opts.transient.threads = threads;
+        opts
     }
 }
 

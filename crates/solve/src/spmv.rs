@@ -1,0 +1,231 @@
+//! Sharded sparse matrix–vector kernels over the CSR generator.
+//!
+//! Both orientations of the generator product are *gather* loops — every
+//! output element is a sum the owning worker computes alone, in a fixed
+//! order — so the result is bit-identical for every thread count and
+//! shard split, exactly like the exploration engine's determinism
+//! story. `x·Q` gathers over the cached incoming (transposed) view,
+//! `Σ_k q_ik τ_k` over the outgoing rows; each call shards the output
+//! range so every shard carries roughly the same number of stored
+//! rates, and small systems run inline because spawning a thread costs
+//! more than the whole product.
+
+use crate::ctmc::Ctmc;
+
+/// Below this many states a sharded product runs inline: thread spawn
+/// and join overhead dwarfs the arithmetic.
+const PARALLEL_THRESHOLD: usize = 1 << 13;
+
+/// Resolves a thread-count knob the way the exploration engine does:
+/// `0` means one worker per available core.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    match threads {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        t => t,
+    }
+}
+
+/// Contiguous `(lo, hi)` output ranges for up to `workers` shards,
+/// balanced by the entry counts in `ptr` (a CSR offset array of length
+/// `n + 1`): shard `k` ends where the prefix entry count first reaches
+/// `(k+1)/workers` of the total, so every shard carries about the same
+/// number of stored rates regardless of row skew. Ranges partition
+/// `0..n`; empty ranges are dropped.
+fn shard_bounds(ptr: &[usize], workers: usize) -> Vec<(usize, usize)> {
+    let n = ptr.len() - 1;
+    let total = ptr[n];
+    let mut bounds = Vec::with_capacity(workers);
+    let mut lo = 0usize;
+    for k in 1..=workers {
+        let hi = if k == workers || total == 0 {
+            n
+        } else {
+            let target = total * k / workers;
+            (lo + ptr[lo..=n].partition_point(|&p| p < target)).min(n)
+        };
+        if hi > lo {
+            bounds.push((lo, hi));
+            lo = hi;
+        }
+        if lo == n {
+            break;
+        }
+    }
+    if lo < n {
+        bounds.push((lo, n));
+    }
+    bounds
+}
+
+/// Splits `out` into nnz-balanced contiguous shards (see
+/// [`shard_bounds`]) and runs `body(lo, shard)` on each — in parallel
+/// when it pays, inline otherwise. `body` must fill `shard`
+/// (= `out[lo..hi]`) from shared state; because each element is written
+/// by exactly one worker in a fixed order, the output is identical for
+/// every `threads` value.
+pub(crate) fn for_each_shard<F>(ptr: &[usize], threads: usize, out: &mut [f64], body: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let n = out.len();
+    debug_assert_eq!(ptr.len(), n + 1);
+    let workers = resolve_threads(threads).min(n.max(1));
+    if workers <= 1 || n < PARALLEL_THRESHOLD {
+        body(0, out);
+        return;
+    }
+    let mut shards: Vec<(usize, &mut [f64])> = Vec::with_capacity(workers);
+    let mut rest = out;
+    let mut consumed = 0usize;
+    for (lo, hi) in shard_bounds(ptr, workers) {
+        let (skip, tail) = rest.split_at_mut(lo - consumed);
+        debug_assert!(skip.is_empty());
+        let (shard, tail) = tail.split_at_mut(hi - lo);
+        shards.push((lo, shard));
+        rest = tail;
+        consumed = hi;
+    }
+    std::thread::scope(|scope| {
+        let body = &body;
+        let mut handles = Vec::with_capacity(shards.len());
+        for (lo, shard) in shards {
+            handles.push(scope.spawn(move || body(lo, shard)));
+        }
+        for h in handles {
+            h.join().expect("spmv worker panicked");
+        }
+    });
+}
+
+/// `out = x · Q` over `threads` workers: the row-vector product both
+/// the balance residual and the uniformization inner loop need.
+/// Gathered per destination over the cached incoming view —
+/// `out[j] = x[j]·q_jj + Σ_i x[i]·q_ij` with predecessors in ascending
+/// order — so the floating-point result does not depend on the thread
+/// count.
+///
+/// Deliberate trade-off vs the former scatter kernel: scatter could
+/// skip whole rows where `x[i] == 0` (cheap early uniformization terms
+/// under a point-mass initial vector), which a gather cannot see
+/// without a scan. The gather buys the fixed per-element summation
+/// order that makes the product shardable *and* bit-identical for
+/// every thread count — the property every parallel backend rests on —
+/// at the cost of always touching all `nnz` entries (tracked by the
+/// `analytic_n2_transient_cdf_point` bench row).
+pub(crate) fn vec_mul(ctmc: &Ctmc, x: &[f64], out: &mut [f64], threads: usize) {
+    assert_eq!(x.len(), ctmc.num_states());
+    assert_eq!(out.len(), ctmc.num_states());
+    let inc = ctmc.incoming_view();
+    for_each_shard(inc.col_ptr(), threads, out, |lo, shard| {
+        for (dj, o) in shard.iter_mut().enumerate() {
+            let j = lo + dj;
+            let mut acc = x[j] * ctmc.diag(j);
+            for &(i, r) in inc.column(j) {
+                acc += x[i] * r;
+            }
+            *o = acc;
+        }
+    });
+}
+
+/// `out[i] = Σ_k q_ik · v[k]` over the *off-diagonal* outgoing rows —
+/// the flow term of the absorption system `Q_TT τ = -1`, gathered per
+/// source row so it shards the same way.
+pub(crate) fn flow_mul(ctmc: &Ctmc, v: &[f64], out: &mut [f64], threads: usize) {
+    assert_eq!(v.len(), ctmc.num_states());
+    assert_eq!(out.len(), ctmc.num_states());
+    let (row_ptr, _, _, _) = ctmc.csr();
+    for_each_shard(row_ptr, threads, out, |lo, shard| {
+        for (di, o) in shard.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (k, r) in ctmc.row(lo + di) {
+                acc += r * v[k];
+            }
+            *o = acc;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ReachOptions, StateSpace};
+    use ctsim_san::{Activity, Case, SanBuilder};
+    use ctsim_stoch::Dist;
+
+    /// A token ladder: `levels` tokens hop one place to the other and
+    /// back, giving `levels + 1` states from just two activities —
+    /// enough states to clear the inline threshold without an
+    /// activity-heavy model.
+    fn ladder_ctmc(levels: u32) -> Ctmc {
+        let mut b = SanBuilder::new("ladder");
+        let a = b.place("a", levels);
+        let z = b.place("z", 0);
+        b.add_activity(
+            Activity::timed("fwd", Dist::Exp { mean: 1.25 })
+                .input(a, 1)
+                .case(Case::with_prob(1.0).output(z, 1)),
+        );
+        b.add_activity(
+            Activity::timed("bwd", Dist::Exp { mean: 0.75 })
+                .input(z, 1)
+                .case(Case::with_prob(1.0).output(a, 1)),
+        );
+        let m = b.build().unwrap();
+        let opts = ReachOptions {
+            max_states: levels as usize + 8,
+            ..ReachOptions::default()
+        };
+        let ss = StateSpace::explore(&m, &opts).unwrap();
+        Ctmc::from_state_space(&ss).unwrap()
+    }
+
+    #[test]
+    fn sharded_products_are_bit_identical_across_thread_counts() {
+        let q = ladder_ctmc(PARALLEL_THRESHOLD as u32 + 37);
+        let n = q.num_states();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        let mut base = vec![0.0; n];
+        let mut base_flow = vec![0.0; n];
+        vec_mul(&q, &x, &mut base, 1);
+        flow_mul(&q, &x, &mut base_flow, 1);
+        for threads in [2usize, 3, 8] {
+            let mut out = vec![0.0; n];
+            vec_mul(&q, &x, &mut out, threads);
+            for (a, b) in base.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits(), "vec_mul at {threads} threads");
+            }
+            flow_mul(&q, &x, &mut out, threads);
+            for (a, b) in base_flow.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits(), "flow_mul at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_bounds_partition_every_element_once() {
+        // Skewed offsets: most entries land in the first few rows.
+        let n = 40;
+        let mut ptr = vec![0usize; n + 1];
+        for i in 0..n {
+            ptr[i + 1] = ptr[i] + if i < 5 { 100 } else { 1 };
+        }
+        for workers in [1usize, 2, 3, 4, 7, 40, 100] {
+            let bounds = shard_bounds(&ptr, workers);
+            let mut expect = 0usize;
+            for &(lo, hi) in &bounds {
+                assert_eq!(lo, expect, "{workers} workers: contiguous");
+                assert!(hi > lo, "{workers} workers: non-empty");
+                expect = hi;
+            }
+            assert_eq!(expect, n, "{workers} workers: full coverage");
+            assert!(bounds.len() <= workers);
+        }
+        // The heavy rows do not all land in one shard.
+        let bounds = shard_bounds(&ptr, 4);
+        assert!(bounds.len() > 1, "balanced split, got {bounds:?}");
+        assert!(bounds[0].1 <= 5, "first shard ends inside the heavy rows");
+    }
+}

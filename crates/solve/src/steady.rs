@@ -1,22 +1,48 @@
-//! Layer 3b: steady-state and absorption-time solvers (Gauss–Seidel).
+//! Layer 3b: steady-state and absorption-time solvers, pluggable over
+//! [`SolverBackend`].
 //!
 //! * [`steady_state`] solves the global balance equations `πQ = 0`,
-//!   `Σπ = 1` for an irreducible chain by Gauss–Seidel sweeps over the
-//!   incoming-rate view of `Q`, with explicit convergence diagnostics.
+//!   `Σπ = 1` for an irreducible chain;
 //! * [`mean_time_to_absorption`] solves `Q_TT τ = -1` for the expected
 //!   time each transient state needs to reach an absorbing state — the
 //!   analytic counterpart of the simulator's mean-latency estimate.
+//!
+//! Both dispatch on [`IterOptions::backend`]:
+//! [`SolverBackend::GaussSeidel`] runs the original in-place sweeps
+//! (the reference), [`SolverBackend::Jacobi`] double-buffered
+//! Jacobi/uniformized-power steps whose updates are one sharded SpMV
+//! over [`IterOptions::threads`] workers, and [`SolverBackend::Krylov`]
+//! restarted GMRES (see the `krylov` module docs).
+//! Every backend converges on the same sup-norm residual to the same
+//! [`IterOptions::tolerance`], so a converged answer is
+//! backend-independent down to round-off; backends that cannot make the
+//! tolerance return [`SolveError::NotConverged`] with finite
+//! diagnostics — never NaNs, never a hang.
 
+use crate::backend::SolverBackend;
 use crate::ctmc::Ctmc;
-use crate::SolveError;
+use crate::{krylov, spmv, SolveError};
 
-/// Iteration limits and tolerance for the Gauss–Seidel solvers.
+/// Iteration limits, tolerance, and backend selection for the
+/// steady-state/absorption solvers.
 #[derive(Debug, Clone)]
 pub struct IterOptions {
     /// Convergence threshold on the sup-norm residual.
     pub tolerance: f64,
-    /// Maximum number of sweeps before giving up.
+    /// Iteration budget: sweeps (Gauss–Seidel), steps (Jacobi), or
+    /// matrix–vector products (Krylov) before giving up.
     pub max_iterations: usize,
+    /// Which linear-algebra backend iterates.
+    pub backend: SolverBackend,
+    /// Worker threads for the sharded SpMV of the Jacobi and Krylov
+    /// backends (`0` = one per core, `1` = inline). Results are
+    /// bit-identical for every value; Gauss–Seidel is sequential by
+    /// construction and ignores this.
+    pub threads: usize,
+    /// Krylov restart dimension (Arnoldi steps per GMRES cycle).
+    /// Trimmed automatically on multi-million-state systems to bound
+    /// basis memory; ignored by the stationary backends.
+    pub restart: usize,
 }
 
 impl Default for IterOptions {
@@ -24,6 +50,20 @@ impl Default for IterOptions {
         Self {
             tolerance: 1e-12,
             max_iterations: 100_000,
+            backend: SolverBackend::default(),
+            threads: 1,
+            restart: 30,
+        }
+    }
+}
+
+impl IterOptions {
+    /// Default tolerances with the given backend and SpMV thread count.
+    pub fn with_backend(backend: SolverBackend, threads: usize) -> Self {
+        Self {
+            backend,
+            threads,
+            ..Self::default()
         }
     }
 }
@@ -33,13 +73,13 @@ impl Default for IterOptions {
 pub struct SteadyState {
     /// The stationary distribution π.
     pub probs: Vec<f64>,
-    /// Sweeps performed.
+    /// Iterations performed (sweeps / steps / matvecs by backend).
     pub iterations: usize,
     /// Final sup-norm of `πQ` (the balance residual).
     pub residual: f64,
 }
 
-/// Solves `πQ = 0`, `Σπ = 1` by Gauss–Seidel.
+/// Solves `πQ = 0`, `Σπ = 1` with the backend named in `opts`.
 ///
 /// # Errors
 /// * [`SolveError::SteadyStateUndefined`] if the chain has an absorbing
@@ -47,7 +87,8 @@ pub struct SteadyState {
 ///   distribution is then a question about absorption, not balance.
 /// * [`SolveError::NotConverged`] if the residual does not fall below
 ///   the tolerance within the iteration budget (e.g. the chain is
-///   reducible).
+///   reducible, or a stiff chain outruns a stationary backend's
+///   budget).
 pub fn steady_state(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, SolveError> {
     let n = ctmc.num_states();
     if n == 0 {
@@ -63,17 +104,34 @@ pub fn steady_state(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, Solv
     if (0..n).any(|i| ctmc.is_absorbing(i)) {
         return Err(SolveError::SteadyStateUndefined);
     }
-    let incoming = ctmc.incoming();
+    match opts.backend {
+        SolverBackend::GaussSeidel => steady_gauss_seidel(ctmc, opts),
+        SolverBackend::Jacobi => steady_jacobi(ctmc, opts),
+        SolverBackend::Krylov => krylov::steady(ctmc, opts),
+    }
+}
+
+/// The reference backend: in-place Gauss–Seidel sweeps over the cached
+/// incoming-rate view.
+fn steady_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, SolveError> {
+    let n = ctmc.num_states();
+    let incoming = ctmc.incoming_view();
     let mut pi = vec![1.0 / n as f64; n];
     let mut qv = vec![0.0; n];
     let mut residual = f64::INFINITY;
     for sweep in 1..=opts.max_iterations {
         // π_j ← (Σ_{i≠j} π_i q_ij) / |q_jj|, in place (Gauss–Seidel).
         for j in 0..n {
-            let inflow: f64 = incoming[j].iter().map(|&(i, r)| pi[i] * r).sum();
+            let inflow: f64 = incoming.column(j).iter().map(|&(i, r)| pi[i] * r).sum();
             pi[j] = inflow / -ctmc.diag(j);
         }
         let total: f64 = pi.iter().sum();
+        if !(total.is_finite() && total > 0.0) {
+            return Err(SolveError::NotConverged {
+                iterations: sweep,
+                residual: f64::INFINITY,
+            });
+        }
         for p in &mut pi {
             *p /= total;
         }
@@ -86,6 +144,71 @@ pub fn steady_state(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, Solv
                 iterations: sweep,
                 residual,
             });
+        }
+        if !residual.is_finite() {
+            return Err(SolveError::NotConverged {
+                iterations: sweep,
+                residual,
+            });
+        }
+    }
+    Err(SolveError::NotConverged {
+        iterations: opts.max_iterations,
+        residual,
+    })
+}
+
+/// The parallel stationary backend: damped Jacobi — equivalently, the
+/// power method on the uniformized chain `P = I + Q/Λ̂` with
+/// `Λ̂ = 1.05·max_i|q_ii|`. The slack above the uniformization rate
+/// keeps a positive self-loop on every state, so `P` is aperiodic and
+/// the iteration converges for every irreducible chain (a plain jump-
+/// chain Jacobi split would cycle on periodic chains). Each step is one
+/// sharded `π·Q` product over [`IterOptions::threads`] workers plus two
+/// `O(n)` passes.
+fn steady_jacobi(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, SolveError> {
+    let n = ctmc.num_states();
+    let lambda = ctmc.max_exit_rate() * 1.05;
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(SolveError::NotConverged {
+            iterations: 0,
+            residual: f64::INFINITY,
+        });
+    }
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut qv = vec![0.0; n];
+    let mut residual = f64::INFINITY;
+    for step in 1..=opts.max_iterations {
+        ctmc.vec_mul_threads(&pi, &mut qv, opts.threads);
+        // The product is the residual of the *current* normalized
+        // iterate — free, exactly like the Gauss–Seidel check.
+        residual = qv.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        if residual <= opts.tolerance {
+            return Ok(SteadyState {
+                probs: pi,
+                iterations: step,
+                residual,
+            });
+        }
+        if !residual.is_finite() {
+            return Err(SolveError::NotConverged {
+                iterations: step,
+                residual,
+            });
+        }
+        // π ← π + (πQ)/Λ̂ = π·P, then renormalize to stem drift.
+        for (p, &q) in pi.iter_mut().zip(&qv) {
+            *p += q / lambda;
+        }
+        let total: f64 = pi.iter().sum();
+        if !(total.is_finite() && total > 0.0) {
+            return Err(SolveError::NotConverged {
+                iterations: step,
+                residual: f64::INFINITY,
+            });
+        }
+        for p in &mut pi {
+            *p /= total;
         }
     }
     Err(SolveError::NotConverged {
@@ -103,13 +226,14 @@ pub struct AbsorptionTimes {
     /// `Σ_i π0_i τ_i`: expected absorption time from the initial
     /// distribution (ms).
     pub mean: f64,
-    /// Sweeps performed.
+    /// Iterations performed (sweeps / steps / matvecs by backend).
     pub iterations: usize,
     /// Final sup-norm residual of `Q_TT τ + 1`.
     pub residual: f64,
 }
 
-/// Solves the expected time to absorption from every state.
+/// Solves the expected time to absorption from every state with the
+/// backend named in `opts`.
 ///
 /// # Errors
 /// * [`SolveError::NoAbsorbingStates`] if the chain has none.
@@ -127,6 +251,16 @@ pub fn mean_time_to_absorption(
     if !(0..n).any(|i| ctmc.is_absorbing(i)) {
         return Err(SolveError::NoAbsorbingStates);
     }
+    match opts.backend {
+        SolverBackend::GaussSeidel => absorption_gauss_seidel(ctmc, opts),
+        SolverBackend::Jacobi => absorption_jacobi(ctmc, opts),
+        SolverBackend::Krylov => krylov::absorption(ctmc, opts),
+    }
+}
+
+/// The reference backend: in-place Gauss–Seidel sweeps on `Q_TT τ = -1`.
+fn absorption_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTimes, SolveError> {
+    let n = ctmc.num_states();
     let mut tau = vec![0.0; n];
     let mut residual = f64::INFINITY;
     for sweep in 1..=opts.max_iterations {
@@ -150,6 +284,55 @@ pub fn mean_time_to_absorption(
                 per_state: tau,
                 mean,
                 iterations: sweep,
+                residual,
+            });
+        }
+        if !residual.is_finite() {
+            return Err(SolveError::NotConverged {
+                iterations: sweep,
+                residual,
+            });
+        }
+    }
+    Err(SolveError::NotConverged {
+        iterations: opts.max_iterations,
+        residual,
+    })
+}
+
+/// The parallel stationary backend: double-buffered Jacobi on
+/// `Q_TT τ = -1`. The flow gather `Σ_k q_jk τ_k` is one sharded
+/// row-oriented SpMV; since every update reads only the previous
+/// iterate, the buffers swap and no write order matters.
+fn absorption_jacobi(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTimes, SolveError> {
+    let n = ctmc.num_states();
+    let mut tau = vec![0.0; n];
+    let mut flow = vec![0.0; n];
+    let mut residual = f64::INFINITY;
+    for step in 1..=opts.max_iterations {
+        spmv::flow_mul(ctmc, &tau, &mut flow, opts.threads);
+        residual = 0.0;
+        for j in 0..n {
+            if ctmc.is_absorbing(j) {
+                flow[j] = 0.0;
+                continue;
+            }
+            residual = residual.max((ctmc.diag(j) * tau[j] + flow[j] + 1.0).abs());
+            flow[j] = (1.0 + flow[j]) / -ctmc.diag(j);
+        }
+        std::mem::swap(&mut tau, &mut flow);
+        if residual <= opts.tolerance {
+            let mean = ctmc.initial().iter().zip(&tau).map(|(&p, &t)| p * t).sum();
+            return Ok(AbsorptionTimes {
+                per_state: tau,
+                mean,
+                iterations: step,
+                residual,
+            });
+        }
+        if !residual.is_finite() {
+            return Err(SolveError::NotConverged {
+                iterations: step,
                 residual,
             });
         }
@@ -189,31 +372,33 @@ mod tests {
     }
 
     /// In a cyclic chain the stationary probability of each state is
-    /// proportional to its mean holding time.
+    /// proportional to its mean holding time — for every backend.
     #[test]
     fn cycle_stationary_probabilities_follow_holding_times() {
         let means = [1.0, 3.0, 6.0];
         let m = cyclic(3, &means);
         let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
         let q = Ctmc::from_state_space(&ss).unwrap();
-        let sol = steady_state(&q, &IterOptions::default()).unwrap();
         let total: f64 = means.iter().sum();
-        for (i, &p) in sol.probs.iter().enumerate() {
-            // State i of the exploration holds the token at station i.
-            let hold = ss
-                .tokens(i)
-                .iter()
-                .position(|&t| t > 0)
-                .map(|st| means[st])
-                .unwrap();
-            assert!(
-                (p - hold / total).abs() < 1e-9,
-                "state {i}: π {p} vs {}",
-                hold / total
-            );
+        for backend in SolverBackend::ALL {
+            let sol = steady_state(&q, &IterOptions::with_backend(backend, 1)).unwrap();
+            for (i, &p) in sol.probs.iter().enumerate() {
+                // State i of the exploration holds the token at station i.
+                let hold = ss
+                    .tokens(i)
+                    .iter()
+                    .position(|&t| t > 0)
+                    .map(|st| means[st])
+                    .unwrap();
+                assert!(
+                    (p - hold / total).abs() < 1e-9,
+                    "{backend}: state {i}: π {p} vs {}",
+                    hold / total
+                );
+            }
+            assert!(sol.residual <= 1e-12, "{backend}: {}", sol.residual);
+            assert!(sol.iterations > 0, "{backend}");
         }
-        assert!(sol.residual <= 1e-12);
-        assert!(sol.iterations > 0);
     }
 
     #[test]
@@ -229,14 +414,16 @@ mod tests {
         let m = b.build().unwrap();
         let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
         let ctmc = Ctmc::from_state_space(&ss).unwrap();
-        assert!(matches!(
-            steady_state(&ctmc, &IterOptions::default()),
-            Err(SolveError::SteadyStateUndefined)
-        ));
+        for backend in SolverBackend::ALL {
+            assert!(matches!(
+                steady_state(&ctmc, &IterOptions::with_backend(backend, 1)),
+                Err(SolveError::SteadyStateUndefined)
+            ));
+        }
     }
 
     /// A 3-stage Erlang-like pipeline: mean absorption time is the sum
-    /// of the stage means.
+    /// of the stage means — for every backend.
     #[test]
     fn pipeline_absorption_time_adds_stage_means() {
         let mut b = SanBuilder::new("m");
@@ -257,8 +444,15 @@ mod tests {
         let m = b.build().unwrap();
         let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
         let ctmc = Ctmc::from_state_space(&ss).unwrap();
-        let sol = mean_time_to_absorption(&ctmc, &IterOptions::default()).unwrap();
-        assert!((sol.mean - 8.0).abs() < 1e-9, "mean {}", sol.mean);
+        for backend in SolverBackend::ALL {
+            let sol =
+                mean_time_to_absorption(&ctmc, &IterOptions::with_backend(backend, 1)).unwrap();
+            assert!(
+                (sol.mean - 8.0).abs() < 1e-9,
+                "{backend}: mean {}",
+                sol.mean
+            );
+        }
     }
 
     /// A chain with no absorbing state cannot have absorption times.
@@ -267,10 +461,12 @@ mod tests {
         let m = cyclic(3, &[1.0]);
         let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
         let ctmc = Ctmc::from_state_space(&ss).unwrap();
-        assert!(matches!(
-            mean_time_to_absorption(&ctmc, &IterOptions::default()),
-            Err(SolveError::NoAbsorbingStates)
-        ));
+        for backend in SolverBackend::ALL {
+            assert!(matches!(
+                mean_time_to_absorption(&ctmc, &IterOptions::with_backend(backend, 1)),
+                Err(SolveError::NoAbsorbingStates)
+            ));
+        }
     }
 
     /// Competing absorption with a branch: closed-form check.
@@ -299,8 +495,37 @@ mod tests {
         let m = b.build().unwrap();
         let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
         let ctmc = Ctmc::from_state_space(&ss).unwrap();
-        let sol = mean_time_to_absorption(&ctmc, &IterOptions::default()).unwrap();
         // τ(s0) = 1/(a+b) + b/(a+b) · 1/c = 2/3 + (2/3)·4 = 10/3.
-        assert!((sol.mean - 10.0 / 3.0).abs() < 1e-9, "mean {}", sol.mean);
+        for backend in SolverBackend::ALL {
+            let sol =
+                mean_time_to_absorption(&ctmc, &IterOptions::with_backend(backend, 1)).unwrap();
+            assert!(
+                (sol.mean - 10.0 / 3.0).abs() < 1e-9,
+                "{backend}: mean {}",
+                sol.mean
+            );
+        }
+    }
+
+    /// All backends land on the same stationary vector of an irregular
+    /// chain, across SpMV thread counts.
+    #[test]
+    fn backends_agree_on_irregular_cycle() {
+        let means = [0.3, 2.0, 0.7, 5.0, 1.1];
+        let m = cyclic(5, &means);
+        let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
+        let q = Ctmc::from_state_space(&ss).unwrap();
+        let reference = steady_state(&q, &IterOptions::default()).unwrap();
+        for backend in [SolverBackend::Jacobi, SolverBackend::Krylov] {
+            for threads in [1usize, 2, 8] {
+                let sol = steady_state(&q, &IterOptions::with_backend(backend, threads)).unwrap();
+                for (s, (&a, &b)) in reference.probs.iter().zip(&sol.probs).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-10,
+                        "{backend}/{threads}t state {s}: {a} vs {b}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -18,6 +18,11 @@ pub struct TransientOptions {
     /// Hard cap on the number of Poisson terms (guards against absurd
     /// `Λt`; one term costs one sparse matrix-vector product).
     pub max_terms: usize,
+    /// Worker threads for the sharded `v·Q` product inside the
+    /// uniformization loop (`0` = one per core, `1` = inline) — the
+    /// same SpMV kernel the Jacobi/Krylov steady-state backends use.
+    /// The result is bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for TransientOptions {
@@ -25,6 +30,7 @@ impl Default for TransientOptions {
         Self {
             epsilon: 1e-10,
             max_terms: 2_000_000,
+            threads: 1,
         }
     }
 }
@@ -76,8 +82,8 @@ pub fn transient(ctmc: &Ctmc, t_ms: f64, opts: &TransientOptions) -> Result<Tran
             }
         }
         if k < last {
-            // v ← v P = v + (v Q)/Λ.
-            ctmc.vec_mul(&v, &mut qv);
+            // v ← v P = v + (v Q)/Λ, the sharded gather product.
+            ctmc.vec_mul_threads(&v, &mut qv, opts.threads);
             for (x, &q) in v.iter_mut().zip(&qv) {
                 *x += q / lambda;
             }

@@ -4,7 +4,8 @@
 
 use ct_consensus_repro::san::{Activity, Case, SanBuilder, SanModel};
 use ct_consensus_repro::solve::{
-    steady_state, transient, Ctmc, IterOptions, ReachOptions, StateSpace, TransientOptions,
+    steady_state, transient, Ctmc, IterOptions, ReachOptions, SolverBackend, StateSpace,
+    TransientOptions,
 };
 use ct_consensus_repro::stoch::{Dist, PhaseType};
 use proptest::prelude::*;
@@ -98,6 +99,31 @@ proptest! {
         // And the long-run limit matches the steady state.
         let pi = steady_state(&ctmc, &IterOptions::default()).expect("steady");
         prop_assert!((pi.probs[0] - mu / (lam + mu)).abs() < 1e-9);
+    }
+
+    /// Every solver backend lands on the same stationary vector of a
+    /// random birth–death chain, for every SpMV thread count — the
+    /// backends are exact drop-in replacements for one another.
+    #[test]
+    fn steady_state_backends_agree(
+        means in proptest::collection::vec((0.05f64..5.0, 0.05f64..5.0), 1..5),
+    ) {
+        let (n, ctmc) = solve_chain(&means);
+        let reference = steady_state(&ctmc, &IterOptions::default()).expect("gauss-seidel");
+        for backend in [SolverBackend::Jacobi, SolverBackend::Krylov] {
+            for threads in [1usize, 2, 4, 8] {
+                let sol = steady_state(&ctmc, &IterOptions::with_backend(backend, threads))
+                    .expect("parallel backends converge on birth-death chains");
+                for s in 0..n {
+                    prop_assert!(
+                        (sol.probs[s] - reference.probs[s]).abs() < 1e-9,
+                        "{backend}/{threads}t state {s}: {} vs {}",
+                        sol.probs[s],
+                        reference.probs[s]
+                    );
+                }
+            }
+        }
     }
 
     /// Transient solutions converge to the steady state as t grows

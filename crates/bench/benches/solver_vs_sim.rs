@@ -20,6 +20,7 @@
 //! `bench_check` binary gates against in CI.
 
 use criterion::{criterion_group, criterion_main, BenchResult, Criterion};
+use ctsim_bench::alloc_counter::{self, CountingAlloc};
 use ctsim_bench::BENCH_SEED;
 use ctsim_models::{build_model, decided_place_ids, latency_replications, SanParams};
 use ctsim_san::Marking;
@@ -29,6 +30,12 @@ use ctsim_solve::{
 };
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Exact live-heap accounting for the self-timed rows: the explore
+/// rows carry their peak bytes so `bench_check` can gate peak-memory
+/// regressions alongside throughput.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn bench(c: &mut Criterion) {
     let params = SanParams::exponential_baseline(2);
@@ -132,8 +139,10 @@ fn concurrent_intern() -> Vec<BenchResult> {
                     ..ReachOptions::default()
                 };
                 let mut best = f64::INFINITY;
+                let mut peak = u64::MAX;
                 let mut states = 0usize;
                 for _ in 0..repeats {
+                    alloc_counter::reset_peak();
                     let start = Instant::now();
                     let ss = StateSpace::explore_absorbing(&model, &opts, |m| {
                         decided.iter().any(|&d| m.get(d) > 0)
@@ -141,13 +150,20 @@ fn concurrent_intern() -> Vec<BenchResult> {
                     .unwrap();
                     states = black_box(ss.len());
                     best = best.min(start.elapsed().as_nanos() as f64);
+                    // The workload is deterministic, so min-of-N peaks
+                    // just sheds cross-run allocator noise.
+                    peak = peak.min(alloc_counter::peak_bytes() as u64);
                 }
                 let name = format!("concurrent_intern/explore_{label}_threads{t}_states{states}");
-                println!("timed {name:<68} {best:>14.0} ns/iter (best of {repeats})");
+                println!(
+                    "timed {name:<68} {best:>14.0} ns/iter, peak {:.1} MB (best of {repeats})",
+                    peak as f64 / (1 << 20) as f64
+                );
                 rows.push(BenchResult {
                     name,
                     ns_per_iter: best,
                     iters: u64::from(repeats),
+                    peak_bytes: Some(peak),
                 });
             }
         };
@@ -161,12 +177,13 @@ fn concurrent_intern() -> Vec<BenchResult> {
         50,
     );
     // n = 3 exponential (≈ 1.35 × 10⁵ states): the gated throughput
-    // metric, plus the thread sweep (`sweep` dedups the list).
+    // metric, plus the full 1/2/4/8 thread-scaling sweep of the
+    // streaming exploration pipeline (`sweep` dedups the list).
     sweep(
         "exp_n3",
         SanParams::exponential_n3(),
         0,
-        vec![1, 2, cores],
+        vec![1, 2, 4, 8, cores],
         2,
     );
     // n = 3 order 2 (≈ 5.3 × 10⁵ states): the scalability-gate
@@ -243,6 +260,7 @@ fn solver_backends() -> Vec<BenchResult> {
                     name,
                     ns_per_iter: best,
                     iters: u64::from(repeats),
+                    peak_bytes: None,
                 });
             }
         }
@@ -272,8 +290,11 @@ fn write_results_json(c: &Criterion, extra: &[BenchResult]) {
         .iter()
         .chain(extra)
         .map(|r| {
+            let peak = r
+                .peak_bytes
+                .map_or(String::new(), |p| format!(", \"peak_bytes\": {p}"));
             format!(
-                "    {{ \"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {} }}",
+                "    {{ \"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}{peak} }}",
                 r.name, r.ns_per_iter, r.iters
             )
         })

@@ -51,6 +51,16 @@ const GATES: &[(&str, &str)] = &[
     ),
 ];
 
+/// The peak-memory gates: rows whose `peak_bytes` (exact live-heap
+/// peak from the bench's counting allocator) must not regress beyond
+/// the allowed fraction. Unlike wall-clock, peak bytes of a
+/// deterministic workload are machine-independent, so the gate
+/// compares raw bytes without the throughput normalisation.
+const MEM_GATES: &[(&str, &str)] = &[(
+    "explore peak-mem",
+    "concurrent_intern/explore_exp_n3_threads1_states",
+)];
+
 /// The calibration workload: the simulator replication campaign, whose
 /// name carries its replication count as `..._x<reps>`.
 const CALIBRATE_PREFIX: &str = "solver_vs_sim/simulator_n2_replications_for_1pct_ci_x";
@@ -58,6 +68,7 @@ const CALIBRATE_PREFIX: &str = "solver_vs_sim/simulator_n2_replications_for_1pct
 struct Row {
     name: String,
     ns_per_iter: f64,
+    peak_bytes: Option<f64>,
 }
 
 /// Minimal extractor for the flat `{ "name": ..., "ns_per_iter": ... }`
@@ -85,12 +96,31 @@ fn parse_rows(text: &str) -> Vec<Row> {
             Ok(v) => v,
             Err(_) => continue,
         };
+        let peak_bytes = line.find("\"peak_bytes\":").and_then(|at| {
+            line[at + 13..]
+                .trim_start()
+                .trim_end_matches(['}', ',', ' '].as_ref())
+                .split(',')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .parse::<f64>()
+                .ok()
+        });
         rows.push(Row {
             name,
             ns_per_iter: ns,
+            peak_bytes,
         });
     }
     rows
+}
+
+/// Peak live-heap bytes of the row matching `prefix`, if recorded.
+fn peak_of(rows: &[Row], prefix: &str) -> Option<f64> {
+    rows.iter()
+        .find(|r| r.name.starts_with(prefix))
+        .and_then(|r| r.peak_bytes)
 }
 
 /// States-per-nanosecond of the row matching `prefix` (state count is
@@ -166,6 +196,26 @@ fn run() -> Result<(), String> {
             ));
         }
     }
+    println!("peak live-heap (bytes, exact allocator count — lower is better):");
+    for &(label, prefix) in MEM_GATES {
+        let cur = peak_of(&cur_rows, prefix)
+            .ok_or_else(|| format!("{current}: no `{prefix}*` peak_bytes (did the bench run?)"))?;
+        let base = peak_of(&base_rows, prefix)
+            .ok_or_else(|| format!("{baseline}: no `{prefix}*` peak_bytes"))?;
+        let ratio = cur / base;
+        println!(
+            "  {label:<20} baseline {base:>13.0}  current {cur:>13.0}  ratio {ratio:.3}  \
+             (gate: <= {:.3})",
+            1.0 + max_regression
+        );
+        if ratio > 1.0 + max_regression {
+            failures.push(format!(
+                "{label} regressed {:.1}% (allowed {:.0}%)",
+                (ratio - 1.0) * 100.0,
+                max_regression * 100.0
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(())
     } else {
@@ -192,7 +242,7 @@ mod tests {
   "mode": "smoke",
   "results": [
     { "name": "solver_vs_sim/simulator_n2_replications_for_1pct_ci_x2500", "ns_per_iter": 25000000.0, "iters": 1 },
-    { "name": "concurrent_intern/explore_exp_n3_threads1_states135125", "ns_per_iter": 700000000.0, "iters": 2 },
+    { "name": "concurrent_intern/explore_exp_n3_threads1_states135125", "ns_per_iter": 700000000.0, "iters": 2, "peak_bytes": 104857600 },
     { "name": "solver_backends/solve_exp_n3_gauss_seidel_threads1_states135125", "ns_per_iter": 90000000.0, "iters": 2 },
     { "name": "solver_backends/solve_exp_n3_jacobi_threads1_states135125", "ns_per_iter": 150000000.0, "iters": 2 },
     { "name": "solver_backends/solve_exp_n3_krylov_threads1_states135125", "ns_per_iter": 60000000.0, "iters": 2 }
@@ -214,6 +264,18 @@ mod tests {
         // Spot-check one: the explore gate.
         let tp = throughput(&rows, GATES[0].1).unwrap();
         assert!((tp - 135125.0 / 7e8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_bytes_are_parsed_and_optional() {
+        let rows = parse_rows(SAMPLE);
+        let peak = peak_of(&rows, MEM_GATES[0].1).expect("explore row carries peak_bytes");
+        assert!((peak - 104857600.0).abs() < 1e-6);
+        // Rows without the field simply report no peak.
+        assert_eq!(
+            peak_of(&rows, "solver_backends/solve_exp_n3_gauss_seidel"),
+            None
+        );
     }
 
     #[test]

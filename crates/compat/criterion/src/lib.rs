@@ -26,6 +26,9 @@ pub struct BenchResult {
     pub ns_per_iter: f64,
     /// Iterations measured (1 in smoke mode).
     pub iters: u64,
+    /// Peak live-heap bytes of one iteration, when the bench target
+    /// measured it (self-timed rows with a counting allocator).
+    pub peak_bytes: Option<u64>,
 }
 
 /// Benchmark driver; mirrors `criterion::Criterion`.
@@ -65,6 +68,7 @@ impl Criterion {
                 name,
                 ns_per_iter: b.elapsed.as_nanos() as f64 / b.iters as f64,
                 iters: b.iters,
+                peak_bytes: None,
             });
         }
         self

@@ -23,7 +23,9 @@
 use std::time::Instant;
 
 use ctsim_models::{build_model, latency_replications, SanParams};
-use ctsim_solve::{extrapolated_mean, AnalyticRun, SolveError, SolveOptions, SolverBackend};
+use ctsim_solve::{
+    extrapolated_mean, AnalyticRun, SolveError, SolveOptions, SolverBackend, SpillOptions,
+};
 use ctsim_testbed::CrashScenario;
 
 use crate::scale::Scale;
@@ -51,6 +53,11 @@ pub struct AnalyticOptions {
     /// on the same means — the CI `solver-backends` matrix gates their
     /// agreement to ≤ 1e-6 relative.
     pub backend: SolverBackend,
+    /// RAM budget (bytes) for the exploration's bulk arrays; beyond it
+    /// cold transition/state segments page to a temp file (`repro
+    /// analytic --spill-budget 512M`). `None` keeps everything
+    /// resident. Results are byte-identical either way.
+    pub spill_budget: Option<usize>,
 }
 
 impl Default for AnalyticOptions {
@@ -60,6 +67,7 @@ impl Default for AnalyticOptions {
             threads: 0,
             n: None,
             backend: SolverBackend::default(),
+            spill_budget: None,
         }
     }
 }
@@ -264,6 +272,7 @@ pub fn run_with(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
             } else {
                 max_states(scale)
             };
+            opts.reach.spill = ph.spill_budget.map(SpillOptions::with_budget);
             let row = match solve_mean_and_cdf(&params, &opts, true) {
                 Ok((mean, states, cdf, solve_ms)) => AnalyticRow {
                     scenario,
@@ -323,6 +332,7 @@ fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRo
     } else {
         max_states(scale)
     };
+    opts.reach.spill = ph.spill_budget.map(SpillOptions::with_budget);
     let solved = solve_mean_and_cdf(&params, &opts, true).and_then(|(mk, states, cdf, t_k)| {
         let (mean, solve_ms) = if k >= 2 {
             // Richardson extrapolation over the order: the dominant
@@ -330,6 +340,7 @@ fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRo
             // stages is ∝ 1/K (see `ctsim_solve::extrapolated_mean`).
             let mut prev = SolveOptions::ph_with_backend(k - 1, ph.threads, ph.backend);
             prev.reach.max_states = opts.reach.max_states;
+            prev.reach.spill = opts.reach.spill.clone();
             let (mk1, _, _, t_k1) = solve_mean_and_cdf(&params, &prev, false)?;
             let mean = extrapolated_mean(&[(k - 1, mk1), (k, mk)]).expect("two order points");
             (mean, t_k + t_k1)
@@ -521,6 +532,7 @@ mod tests {
                 threads: 2,
                 n: Some(2),
                 backend,
+                ..AnalyticOptions::default()
             };
             run_with(Scale::Quick, 11, &opts)
         };

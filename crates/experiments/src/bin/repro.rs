@@ -83,6 +83,11 @@ fn parse_args() -> Result<Args, String> {
             "--solver" => {
                 ph.backend = args.next().ok_or("missing value for --solver")?.parse()?;
             }
+            "--spill-budget" => {
+                ph.spill_budget = Some(ctsim_experiments::parse_size(
+                    &args.next().ok_or("missing value for --spill-budget")?,
+                )?);
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -98,7 +103,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|ablations|throughput|analytic|all> \
      [--scale quick|default|full] [--seed N] [--out DIR] [--ph-order K] [--threads T] [--n N] \
-     [--solver gauss-seidel|jacobi|krylov]"
+     [--solver gauss-seidel|jacobi|krylov] [--spill-budget BYTES[K|M|G]]"
         .to_string()
 }
 
@@ -352,6 +357,23 @@ fn main() {
                     verdict(r.engine_agrees()),
                 )
             }),
+        );
+        // Peak-memory record for the whole analytic pipeline (explore +
+        // CSR + solve): the CI scalability job uploads this CSV and its
+        // spill-budget leg uses it to show the budget actually binds.
+        write_csv(
+            &args.out.join("peak_memory.csv"),
+            "command,n,ph_order,threads,spill_budget_bytes,peak_rss_mb",
+            std::iter::once(format!(
+                "analytic,{},{},{},{},{:.1}",
+                args.ph.n.map_or(String::new(), |n| n.to_string()),
+                args.ph.ph_order,
+                args.ph.threads,
+                args.ph
+                    .spill_budget
+                    .map_or(String::new(), |b| b.to_string()),
+                ctsim_experiments::peak_rss_mb(),
+            )),
         );
         for r in &a.rows {
             if r.cdf.is_empty() {

@@ -30,6 +30,43 @@ pub mod throughput;
 
 pub use scale::Scale;
 
+/// Peak resident-set size of this process in MB (`VmHWM` from
+/// `/proc/self/status`; 0.0 where that interface is unavailable).
+/// The `repro analytic` command records this next to its results so CI
+/// can track the memory footprint of the analytic pipeline.
+pub fn peak_rss_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+/// Parses a byte size with an optional `K`/`M`/`G` suffix (`512M`) —
+/// the format of `repro analytic --spill-budget` and of the
+/// `explore_scaling` example's spill argument.
+pub fn parse_size(s: &str) -> Result<usize, String> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'K' | b'k') => (&s[..s.len() - 1], 1usize << 10),
+        Some(b'M' | b'm') => (&s[..s.len() - 1], 1 << 20),
+        Some(b'G' | b'g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<usize>()
+        .map(|v| v * mult)
+        .map_err(|e| format!("bad size `{s}`: {e}"))
+}
+
 /// Formats an `f64` table cell with fixed width.
 pub(crate) fn cell(x: f64) -> String {
     if x.is_infinite() {

@@ -26,6 +26,14 @@ impl ActivityId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds an id from a raw index previously obtained through
+    /// [`ActivityId::index`] — for compact serialized forms (e.g. the
+    /// solver's disk-spilled transition records). Only meaningful for
+    /// the model the index came from.
+    pub fn from_index(index: usize) -> Self {
+        Self(index)
+    }
 }
 
 /// The token count of every place: the SAN's state.
@@ -43,6 +51,16 @@ impl Marking {
             tokens: initial.to_vec(),
             changed: Vec::new(),
         }
+    }
+
+    /// Reinitialises this marking in place from a token vector,
+    /// reusing its buffers — the allocation-free counterpart of
+    /// [`SanModel::marking_from`] for hot loops that recycle markings
+    /// (e.g. the analytic solver's state expansion).
+    pub fn assign(&mut self, tokens: &[u32]) {
+        self.tokens.clear();
+        self.tokens.extend_from_slice(tokens);
+        self.changed.clear();
     }
 
     /// The number of tokens in `place`.

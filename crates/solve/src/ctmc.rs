@@ -3,7 +3,7 @@
 //! A SAN whose timed activities are all exponential — natively or after
 //! phase-type expansion — is, after vanishing elimination, a
 //! continuous-time Markov chain over the tangible states: each
-//! [`Transition`](crate::Transition) of the reachability graph carries
+//! [`Transition`] of the reachability graph carries
 //! its generator contribution (exponential event rate × branching
 //! probability) directly. The generator `Q` is stored in
 //! compressed-sparse-row (CSR) form with the diagonal split out, the
@@ -11,7 +11,9 @@
 
 use std::sync::OnceLock;
 
-use crate::graph::StateSpace;
+use ctsim_san::ActivityId;
+
+use crate::graph::{StateSpace, Transition};
 use crate::SolveError;
 
 /// A finite-state CTMC in CSR form.
@@ -85,8 +87,101 @@ impl Incoming {
     }
 }
 
+/// Row-by-row CTMC generator accumulation — the streaming counterpart
+/// of [`Ctmc::from_state_space`]. The exploration pipeline feeds it
+/// each canonical row as soon as that row's BFS level is renumbered
+/// (see `StateSpace::explore_ctmc`), so the CSR build overlaps the
+/// exploration of later levels; `from_state_space` drives the same
+/// accumulator sequentially, making the two construction paths
+/// byte-identical by construction.
+pub(crate) struct CtmcAcc {
+    row_ptr: Vec<usize>,
+    col: Vec<usize>,
+    rate: Vec<f64>,
+    diag: Vec<f64>,
+}
+
+impl CtmcAcc {
+    pub(crate) fn new() -> Self {
+        Self {
+            row_ptr: vec![0],
+            col: Vec::new(),
+            rate: Vec::new(),
+            diag: Vec::new(),
+        }
+    }
+
+    /// Appends the generator row of state `src` (rows must arrive in
+    /// canonical order). `acc` is a reused per-destination scratch
+    /// accumulator. On a NaN rate — an unexpanded non-exponential
+    /// activity — returns the offending activity.
+    pub(crate) fn push_row(
+        &mut self,
+        src: usize,
+        outs: &[Transition],
+        acc: &mut Vec<(usize, f64)>,
+    ) -> Result<(), ActivityId> {
+        debug_assert_eq!(src, self.diag.len(), "rows must arrive in order");
+        // Accumulate per-destination rates; CSR rows stay sorted by
+        // destination because the sort below fixes the order.
+        acc.clear();
+        for t in outs {
+            if t.rate.is_nan() {
+                return Err(t.activity);
+            }
+            if t.target == src {
+                // A completion that re-enters its source state is
+                // invisible to the marking process: it contributes
+                // neither an off-diagonal rate nor exit rate.
+                continue;
+            }
+            match acc.iter_mut().find(|(d, _)| *d == t.target) {
+                Some((_, existing)) => *existing += t.rate,
+                None => acc.push((t.target, t.rate)),
+            }
+        }
+        acc.sort_unstable_by_key(|&(d, _)| d);
+        let mut d = 0.0;
+        for &(dst, r) in acc.iter() {
+            d -= r;
+            self.col.push(dst);
+            self.rate.push(r);
+        }
+        self.diag.push(d);
+        self.row_ptr.push(self.col.len());
+        Ok(())
+    }
+
+    /// Materialises the generator; `initial_pairs` is the (canonical,
+    /// sorted) initial distribution.
+    pub(crate) fn finish(self, initial_pairs: &[(usize, f64)]) -> Ctmc {
+        let n = self.diag.len();
+        let mut initial = vec![0.0; n];
+        for &(i, p) in initial_pairs {
+            initial[i] = p;
+        }
+        let absorbing = self.diag.iter().map(|&d| d == 0.0).collect();
+        Ctmc {
+            n,
+            row_ptr: self.row_ptr,
+            col: self.col,
+            rate: self.rate,
+            diag: self.diag,
+            initial,
+            absorbing,
+            incoming: OnceLock::new(),
+        }
+    }
+}
+
 impl Ctmc {
     /// Builds the generator matrix from a reachability graph.
+    ///
+    /// Prefer `StateSpace::explore_ctmc` /
+    /// `StateSpace::explore_absorbing_ctmc` when the graph is being
+    /// explored anyway: they assemble the identical generator *during*
+    /// exploration (pipelined per BFS level) instead of in a second
+    /// pass over the transition arena.
     ///
     /// # Errors
     /// [`SolveError::NonMarkovian`] if any transition is driven by a
@@ -97,56 +192,15 @@ impl Ctmc {
     /// the simulator.
     pub fn from_state_space(ss: &StateSpace<'_>) -> Result<Self, SolveError> {
         let model = ss.model();
-        let n = ss.len();
-        let mut row_ptr = Vec::with_capacity(n + 1);
-        let mut col = Vec::new();
-        let mut rate = Vec::new();
-        let mut diag = vec![0.0; n];
-        row_ptr.push(0);
-        for (s, outs) in ss.transitions.iter().enumerate() {
-            // Accumulate per-destination rates; CSR rows stay sorted by
-            // destination because the graph sorts its transitions.
-            let mut acc: Vec<(usize, f64)> = Vec::with_capacity(outs.len());
-            for t in outs {
-                if t.rate.is_nan() {
-                    return Err(SolveError::NonMarkovian {
-                        activity: model.activity_name(t.activity).to_string(),
-                    });
-                }
-                if t.target == s {
-                    // A completion that re-enters its source state is
-                    // invisible to the marking process: it contributes
-                    // neither an off-diagonal rate nor exit rate.
-                    continue;
-                }
-                match acc.iter_mut().find(|(d, _)| *d == t.target) {
-                    Some((_, existing)) => *existing += t.rate,
-                    None => acc.push((t.target, t.rate)),
-                }
-            }
-            acc.sort_unstable_by_key(|&(d, _)| d);
-            for (d, r) in acc {
-                diag[s] -= r;
-                col.push(d);
-                rate.push(r);
-            }
-            row_ptr.push(col.len());
+        let mut acc = CtmcAcc::new();
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for s in 0..ss.len() {
+            acc.push_row(s, &ss.outgoing(s), &mut scratch)
+                .map_err(|a| SolveError::NonMarkovian {
+                    activity: model.activity_name(a).to_string(),
+                })?;
         }
-        let mut initial = vec![0.0; n];
-        for &(i, p) in &ss.initial {
-            initial[i] = p;
-        }
-        let absorbing = diag.iter().map(|&d| d == 0.0).collect();
-        Ok(Self {
-            n,
-            row_ptr,
-            col,
-            rate,
-            diag,
-            initial,
-            absorbing,
-            incoming: OnceLock::new(),
-        })
+        Ok(acc.finish(&ss.initial))
     }
 
     /// Number of states.

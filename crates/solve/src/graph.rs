@@ -43,23 +43,41 @@
 //! per-state memory; packed words are also what the intern table
 //! hashes and compares.
 //!
-//! # Concurrent exploration
+//! # Concurrent exploration, streamed assembly
 //!
 //! Exploration fans out across [`ReachOptions::threads`] workers in a
 //! level-synchronous breadth-first sweep, but — unlike the former
 //! explore-then-sequentially-merge design — workers intern newly
 //! discovered states **directly** into a sharded lock-free state table
 //! (`intern::Interner`) while expanding: there is no serial merge phase left
-//! to cap the speedup. The price is that state ids become race-ordered
-//! ("provisional"); determinism is restored by a canonical renumbering
-//! after exploration:
+//! to cap the speedup.
+//!
+//! Transitions never touch the heap per state: each worker appends the
+//! rows it generates into its own chain of fixed-capacity segments
+//! (`WorkerChain`), and when a level finishes it is renumbered and
+//! **streamed** into the final flat arena (`arena::SegStore`)
+//! — and, through [`StateSpace::explore_ctmc`], straight into the CSR
+//! generator — *while the workers already expand the next level*. The
+//! former `Vec<Vec<Transition>>` representation (one heap allocation
+//! and ~40 bytes of `Vec` bookkeeping per state, plus a full
+//! post-exploration copy) is gone; assembly is a per-level permutation
+//! into contiguous storage. With [`ReachOptions::spill`] set, cold
+//! arena segments additionally page out to a temp file under a RAM
+//! budget, which is what lets spaces larger than memory explore.
+//!
+//! The price of concurrent interning is that state ids become
+//! race-ordered ("provisional"); determinism is restored by a
+//! canonical renumbering applied level by level:
 //!
 //! 1. The reachable state *set*, every state's successor distribution,
 //!    and every state's BFS level (its distance from the initial
 //!    states) are functions of the model alone — no interleaving can
 //!    change them.
-//! 2. After exploration, states are renumbered by `(BFS level, packed
-//!    key)` — a total order with no reference to discovery order.
+//! 2. States are renumbered by `(BFS level, packed key)` — a total
+//!    order with no reference to discovery order. A level's membership
+//!    is fixed the moment the previous level has been fully expanded,
+//!    so the renumbering (and everything downstream of it) can run
+//!    level-by-level behind the exploration front.
 //! 3. Per-source transition lists are computed sequentially inside one
 //!    worker each; after retargeting to canonical ids they are sorted
 //!    with a deterministic comparator and duplicate targets are merged
@@ -73,12 +91,16 @@
 //! guaranteed deterministic, not the identity of racing errors.)
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use ctsim_san::{ActivityId, Marking, SanModel, Timing};
 use ctsim_stoch::{Dist, PhaseType};
 
+use crate::arena::{RowLoc, RowRef, SegStore};
+use crate::ctmc::{Ctmc, CtmcAcc};
 use crate::intern::Interner;
 use crate::pack::StateLayout;
+use crate::spill::{SpillOptions, SpillRecord, SpillShared};
 use crate::SolveError;
 
 /// Exploration limits and expansion/parallelism knobs.
@@ -102,6 +124,12 @@ pub struct ReachOptions {
     /// core, `1` = in-place sequential). The result is identical — to
     /// the byte — for every value; this is purely a wall-clock knob.
     pub threads: usize,
+    /// Page cold transition/state segments to a temp file under this
+    /// RAM budget (see [`SpillOptions`]). `None` (the default) keeps
+    /// everything resident. Results are identical — to the byte — with
+    /// spill on or off; this trades wall-clock for peak memory on
+    /// spaces that do not fit in RAM.
+    pub spill: Option<SpillOptions>,
 }
 
 impl Default for ReachOptions {
@@ -111,6 +139,7 @@ impl Default for ReachOptions {
             max_vanishing_depth: 4096,
             ph_order: 0,
             threads: 1,
+            spill: None,
         }
     }
 }
@@ -140,6 +169,31 @@ pub struct Transition {
     pub target: usize,
 }
 
+impl SpillRecord for Transition {
+    // prob f64 + rate f64 + target u32 + activity u32 + completes u8.
+    const BYTES: usize = 25;
+
+    fn store(&self, out: &mut [u8]) {
+        out[0..8].copy_from_slice(&self.prob.to_le_bytes());
+        out[8..16].copy_from_slice(&self.rate.to_le_bytes());
+        out[16..20].copy_from_slice(&(self.target as u32).to_le_bytes());
+        out[20..24].copy_from_slice(&(self.activity.index() as u32).to_le_bytes());
+        out[24] = u8::from(self.completes);
+    }
+
+    fn load(bytes: &[u8]) -> Self {
+        let f = |r: std::ops::Range<usize>| f64::from_le_bytes(bytes[r].try_into().expect("8B"));
+        let u = |r: std::ops::Range<usize>| u32::from_le_bytes(bytes[r].try_into().expect("4B"));
+        Self {
+            prob: f(0..8),
+            rate: f(8..16),
+            target: u(16..20) as usize,
+            activity: ActivityId::from_index(u(20..24) as usize),
+            completes: bytes[24] != 0,
+        }
+    }
+}
+
 /// The tangible reachable state space of a model.
 ///
 /// With phase-type expansion active, each state vector is the flat
@@ -159,12 +213,17 @@ pub struct StateSpace<'m> {
     pub phase_slots: usize,
     /// The bit layout shared by all packed states.
     layout: StateLayout,
-    /// Canonically ordered packed states,
-    /// [`words_per_state`](StateSpace::words_per_state) words each,
-    /// back to back.
-    packed: Vec<u64>,
-    /// Outgoing transitions per state (empty for absorbing states).
-    pub transitions: Vec<Vec<Transition>>,
+    /// Canonically ordered packed states — either a spillable copy or
+    /// a zero-copy view into the intern arena.
+    packed: PackedStates,
+    /// The flat transition arena: every state's merged outgoing
+    /// transitions, canonical order, each row one contiguous slice.
+    trans: SegStore<Transition>,
+    /// Per-state row location in `trans` (empty row for absorbing
+    /// states).
+    row_locs: Vec<RowLoc>,
+    /// Total transitions across all rows.
+    total_trans: usize,
     /// Initial probability distribution over tangible states (the
     /// initial marking's vanishing chain may branch probabilistically,
     /// as may phase entry).
@@ -181,10 +240,7 @@ impl std::fmt::Debug for StateSpace<'_> {
             .field("states", &self.len())
             .field("phase_slots", &self.phase_slots)
             .field("words_per_state", &self.layout.words())
-            .field(
-                "transitions",
-                &self.transitions.iter().map(Vec::len).sum::<usize>(),
-            )
+            .field("transitions", &self.total_trans)
             .finish()
     }
 }
@@ -319,10 +375,22 @@ impl From<SolveError> for Abort {
 /// Minimum frontier size before spawning worker threads.
 const PARALLEL_THRESHOLD: usize = 32;
 
-/// Frontier states claimed per worker `fetch_add` (load-balancing
-/// granule; small enough that a straggler chunk cannot serialise a
-/// level, large enough to amortise the atomic).
-const CLAIM_CHUNK: usize = 64;
+/// Bounds on the adaptive claim granule: frontier states claimed per
+/// worker `fetch_add`. The granule scales with the level size (about
+/// 1/16th of a worker's fair share) so big levels amortise the shared
+/// cursor while a straggler chunk still cannot serialise a level.
+const MIN_CLAIM: usize = 64;
+const MAX_CLAIM: usize = 8192;
+
+/// Transitions per worker-local chain segment (see [`WorkerChain`]).
+const CHAIN_SEG: usize = 1 << 14;
+
+/// Nominal elements per segment of the final transition arena
+/// (~1.3 MB of `Transition`s — the spill paging unit).
+const TRANS_SEG: usize = 1 << 15;
+
+/// Nominal `u64` words per segment of the packed-state store.
+const PACKED_SEG: usize = 1 << 16;
 
 type AbsorbFn<'a> = dyn Fn(&Marking) -> bool + Sync + 'a;
 
@@ -342,12 +410,19 @@ struct Explorer<'m, 'a> {
     instantaneous: Vec<(ActivityId, u32, f64)>,
 }
 
-/// Per-worker reusable buffers.
+/// Per-worker reusable buffers. One `Scratch` lives as long as its
+/// worker slot — across every BFS level — so the steady-state hot path
+/// allocates nothing per state.
 struct Scratch {
     /// Packed-key buffer (one state).
     key: Vec<u64>,
+    /// The packed key of the source state being expanded (kept intact
+    /// so phase-advance successors can be derived by patching it).
+    src_key: Vec<u64>,
     /// Decoded extended state vector of the source being expanded.
     ext: Vec<u32>,
+    /// The source state's outgoing transitions being generated.
+    row: Vec<Transition>,
     /// Tangible `(tokens, prob)` outcomes of one case resolution.
     outs: Vec<(Vec<u32>, f64)>,
     /// Vanishing-resolution output of one case.
@@ -357,17 +432,112 @@ struct Scratch {
     /// encode in `completions`, so a small pool removes the last
     /// per-transition allocation of the hot path.
     pool: Vec<Vec<u32>>,
+    /// Phase-entry branch-split staging buffer (`continue_phases`).
+    split: Vec<(Vec<u32>, f64)>,
+    /// Vanishing-resolution worklist (`resolve_vanishing`).
+    vwork: Vec<(Marking, f64, usize)>,
+    /// Highest-priority enabled instantaneous activities
+    /// (`resolve_vanishing`).
+    vlevel: Vec<(ActivityId, f64)>,
+    /// Recycled `Marking`s: the expansion materialises a marking per
+    /// fired case and per vanishing step — reusing their buffers
+    /// removes a few heap allocations per generated transition.
+    mpool: Vec<Marking>,
 }
 
 impl Scratch {
     fn new(layout: &StateLayout) -> Self {
         Self {
             key: vec![0; layout.words()],
+            src_key: vec![0; layout.words()],
             ext: vec![0; layout.num_fields()],
+            row: Vec::new(),
             outs: Vec::new(),
             dist: Vec::new(),
             pool: Vec::new(),
+            split: Vec::new(),
+            vwork: Vec::new(),
+            vlevel: Vec::new(),
+            mpool: Vec::new(),
         }
+    }
+}
+
+/// One worker's persistent state: scratch buffers plus the chain of
+/// transition segments it appends rows to during the current level.
+struct WorkerState {
+    scratch: Scratch,
+    chain: WorkerChain,
+}
+
+impl WorkerState {
+    fn new(layout: &StateLayout) -> Self {
+        Self {
+            scratch: Scratch::new(layout),
+            chain: WorkerChain::default(),
+        }
+    }
+}
+
+/// Where one provisional state's transition run sits inside one
+/// worker's chain.
+#[derive(Clone, Copy)]
+struct Run {
+    prov: u32,
+    seg: u32,
+    off: u32,
+    len: u32,
+}
+
+/// A worker's per-level transition storage: fixed-capacity segments
+/// appended back to back (no per-state heap allocation, no shared
+/// allocator traffic between workers) plus the run index locating each
+/// expanded state's row. Chains are recycled level to level through
+/// `Assembly::chain_pool` — the emission clears them and hands them
+/// back, so the steady state allocates no per-level buffers at all
+/// (which also keeps the allocator's resident footprint flat: the old
+/// per-level churn left the heap fragmented at peak).
+#[derive(Default)]
+struct WorkerChain {
+    segs: Vec<Vec<Transition>>,
+    runs: Vec<Run>,
+    /// Index of the segment currently being filled (≤ `segs.len()`).
+    cur: usize,
+}
+
+impl WorkerChain {
+    /// Appends one state's row. Rows never straddle segments; a row
+    /// longer than [`CHAIN_SEG`] gets a dedicated oversized segment.
+    fn push_row(&mut self, prov: usize, row: &[Transition]) {
+        if row.is_empty() {
+            return; // an absent run reads back as an empty row
+        }
+        while self.cur < self.segs.len()
+            && self.segs[self.cur].len() + row.len() > self.segs[self.cur].capacity()
+        {
+            self.cur += 1;
+        }
+        if self.cur == self.segs.len() {
+            self.segs.push(Vec::with_capacity(CHAIN_SEG.max(row.len())));
+        }
+        let seg = &mut self.segs[self.cur];
+        let off = seg.len();
+        seg.extend_from_slice(row);
+        self.runs.push(Run {
+            prov: prov as u32,
+            seg: self.cur as u32,
+            off: off as u32,
+            len: row.len() as u32,
+        });
+    }
+
+    /// Clears content, keeping every buffer's capacity for reuse.
+    fn reset(&mut self) {
+        for s in &mut self.segs {
+            s.clear();
+        }
+        self.runs.clear();
+        self.cur = 0;
     }
 }
 
@@ -414,6 +584,11 @@ impl Explorer<'_, '_> {
     /// where an activity is newly enabled or just completed, zero where
     /// disabled. Absorbing markings get all-zero counters — their
     /// future is irrelevant, and canonicalising them merges states.
+    ///
+    /// Appends its outcomes to `out`, treating `out[start..]` as its
+    /// working set so the common single-outcome path allocates nothing
+    /// (`split` is a reused staging buffer for the branch-split case).
+    #[allow(clippy::too_many_arguments)]
     fn continue_phases(
         &self,
         old_ext: Option<&[u32]>,
@@ -422,19 +597,19 @@ impl Explorer<'_, '_> {
         prob: f64,
         out: &mut Vec<(Vec<u32>, f64)>,
         pool: &mut Vec<Vec<u32>>,
+        split: &mut Vec<(Vec<u32>, f64)>,
     ) {
         let slots = self.expansion.num_slots();
+        let start = out.len();
         let mut ext = self.fresh_ext(pool);
         ext[..self.base].copy_from_slice(marking.tokens());
+        out.push((ext, prob));
         if slots == 0 {
-            out.push((ext, prob));
             return;
         }
         if self.absorb.is_some_and(|f| f(marking)) {
-            out.push((ext, prob));
             return;
         }
-        let mut results = vec![(ext, prob)];
         for &(a, slot) in &self.expansion.expanded {
             if !self.model.is_enabled(a, marking) {
                 continue; // counter stays 0
@@ -445,7 +620,7 @@ impl Explorer<'_, '_> {
             let keep = completed != Some(a) && old_ext.is_some_and(|o| o[slot] >= 1);
             if keep {
                 let old = old_ext.expect("keep implies old state")[slot];
-                for (e, _) in &mut results {
+                for (e, _) in &mut out[start..] {
                     e[slot] = old;
                 }
                 continue;
@@ -455,43 +630,44 @@ impl Explorer<'_, '_> {
                 .expect("expanded activity has a plan")
                 .starts;
             if let [(phase, _)] = starts.as_slice() {
-                for (e, _) in &mut results {
+                for (e, _) in &mut out[start..] {
                     e[slot] = *phase;
                 }
                 continue;
             }
-            let mut split = Vec::with_capacity(results.len() * starts.len());
-            for (e, p) in results {
-                let (&(last_phase, last_bp), rest) =
-                    starts.split_last().expect("non-empty entry distribution");
+            // Entry splits over >1 branches: expand every current
+            // outcome, preserving the (deterministic) order — per
+            // outcome, the non-final branches first, then the final
+            // branch reusing the original buffer.
+            split.clear();
+            split.extend(out.drain(start..));
+            let (&(last_phase, last_bp), rest) =
+                starts.split_last().expect("non-empty entry distribution");
+            for (e, p) in split.drain(..) {
                 for &(phase, bp) in rest {
                     let mut e2 = self.fresh_ext(pool);
                     e2.copy_from_slice(&e);
                     e2[slot] = phase;
-                    split.push((e2, p * bp));
+                    out.push((e2, p * bp));
                 }
                 let mut e = e;
                 e[slot] = last_phase;
-                split.push((e, p * last_bp));
+                out.push((e, p * last_bp));
             }
-            results = split;
         }
-        out.append(&mut results);
     }
 
     /// Emits the completion outcomes of activity `a` from `ext`, where
     /// `base_rate` is the exponential rate of the completing event.
-    #[allow(clippy::too_many_arguments)]
+    /// Transitions are appended to `trans` (the caller's reused row
+    /// buffer — `scratch.row`, temporarily taken out of the scratch).
     fn completions(
         &self,
         interner: &Interner,
         ext: &[u32],
         a: ActivityId,
         base_rate: f64,
-        scratch_outs: &mut Vec<(Vec<u32>, f64)>,
-        dist: &mut Vec<(Marking, f64)>,
-        pool: &mut Vec<Vec<u32>>,
-        key: &mut [u64],
+        scratch: &mut Scratch,
         trans: &mut Vec<Transition>,
     ) -> Result<(), Abort> {
         for case in 0..self.model.num_cases(a) {
@@ -499,15 +675,40 @@ impl Explorer<'_, '_> {
             if case_p <= 0.0 {
                 continue;
             }
-            let mut after = self.model.marking_from(&ext[..self.base]);
+            let mut after = match scratch.mpool.pop() {
+                Some(mut m) => {
+                    m.assign(&ext[..self.base]);
+                    m
+                }
+                None => self.model.marking_from(&ext[..self.base]),
+            };
             self.model.fire_case(&mut after, a, case);
-            dist.clear();
-            self.resolve_vanishing(after, case_p, dist)?;
-            scratch_outs.clear();
-            for (marking, p) in dist.drain(..) {
-                self.continue_phases(Some(ext), Some(a), &marking, p, scratch_outs, pool);
+            scratch.dist.clear();
+            {
+                let Scratch {
+                    dist,
+                    vwork,
+                    vlevel,
+                    mpool,
+                    ..
+                } = scratch;
+                self.resolve_vanishing(after, case_p, dist, vwork, vlevel, mpool)?;
             }
-            for (tokens, p) in scratch_outs.drain(..) {
+            let Scratch {
+                dist,
+                outs,
+                pool,
+                split,
+                key,
+                mpool,
+                ..
+            } = scratch;
+            outs.clear();
+            for (marking, p) in dist.drain(..) {
+                self.continue_phases(Some(ext), Some(a), &marking, p, outs, pool, split);
+                mpool.push(marking);
+            }
+            for (tokens, p) in outs.drain(..) {
                 let target = self.intern_tokens(interner, &tokens, key)?;
                 pool.push(tokens);
                 trans.push(Transition {
@@ -522,20 +723,23 @@ impl Explorer<'_, '_> {
         Ok(())
     }
 
-    /// Computes every outgoing transition of one tangible state,
-    /// interning newly discovered targets on the fly. Targets carry
-    /// provisional ids until the canonical renumbering.
+    /// Computes every outgoing transition of one tangible state into
+    /// `scratch.row`, interning newly discovered targets on the fly.
+    /// Targets carry provisional ids until the canonical renumbering.
     fn successors_of(
         &self,
         interner: &Interner,
         id: usize,
         scratch: &mut Scratch,
-    ) -> Result<Vec<Transition>, Abort> {
-        interner.read_state(id, &mut scratch.key);
-        self.layout.decode(&scratch.key, &mut scratch.ext);
+    ) -> Result<(), Abort> {
+        interner.read_state(id, &mut scratch.src_key);
+        self.layout.decode(&scratch.src_key, &mut scratch.ext);
         let ext = std::mem::take(&mut scratch.ext);
-        let result = self.successors_of_ext(interner, &ext, scratch);
+        let mut row = std::mem::take(&mut scratch.row);
+        row.clear();
+        let result = self.successors_of_ext(interner, &ext, scratch, &mut row);
         scratch.ext = ext;
+        scratch.row = row;
         result
     }
 
@@ -544,9 +748,15 @@ impl Explorer<'_, '_> {
         interner: &Interner,
         ext: &[u32],
         scratch: &mut Scratch,
-    ) -> Result<Vec<Transition>, Abort> {
-        let marking = self.model.marking_from(&ext[..self.base]);
-        let mut trans = Vec::new();
+        trans: &mut Vec<Transition>,
+    ) -> Result<(), Abort> {
+        let marking = match scratch.mpool.pop() {
+            Some(mut m) => {
+                m.assign(&ext[..self.base]);
+                m
+            }
+            None => self.model.marking_from(&ext[..self.base]),
+        };
         for &a in &self.timed {
             match &self.expansion.plans[a.index()] {
                 Some(plan) => {
@@ -565,23 +775,25 @@ impl Explorer<'_, '_> {
                     );
                     let rate = plan.rates[(phase - 1) as usize];
                     if plan.last[(phase - 1) as usize] {
-                        self.completions(
-                            interner,
-                            ext,
-                            a,
-                            rate,
-                            &mut scratch.outs,
-                            &mut scratch.dist,
-                            &mut scratch.pool,
-                            &mut scratch.key,
-                            &mut trans,
-                        )?;
+                        self.completions(interner, ext, a, rate, scratch, trans)?;
                     } else {
-                        let mut next = self.fresh_ext(&mut scratch.pool);
-                        next.copy_from_slice(ext);
-                        next[slot] = phase + 1;
-                        let target = self.intern_tokens(interner, &next, &mut scratch.key)?;
-                        scratch.pool.push(next);
+                        // Fast path for internal phase advances: the
+                        // target's packed key is the source key with
+                        // one phase field bumped — no token-vector
+                        // materialisation, no re-encode (and phase
+                        // fields are exactly sized, so the patch can
+                        // never overflow). The place prefix is
+                        // unchanged, so the target's absorbing verdict
+                        // equals the (expanded, hence non-absorbing)
+                        // source's: false.
+                        let Scratch { key, src_key, .. } = scratch;
+                        key.copy_from_slice(src_key);
+                        self.layout.patch(key, slot, phase + 1);
+                        let target = interner.intern(key, || false).map_err(|_| {
+                            Abort::Solve(SolveError::StateSpaceTooLarge {
+                                limit: self.opts.max_states,
+                            })
+                        })?;
                         trans.push(Transition {
                             activity: a,
                             prob: 1.0,
@@ -605,28 +817,264 @@ impl Explorer<'_, '_> {
                         Dist::Exp { mean } => 1.0 / mean,
                         _ => f64::NAN,
                     };
-                    self.completions(
-                        interner,
-                        ext,
-                        a,
-                        base_rate,
-                        &mut scratch.outs,
-                        &mut scratch.dist,
-                        &mut scratch.pool,
-                        &mut scratch.key,
-                        &mut trans,
-                    )?;
+                    self.completions(interner, ext, a, base_rate, scratch, trans)?;
                 }
             }
         }
-        Ok(trans)
+        scratch.mpool.push(marking);
+        Ok(())
     }
+}
+
+/// One fully explored BFS level queued for emission: its provisional
+/// id range, every worker's transition chain, and the canonical visit
+/// order with the packed keys backing it.
+struct PendingLevel {
+    lo: usize,
+    hi: usize,
+    chains: Vec<WorkerChain>,
+    /// Provisional ids of `lo..hi` sorted by packed key — the
+    /// canonical visit order.
+    order: Vec<u32>,
+    /// Packed keys of ids `lo..hi`, `(id - lo) * words` each.
+    keys: Vec<u64>,
+}
+
+/// How the canonical packed states are stored.
+///
+/// By default the exploration's intern arena *is* the state storage:
+/// the `StateSpace` keeps it (hash tables dropped) plus the canonical
+/// → provisional permutation, so the states exist exactly once in
+/// memory. Spill mode instead writes a canonical-order copy into a
+/// spillable segmented store and frees the arena, so the state table
+/// itself can page to disk under the RAM budget.
+enum PackedStates {
+    /// Spill mode: canonical-order copy, `words` per row, pageable.
+    Store {
+        store: SegStore<u64>,
+        /// Rows per segment (fixed-width rows ⇒ location is pure
+        /// arithmetic).
+        per_seg: usize,
+    },
+    /// Default: the intern arena, read through the permutation.
+    Interned { interner: Interner, perm: Vec<u32> },
+}
+
+/// Locates one provisional state's transition run inside a level's
+/// worker chains (`chain == u16::MAX` marks an absorbing state with no
+/// run).
+#[derive(Clone, Copy)]
+struct RunSlot {
+    chain: u16,
+    seg: u16,
+    off: u32,
+    len: u32,
+}
+
+impl RunSlot {
+    const NONE: RunSlot = RunSlot {
+        chain: u16::MAX,
+        seg: 0,
+        off: 0,
+        len: 0,
+    };
+}
+
+/// The output side of the streaming pipeline: the canonical packed
+/// states, the flat transition arena, and (optionally) the CTMC
+/// generator accumulated row by row as levels are emitted.
+struct Assembly<'m> {
+    model: &'m SanModel,
+    /// Spill mode only: the canonical-order packed-state copy.
+    packed: Option<SegStore<u64>>,
+    states_per_seg: usize,
+    /// Default mode: canonical rank → provisional id (the intern arena
+    /// stays the state backing).
+    perm: Vec<u32>,
+    trans: SegStore<Transition>,
+    row_locs: Vec<RowLoc>,
+    absorbing: Vec<bool>,
+    total_trans: usize,
+    ctmc: Option<CtmcAcc>,
+    merge_buf: Vec<Transition>,
+    acc_buf: Vec<(usize, f64)>,
+    runs_buf: Vec<RunSlot>,
+    /// Emptied worker chains awaiting reuse by a later level.
+    chain_pool: Vec<WorkerChain>,
+    /// Spent `(keys, order)` level buffers awaiting reuse.
+    level_buf_pool: Vec<(Vec<u64>, Vec<u32>)>,
+}
+
+impl Assembly<'_> {
+    fn new(
+        model: &SanModel,
+        words: usize,
+        want_ctmc: bool,
+        spill: Option<Arc<SpillShared>>,
+    ) -> Assembly<'_> {
+        let states_per_seg = (PACKED_SEG / words).max(1);
+        Assembly {
+            model,
+            packed: spill
+                .as_ref()
+                .map(|s| SegStore::new(states_per_seg * words, Some(s.clone()))),
+            states_per_seg,
+            perm: Vec::new(),
+            trans: SegStore::new(TRANS_SEG, spill),
+            row_locs: Vec::new(),
+            absorbing: Vec::new(),
+            total_trans: 0,
+            ctmc: want_ctmc.then(CtmcAcc::new),
+            merge_buf: Vec::new(),
+            acc_buf: Vec::new(),
+            runs_buf: Vec::new(),
+            chain_pool: Vec::new(),
+            level_buf_pool: Vec::new(),
+        }
+    }
+
+    /// Streams one explored level into the canonical stores: states in
+    /// packed-key order, per-row retarget → sort → merge, and one CSR
+    /// generator row per state when a CTMC is being built. In parallel
+    /// explorations this runs *while the next level is still being
+    /// expanded* — the explore → CSR handoff is pipelined, not serial.
+    fn emit_level(
+        &mut self,
+        interner: &Interner,
+        words: usize,
+        level: PendingLevel,
+        canon: &[u32],
+    ) -> Result<(), Abort> {
+        let PendingLevel {
+            lo,
+            hi,
+            chains,
+            order,
+            keys,
+        } = level;
+        self.runs_buf.clear();
+        self.runs_buf.resize(hi - lo, RunSlot::NONE);
+        for (ci, chain) in chains.iter().enumerate() {
+            for r in &chain.runs {
+                self.runs_buf[r.prov as usize - lo] = RunSlot {
+                    chain: ci as u16,
+                    seg: r.seg as u16,
+                    off: r.off,
+                    len: r.len,
+                };
+            }
+        }
+        let model = self.model;
+        for &prov in &order {
+            let i = prov as usize - lo;
+            let src = canon[prov as usize] as usize;
+            debug_assert_eq!(src, self.row_locs.len(), "levels emitted in order");
+            match &mut self.packed {
+                Some(store) => {
+                    store.append_row(&keys[i * words..(i + 1) * words]);
+                }
+                None => self.perm.push(prov),
+            }
+            self.absorbing.push(interner.absorbing(prov as usize));
+            self.merge_buf.clear();
+            let slot = self.runs_buf[i];
+            if slot.chain != u16::MAX {
+                let seg = &chains[slot.chain as usize].segs[slot.seg as usize];
+                self.merge_buf
+                    .extend_from_slice(&seg[slot.off as usize..(slot.off + slot.len) as usize]);
+                for t in &mut self.merge_buf {
+                    t.target = canon[t.target] as usize;
+                }
+                merge_outgoing(&mut self.merge_buf);
+            }
+            if let Some(acc) = &mut self.ctmc {
+                acc.push_row(src, &self.merge_buf, &mut self.acc_buf)
+                    .map_err(|a| {
+                        Abort::Solve(SolveError::NonMarkovian {
+                            activity: model.activity_name(a).to_string(),
+                        })
+                    })?;
+            }
+            let loc = self.trans.append_row(&self.merge_buf);
+            self.row_locs.push(loc);
+            self.total_trans += self.merge_buf.len();
+        }
+        // Recycle the level's buffers instead of freeing them: the
+        // next levels reuse the same capacity, keeping the resident
+        // footprint flat instead of fragmenting the heap at peak.
+        for mut chain in chains {
+            chain.reset();
+            self.chain_pool.push(chain);
+        }
+        self.level_buf_pool.push((keys, order));
+        Ok(())
+    }
+}
+
+/// Sorts the freshly discovered frontier `lo..hi` by packed key and
+/// assigns canonical ids (`lo + rank` — a BFS level occupies the same
+/// contiguous block in both numberings). Returns the canonical visit
+/// order and the packed keys backing it, which the later emission
+/// reuses instead of re-reading the intern arena.
+fn canonize_frontier(
+    interner: &Interner,
+    words: usize,
+    lo: usize,
+    hi: usize,
+    canon: &mut Vec<u32>,
+    recycled: Option<(Vec<u64>, Vec<u32>)>,
+) -> (Vec<u32>, Vec<u64>) {
+    let (mut keys, mut order) = recycled.unwrap_or_default();
+    keys.clear();
+    keys.resize((hi - lo) * words, 0);
+    for id in lo..hi {
+        let at = (id - lo) * words;
+        interner.read_state(id, &mut keys[at..at + words]);
+    }
+    let key = |id: u32| {
+        let at = (id as usize - lo) * words;
+        &keys[at..at + words]
+    };
+    order.clear();
+    order.extend((lo..hi).map(|i| i as u32));
+    order.sort_unstable_by(|&a, &b| key(a).cmp(key(b)));
+    canon.resize(hi, 0);
+    for (rank, &prov) in order.iter().enumerate() {
+        canon[prov as usize] = (lo + rank) as u32;
+    }
+    (order, keys)
 }
 
 impl<'m> StateSpace<'m> {
     /// Explores the full tangible state space (no absorbing predicate).
     pub fn explore(model: &'m SanModel, opts: &ReachOptions) -> Result<Self, SolveError> {
-        Self::explore_inner(model, opts, None)
+        Self::explore_inner(model, opts, None, false).map(|(ss, _)| ss)
+    }
+
+    /// [`StateSpace::explore`] with the CTMC generator built *in the
+    /// same pass*: each BFS level's CSR rows are assembled as soon as
+    /// the level is canonically renumbered (overlapping the exploration
+    /// of the next level), so the explore → CSR phases pipeline instead
+    /// of running serially. The result is byte-identical to exploring
+    /// first and calling [`Ctmc::from_state_space`](crate::Ctmc::from_state_space)
+    /// afterwards.
+    pub fn explore_ctmc(
+        model: &'m SanModel,
+        opts: &ReachOptions,
+    ) -> Result<(Self, Ctmc), SolveError> {
+        Self::explore_inner(model, opts, None, true)
+            .map(|(ss, ctmc)| (ss, ctmc.expect("ctmc requested")))
+    }
+
+    /// [`StateSpace::explore_absorbing`] with the CTMC generator built
+    /// in the same streaming pass — see [`StateSpace::explore_ctmc`].
+    pub fn explore_absorbing_ctmc(
+        model: &'m SanModel,
+        opts: &ReachOptions,
+        absorb: impl Fn(&Marking) -> bool + Sync,
+    ) -> Result<(Self, Ctmc), SolveError> {
+        Self::explore_inner(model, opts, Some(&absorb), true)
+            .map(|(ss, ctmc)| (ss, ctmc.expect("ctmc requested")))
     }
 
     /// Explores the state space, treating every tangible marking for
@@ -645,19 +1093,20 @@ impl<'m> StateSpace<'m> {
         opts: &ReachOptions,
         absorb: impl Fn(&Marking) -> bool + Sync,
     ) -> Result<Self, SolveError> {
-        Self::explore_inner(model, opts, Some(&absorb))
+        Self::explore_inner(model, opts, Some(&absorb), false).map(|(ss, _)| ss)
     }
 
     fn explore_inner(
         model: &'m SanModel,
         opts: &ReachOptions,
         absorb: Option<&AbsorbFn<'_>>,
-    ) -> Result<Self, SolveError> {
+        want_ctmc: bool,
+    ) -> Result<(Self, Option<Ctmc>), SolveError> {
         let expansion = Expansion::build(model, opts.ph_order)?;
         let mut layout = StateLayout::new(model.num_places(), &expansion.phase_maxes());
         loop {
-            match Self::explore_attempt(model, opts, absorb, &expansion, &layout) {
-                Ok(ss) => return Ok(ss),
+            match Self::explore_attempt(model, opts, absorb, &expansion, &layout, want_ctmc) {
+                Ok(pair) => return Ok(pair),
                 // A place field overflowed its bit width: restart from
                 // scratch one ladder rung wider. The reachable set is
                 // thread-independent, so whether a width suffices is
@@ -677,8 +1126,10 @@ impl<'m> StateSpace<'m> {
         absorb: Option<&AbsorbFn<'_>>,
         expansion: &Expansion,
         layout: &StateLayout,
-    ) -> Result<Self, Abort> {
+        want_ctmc: bool,
+    ) -> Result<(Self, Option<Ctmc>), Abort> {
         let base = model.num_places();
+        let words = layout.words();
         let explorer = Explorer {
             model,
             opts,
@@ -703,20 +1154,39 @@ impl<'m> StateSpace<'m> {
                 .map(|n| n.get())
                 .unwrap_or(1),
             t => t,
-        };
-        let interner = Interner::new(layout.words(), opts.max_states, workers);
+        }
+        .max(1);
+        let interner = Interner::new(words, opts.max_states, workers);
 
         // Resolve the initial marking's vanishing chain (and phase
         // entry) into the initial tangible distribution.
         let init_marking = model.marking_from(model.initial_marking().tokens());
         let mut init_dist: Vec<(Marking, f64)> = Vec::new();
-        explorer.resolve_vanishing(init_marking, 1.0, &mut init_dist)?;
+        let (mut vwork, mut vlevel) = (Vec::new(), Vec::new());
+        let mut init_mpool: Vec<Marking> = Vec::new();
+        explorer.resolve_vanishing(
+            init_marking,
+            1.0,
+            &mut init_dist,
+            &mut vwork,
+            &mut vlevel,
+            &mut init_mpool,
+        )?;
         let mut init_ext: Vec<(Vec<u32>, f64)> = Vec::new();
         let mut init_pool: Vec<Vec<u32>> = Vec::new();
+        let mut init_split: Vec<(Vec<u32>, f64)> = Vec::new();
         for (marking, p) in init_dist {
-            explorer.continue_phases(None, None, &marking, p, &mut init_ext, &mut init_pool);
+            explorer.continue_phases(
+                None,
+                None,
+                &marking,
+                p,
+                &mut init_ext,
+                &mut init_pool,
+                &mut init_split,
+            );
         }
-        let mut key = vec![0u64; layout.words()];
+        let mut key = vec![0u64; words];
         let mut initial: Vec<(usize, f64)> = Vec::new();
         for (tokens, p) in init_ext {
             let id = explorer.intern_tokens(&interner, &tokens, &mut key)?;
@@ -726,184 +1196,192 @@ impl<'m> StateSpace<'m> {
             }
         }
 
+        let spill = match &opts.spill {
+            Some(s) => Some(Arc::new(SpillShared::new(s).map_err(|e| {
+                Abort::Solve(SolveError::SpillFailed {
+                    message: e.to_string(),
+                })
+            })?)),
+            None => None,
+        };
+        let mut asm = Assembly::new(model, words, want_ctmc, spill);
+        let mut canon: Vec<u32> = Vec::new();
+        let (mut cur_order, mut cur_keys) =
+            canonize_frontier(&interner, words, 0, interner.len(), &mut canon, None);
+        let mut pending: Option<PendingLevel> = None;
+        let mut worker_states: Vec<WorkerState> =
+            (0..workers).map(|_| WorkerState::new(layout)).collect();
+
         // Level-synchronous breadth-first sweep. Ids are allocated by
         // a global counter, so each level is exactly one contiguous
         // provisional-id range: the next frontier needs no collection
-        // step at all.
-        let mut raw_trans: Vec<Vec<Transition>> = Vec::new();
-        let mut level_starts: Vec<usize> = Vec::new();
+        // step. The *previous* level is renumbered and streamed into
+        // the canonical stores while the current one is expanded.
         let mut lvl_lo = 0usize;
         while lvl_lo < interner.len() {
             let lvl_hi = interner.len();
-            level_starts.push(lvl_lo);
-            raw_trans.resize_with(lvl_hi, Vec::new);
-            Self::process_level(
-                &explorer,
-                &interner,
-                lvl_lo,
-                lvl_hi,
-                workers,
-                &mut raw_trans,
-            )?;
-            lvl_lo = lvl_hi;
-        }
-
-        Ok(Self::finalize(
-            model,
-            base,
-            expansion,
-            layout.clone(),
-            &interner,
-            &level_starts,
-            raw_trans,
-            initial,
-        ))
-    }
-
-    /// Expands every non-absorbing state in `lo..hi` (one BFS level),
-    /// workers claiming chunks off a shared cursor and interning new
-    /// targets concurrently. Transition lists land in `raw[id]`.
-    fn process_level(
-        explorer: &Explorer<'_, '_>,
-        interner: &Interner,
-        lo: usize,
-        hi: usize,
-        workers: usize,
-        raw: &mut [Vec<Transition>],
-    ) -> Result<(), Abort> {
-        let cursor = AtomicUsize::new(lo);
-        let failed = AtomicBool::new(false);
-        let run_worker = || -> Result<Vec<(usize, Vec<Transition>)>, Abort> {
-            let mut done = Vec::new();
-            let mut scratch = Scratch::new(explorer.layout);
-            loop {
-                if failed.load(Ordering::Relaxed) {
-                    break;
-                }
-                let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
-                if start >= hi {
-                    break;
-                }
-                for id in start..(start + CLAIM_CHUNK).min(hi) {
-                    if interner.absorbing(id) {
-                        continue; // transitions stay empty
+            // Spawning a thread costs more than expanding a handful of
+            // states, so cap the worker count by the level size: small
+            // levels (and small models) run inline no matter how many
+            // threads were requested.
+            let effective = workers.min((lvl_hi - lvl_lo) / PARALLEL_THRESHOLD);
+            let chunk = ((lvl_hi - lvl_lo) / (effective.max(1) * 16)).clamp(MIN_CLAIM, MAX_CLAIM);
+            let cursor = AtomicUsize::new(lvl_lo);
+            let failed = AtomicBool::new(false);
+            let worker_loop = |st: &mut WorkerState| -> Result<(), Abort> {
+                let WorkerState { scratch, chain } = st;
+                loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
                     }
-                    match explorer.successors_of(interner, id, &mut scratch) {
-                        Ok(trans) => done.push((id, trans)),
-                        Err(e) => {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= lvl_hi {
+                        break;
+                    }
+                    for id in start..(start + chunk).min(lvl_hi) {
+                        if interner.absorbing(id) {
+                            continue; // its row stays empty
+                        }
+                        if let Err(e) = explorer.successors_of(&interner, id, scratch) {
                             failed.store(true, Ordering::Relaxed);
                             return Err(e);
+                        }
+                        chain.push_row(id, &scratch.row);
+                    }
+                }
+                Ok(())
+            };
+            let mut outcomes: Vec<Result<(), Abort>> = Vec::new();
+            if effective <= 1 {
+                // Sequential: emit the previous level first (freeing
+                // its chains before this level allocates new ones),
+                // then expand inline.
+                if let Some(p) = pending.take() {
+                    asm.emit_level(&interner, words, p, &canon)?;
+                }
+                outcomes.push(worker_loop(&mut worker_states[0]));
+            } else {
+                let p = pending.take();
+                let emitted = std::thread::scope(|scope| {
+                    let handles: Vec<_> = worker_states
+                        .iter_mut()
+                        .take(effective)
+                        .map(|st| scope.spawn(|| worker_loop(st)))
+                        .collect();
+                    // Overlap: stream the previous level into the
+                    // canonical stores (and the CSR generator) while
+                    // the workers expand this one.
+                    let r = match p {
+                        Some(level) => asm.emit_level(&interner, words, level, &canon),
+                        None => Ok(()),
+                    };
+                    if r.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    for h in handles {
+                        outcomes.push(h.join().expect("exploration worker panicked"));
+                    }
+                    r
+                });
+                outcomes.push(emitted);
+            }
+            // A packed-width overflow beats any other abort: the retry
+            // re-examines the same reachable set, so a racing
+            // cap/vanishing error (if genuine) recurs there.
+            let mut err: Option<Abort> = None;
+            for r in outcomes {
+                match r {
+                    Ok(()) => {}
+                    Err(Abort::Pack) => err = Some(Abort::Pack),
+                    Err(e) => {
+                        if err.is_none() {
+                            err = Some(e);
                         }
                     }
                 }
             }
-            Ok(done)
-        };
-        // Spawning a thread costs more than expanding a handful of
-        // states, so cap the worker count by the level size: small
-        // levels (and small models) run inline no matter how many
-        // threads were requested.
-        let workers = workers.min((hi - lo) / PARALLEL_THRESHOLD);
-        type WorkerOutcome = Result<Vec<(usize, Vec<Transition>)>, Abort>;
-        let results: Vec<WorkerOutcome> = if workers <= 1 {
-            vec![run_worker()]
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers).map(|_| scope.spawn(run_worker)).collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("exploration worker panicked"))
-                    .collect()
-            })
-        };
-        let mut err: Option<Abort> = None;
-        for r in results {
-            match r {
-                Ok(pairs) => {
-                    for (id, trans) in pairs {
-                        raw[id] = trans;
-                    }
-                }
-                // A packed-width overflow beats any other abort: the
-                // retry re-examines the same reachable set, so a racing
-                // cap/vanishing error (if genuine) recurs there.
-                Err(Abort::Pack) => err = Some(Abort::Pack),
-                Err(e) => {
-                    if err.is_none() {
-                        err = Some(e);
-                    }
+            if let Some(e) = err {
+                return Err(e);
+            }
+            // The states discovered during this level *are* the next
+            // BFS level: canonize them now so this level's targets all
+            // have canonical ids before its emission.
+            let (next_order, next_keys) = canonize_frontier(
+                &interner,
+                words,
+                lvl_hi,
+                interner.len(),
+                &mut canon,
+                asm.level_buf_pool.pop(),
+            );
+            let chains: Vec<WorkerChain> = worker_states
+                .iter_mut()
+                .map(|st| std::mem::take(&mut st.chain))
+                .collect();
+            // Hand emptied chains from an emitted level back to the
+            // workers for the next one.
+            for st in worker_states.iter_mut() {
+                match asm.chain_pool.pop() {
+                    Some(rc) => st.chain = rc,
+                    None => break,
                 }
             }
+            pending = Some(PendingLevel {
+                lo: lvl_lo,
+                hi: lvl_hi,
+                chains,
+                order: cur_order,
+                keys: cur_keys,
+            });
+            (cur_order, cur_keys) = (next_order, next_keys);
+            lvl_lo = lvl_hi;
         }
-        match err {
-            Some(e) => Err(e),
-            None => Ok(()),
+        if let Some(p) = pending.take() {
+            asm.emit_level(&interner, words, p, &canon)?;
         }
-    }
+        drop((cur_order, cur_keys)); // the empty frontier past the last level
 
-    /// Renumbers the provisional exploration into the canonical order —
-    /// BFS level first, packed key within a level — and materialises
-    /// the final `StateSpace`. This is the only pass that runs after
-    /// the workers, and it does no hashing or interning: a sort, a
-    /// permutation, and per-source merges.
-    #[allow(clippy::too_many_arguments)]
-    fn finalize(
-        model: &'m SanModel,
-        base: usize,
-        expansion: &Expansion,
-        layout: StateLayout,
-        interner: &Interner,
-        level_starts: &[usize],
-        mut raw_trans: Vec<Vec<Transition>>,
-        initial: Vec<(usize, f64)>,
-    ) -> Self {
-        let n = interner.len();
-        let words = layout.words();
-        // Pull every packed key out of the arena once (provisional-id
-        // order), so the level sorts compare plain contiguous memory
-        // instead of re-deriving arena segments per comparison.
-        let mut prov = vec![0u64; n * words];
-        for id in 0..n {
-            interner.read_state(id, &mut prov[id * words..(id + 1) * words]);
-        }
-        let key = |id: usize| &prov[id * words..(id + 1) * words];
-        let mut order: Vec<usize> = (0..n).collect();
-        for (k, &lo) in level_starts.iter().enumerate() {
-            let hi = level_starts.get(k + 1).copied().unwrap_or(n);
-            order[lo..hi].sort_unstable_by(|&a, &b| key(a).cmp(key(b)));
-        }
-        let mut canon = vec![0usize; n];
-        for (new, &old) in order.iter().enumerate() {
-            canon[old] = new;
-        }
-
-        let mut packed = vec![0u64; n * words];
-        let mut absorbing = Vec::with_capacity(n);
-        let mut transitions = Vec::with_capacity(n);
-        for (new, &old) in order.iter().enumerate() {
-            packed[new * words..(new + 1) * words].copy_from_slice(key(old));
-            absorbing.push(interner.absorbing(old));
-            let mut outs = std::mem::take(&mut raw_trans[old]);
-            for t in &mut outs {
-                t.target = canon[t.target];
-            }
-            transitions.push(merge_outgoing(outs));
-        }
-
-        let mut init: Vec<(usize, f64)> =
-            initial.into_iter().map(|(id, p)| (canon[id], p)).collect();
+        asm.trans.finish();
+        let mut init: Vec<(usize, f64)> = initial
+            .into_iter()
+            .map(|(id, p)| (canon[id] as usize, p))
+            .collect();
         init.sort_unstable_by_key(|&(i, _)| i);
-
-        Self {
+        let ctmc = asm.ctmc.take().map(|acc| acc.finish(&init));
+        let packed = match asm.packed {
+            // Spill mode: the pageable copy is the backing; the intern
+            // arena is freed wholesale right here.
+            Some(mut store) => {
+                store.finish();
+                PackedStates::Store {
+                    store,
+                    per_seg: asm.states_per_seg,
+                }
+            }
+            // Default: keep the arena (hash tables dropped) — the
+            // states exist exactly once in memory.
+            None => {
+                let mut interner = interner;
+                interner.drop_tables();
+                PackedStates::Interned {
+                    interner,
+                    perm: asm.perm,
+                }
+            }
+        };
+        let ss = Self {
             model,
             base,
             phase_slots: expansion.num_slots(),
-            layout,
+            layout: layout.clone(),
             packed,
-            transitions,
+            trans: asm.trans,
+            row_locs: asm.row_locs,
+            total_trans: asm.total_trans,
             initial: init,
-            absorbing,
-        }
+            absorbing: asm.absorbing,
+        };
+        Ok((ss, ctmc))
     }
 
     /// The model this space was explored from.
@@ -913,17 +1391,25 @@ impl<'m> StateSpace<'m> {
 
     /// Number of tangible states.
     pub fn len(&self) -> usize {
-        self.transitions.len()
+        self.row_locs.len()
     }
 
     /// Whether the space is empty (never true after exploration).
     pub fn is_empty(&self) -> bool {
-        self.transitions.is_empty()
+        self.row_locs.is_empty()
+    }
+
+    /// The merged outgoing transitions of state `i`, as one contiguous
+    /// row slice of the flat transition arena (empty for absorbing
+    /// states). The guard keeps a spilled segment alive while the row
+    /// is borrowed; without spill it is a plain slice borrow.
+    pub fn outgoing(&self, i: usize) -> RowRef<'_, Transition> {
+        self.trans.row(self.row_locs[i])
     }
 
     /// Total number of transitions.
     pub fn num_transitions(&self) -> usize {
-        self.transitions.iter().map(Vec::len).sum()
+        self.total_trans
     }
 
     /// Number of places (the marking prefix length of each state
@@ -939,21 +1425,44 @@ impl<'m> StateSpace<'m> {
 
     /// The raw packed words of state `i` (compare with
     /// [`StateSpace::packed_words`] for the whole space).
-    pub fn packed_state(&self, i: usize) -> &[u64] {
+    pub fn packed_state(&self, i: usize) -> RowRef<'_, u64> {
         let w = self.layout.words();
-        &self.packed[i * w..(i + 1) * w]
+        match &self.packed {
+            PackedStates::Store { store, per_seg } => store.row(RowLoc {
+                seg: (i / per_seg) as u32,
+                off: ((i % per_seg) * w) as u32,
+                len: w as u32,
+            }),
+            PackedStates::Interned { interner, perm } => {
+                let mut buf = vec![0u64; w];
+                interner.read_state(perm[i] as usize, &mut buf);
+                RowRef::owned(buf)
+            }
+        }
     }
 
     /// Every state's packed words, canonical order, back to back —
     /// byte-comparable across explorations to assert reproducibility.
-    pub fn packed_words(&self) -> &[u64] {
-        &self.packed
+    /// Collects (and, under spill, reloads) the whole array; meant for
+    /// determinism asserts, not hot paths.
+    pub fn packed_words(&self) -> Vec<u64> {
+        match &self.packed {
+            PackedStates::Store { store, .. } => store.collect_all(),
+            PackedStates::Interned { interner, perm } => {
+                let w = self.layout.words();
+                let mut out = vec![0u64; perm.len() * w];
+                for (rank, &prov) in perm.iter().enumerate() {
+                    interner.read_state(prov as usize, &mut out[rank * w..(rank + 1) * w]);
+                }
+                out
+            }
+        }
     }
 
     /// Decodes state `i` into its extended token vector (places, then
     /// phase counters).
     pub fn tokens(&self, i: usize) -> Vec<u32> {
-        self.layout.decode_vec(self.packed_state(i))
+        self.layout.decode_vec(&self.packed_state(i))
     }
 
     /// Materialises state `i` as a [`Marking`] (for reward evaluation).
@@ -964,12 +1473,12 @@ impl<'m> StateSpace<'m> {
     }
 }
 
-/// Sorts and merges one source state's transitions: duplicate
+/// Sorts and merges one source state's transitions in place: duplicate
 /// `(activity, target, completes)` outcomes within each activity's
 /// contiguous run are folded by summing `prob`/`rate` in sorted order,
 /// so the floating-point result is independent of discovery
 /// interleaving. Must be called with canonical target ids.
-fn merge_outgoing(mut outs: Vec<Transition>) -> Vec<Transition> {
+fn merge_outgoing(outs: &mut Vec<Transition>) {
     let mut i = 0;
     while i < outs.len() {
         let mut j = i + 1;
@@ -995,7 +1504,6 @@ fn merge_outgoing(mut outs: Vec<Transition>) -> Vec<Transition> {
             false
         }
     });
-    outs
 }
 
 impl Explorer<'_, '_> {
@@ -1003,16 +1511,27 @@ impl Explorer<'_, '_> {
     /// over the tangible markings its instantaneous chains lead to.
     /// Iterative (explicit worklist) so deep instantaneous cascades
     /// cannot overflow the call stack. The worklist carries `Marking`s
-    /// end to end — no token-vector round-trips on this hot path.
+    /// end to end — no token-vector round-trips on this hot path — and
+    /// the worklist/race buffers are caller-provided scratch, reused
+    /// across every resolution a worker performs.
     fn resolve_vanishing(
         &self,
         marking: Marking,
         prob: f64,
         out: &mut Vec<(Marking, f64)>,
+        work: &mut Vec<(Marking, f64, usize)>,
+        level: &mut Vec<(ActivityId, f64)>,
+        mpool: &mut Vec<Marking>,
     ) -> Result<(), SolveError> {
         let model = self.model;
-        let mut work: Vec<(Marking, f64, usize)> = vec![(marking, prob, 0)];
-        let mut level: Vec<(ActivityId, f64)> = Vec::new();
+        if self.instantaneous.is_empty() {
+            // No instantaneous activities anywhere: every marking is
+            // tangible, skip the worklist entirely.
+            out.push((marking, prob));
+            return Ok(());
+        }
+        work.clear();
+        work.push((marking, prob, 0));
         while let Some((marking, prob, depth)) = work.pop() {
             if depth > self.opts.max_vanishing_depth {
                 return Err(SolveError::VanishingLoop {
@@ -1040,18 +1559,26 @@ impl Explorer<'_, '_> {
                 continue;
             }
             let total_weight: f64 = level.iter().map(|&(_, w)| w).sum();
-            for &(a, w) in &level {
+            for &(a, w) in level.iter() {
                 let pick = prob * w / total_weight;
                 for case in 0..model.num_cases(a) {
                     let case_p = model.case_prob(a, case);
                     if case_p <= 0.0 {
                         continue;
                     }
-                    let mut after = model.marking_from(marking.tokens());
+                    let mut after = match mpool.pop() {
+                        Some(mut m) => {
+                            m.assign(marking.tokens());
+                            m
+                        }
+                        None => model.marking_from(marking.tokens()),
+                    };
                     model.fire_case(&mut after, a, case);
                     work.push((after, pick * case_p, depth + 1));
                 }
             }
+            // This vanishing marking's buffers are free for reuse.
+            mpool.push(marking);
         }
         Ok(())
     }
@@ -1078,11 +1605,11 @@ mod tests {
         let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
         assert_eq!(ss.len(), 2);
         assert_eq!(ss.initial, vec![(0, 1.0)]);
-        assert_eq!(ss.transitions[0].len(), 1);
-        assert_eq!(ss.transitions[0][0].target, 1);
-        assert!((ss.transitions[0][0].rate - 0.5).abs() < 1e-12);
-        assert!(ss.transitions[0][0].completes);
-        assert!(ss.transitions[1].is_empty(), "q-state is dead");
+        assert_eq!(ss.outgoing(0).len(), 1);
+        assert_eq!(ss.outgoing(0)[0].target, 1);
+        assert!((ss.outgoing(0)[0].rate - 0.5).abs() < 1e-12);
+        assert!(ss.outgoing(0)[0].completes);
+        assert!(ss.outgoing(1).is_empty(), "q-state is dead");
     }
 
     /// An instantaneous activity between two timed ones is eliminated:
@@ -1106,7 +1633,7 @@ mod tests {
         let m = b.build().unwrap();
         let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
         assert_eq!(ss.len(), 2, "vanishing marking must not appear");
-        let q_state = ss.tokens(ss.transitions[0][0].target);
+        let q_state = ss.tokens(ss.outgoing(0)[0].target);
         assert_eq!(q_state[q.index()], 1);
         assert_eq!(q_state[v.index()], 0);
     }
@@ -1133,7 +1660,7 @@ mod tests {
         let m = b.build().unwrap();
         let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
         assert_eq!(ss.len(), 3);
-        let mut probs: Vec<f64> = ss.transitions[0].iter().map(|t| t.prob).collect();
+        let mut probs: Vec<f64> = ss.outgoing(0).iter().map(|t| t.prob).collect();
         probs.sort_by(f64::total_cmp);
         assert!((probs[0] - 0.3).abs() < 1e-12 && (probs[1] - 0.7).abs() < 1e-12);
     }
@@ -1177,7 +1704,7 @@ mod tests {
         let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
         // Initial + two tangible outcomes {hi,wa} and {hi,wb}.
         assert_eq!(ss.len(), 3);
-        for t in &ss.transitions[0] {
+        for t in ss.outgoing(0).iter() {
             let st = ss.tokens(t.target);
             assert_eq!(st[hi.index()], 1, "priority 5 always fires first");
             if st[wa.index()] == 1 {
@@ -1269,9 +1796,9 @@ mod tests {
                 .unwrap();
         // Without absorption there would be 3 states; q>=1 stops at 2.
         assert_eq!(ss.len(), 2);
-        let a = ss.transitions[0][0].target;
+        let a = ss.outgoing(0)[0].target;
         assert!(ss.absorbing[a]);
-        assert!(ss.transitions[a].is_empty());
+        assert!(ss.outgoing(a).is_empty());
     }
 
     /// A deterministic activity expanded at order k becomes an Erlang
@@ -1302,8 +1829,8 @@ mod tests {
             // Every stage advances at rate k/mean; the last completes.
             let rate = order as f64 / 2.0;
             let mut completions = 0;
-            for outs in &ss.transitions {
-                for t in outs {
+            for s in 0..ss.len() {
+                for t in ss.outgoing(s).iter() {
                     assert!((t.rate - rate).abs() < 1e-12);
                     completions += usize::from(t.completes);
                 }
@@ -1336,8 +1863,8 @@ mod tests {
         let total: f64 = ss.initial.iter().map(|&(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-12);
         // All rates are finite: the expanded graph is Markovian.
-        for outs in &ss.transitions {
-            for t in outs {
+        for s in 0..ss.len() {
+            for t in ss.outgoing(s).iter() {
                 assert!(t.rate.is_finite() && t.rate > 0.0);
             }
         }
@@ -1357,7 +1884,7 @@ mod tests {
         );
         let m = b.build().unwrap();
         let ss = StateSpace::explore(&m, &ReachOptions::default()).unwrap();
-        assert!(ss.transitions[0][0].rate.is_nan());
+        assert!(ss.outgoing(0)[0].rate.is_nan());
     }
 
     /// Phase counters freeze in absorbing states (canonical zero), so
@@ -1475,10 +2002,11 @@ mod tests {
             );
             assert_eq!(seq.initial, par.initial);
             assert_eq!(seq.absorbing, par.absorbing);
-            assert_eq!(seq.transitions.len(), par.transitions.len());
-            for (a, b) in seq.transitions.iter().zip(&par.transitions) {
+            assert_eq!(seq.len(), par.len());
+            for s in 0..seq.len() {
+                let (a, b) = (seq.outgoing(s), par.outgoing(s));
                 assert_eq!(a.len(), b.len());
-                for (x, y) in a.iter().zip(b) {
+                for (x, y) in a.iter().zip(b.iter()) {
                     assert_eq!(x.activity, y.activity);
                     assert_eq!(x.target, y.target);
                     assert_eq!(x.completes, y.completes);

@@ -17,12 +17,13 @@
 //!   takes, then compare keys and move on.
 //! * **A segmented append-only arena.** State ids come from one global
 //!   `fetch_add` counter and index geometrically growing segments
-//!   (512 states, then 1024, 2048, …) allocated on demand through
-//!   `OnceLock`, so a state's packed words never move once written —
-//!   readers need no locks, ids handed to one worker stay valid for
-//!   every other worker, a hundred-state exploration allocates
-//!   kilobytes, and the fixed 52-entry directory addresses the full
-//!   2³¹-state ceiling.
+//!   (512 states, then 1024, 2048, … up to a 128k-state plateau)
+//!   allocated on demand through `OnceLock`, so a state's packed words
+//!   never move once written — readers need no locks, ids handed to
+//!   one worker stay valid for every other worker, a hundred-state
+//!   exploration allocates kilobytes, a multi-million-state one
+//!   over-allocates at most one plateau granule, and the fixed
+//!   directory addresses the full 2³¹-state ceiling.
 //! * **Growth at a safe point per shard.** A shard past 50 % load is
 //!   rebuilt under the shard's `RwLock` write half; inserts hold the
 //!   read half, which makes claim-and-publish atomic with respect to
@@ -40,22 +41,42 @@ use std::sync::{OnceLock, RwLock};
 /// Hard ceiling on hash-table shards (power of two).
 const MAX_SHARDS: usize = 64;
 
-/// States in the first arena segment (power of two); segment `k`
-/// holds `SEG0 << k` states, so segment sizes double and a fixed
-/// [`NUM_SEGS`]-entry directory covers the 2³¹-state ceiling.
+/// States in the first arena segment (power of two); segment `k < `
+/// [`DOUBLING_SEGS`] holds `SEG0 << k` states, so early segments
+/// double — a hundred-state exploration allocates kilobytes — while
+/// segments past [`MAX_SEG`] states stay constant-size, bounding the
+/// tail over-allocation of a multi-million-state space to one
+/// [`MAX_SEG`] granule instead of the ~2× a pure doubling ladder pays
+/// (at ~22 packed words per consensus state that difference alone is
+/// hundreds of MB at n = 3 order 3).
 const SEG0: usize = 1 << 9;
 
-/// Arena directory size: `SEG0 * (2^NUM_SEGS - 1) ≥ 2³¹`.
-const NUM_SEGS: usize = 52;
+/// Number of doubling segments before the size plateaus.
+const DOUBLING_SEGS: usize = 9;
+
+/// Constant segment size after the doubling prefix (= the last
+/// doubling size, `SEG0 << (DOUBLING_SEGS - 1)`).
+const MAX_SEG: usize = SEG0 << (DOUBLING_SEGS - 1);
+
+/// States covered by the doubling prefix.
+const DOUBLING_COVER: usize = SEG0 * ((1 << DOUBLING_SEGS) - 1);
+
+/// Arena directory size: doubling prefix + enough constant segments to
+/// cover the 2³¹-state ceiling.
+const NUM_SEGS: usize = DOUBLING_SEGS + ((1usize << 31) - DOUBLING_COVER).div_ceil(MAX_SEG);
 
 /// Splits a state id into `(segment, offset, segment_len)` under the
-/// doubling layout: segment `k` covers ids
-/// `[SEG0·(2^k − 1), SEG0·(2^(k+1) − 1))`.
+/// doubling-then-constant layout.
 fn seg_of(id: usize) -> (usize, usize, usize) {
-    let b = id / SEG0 + 1;
-    let k = (usize::BITS - 1 - b.leading_zeros()) as usize;
-    let base = SEG0 * ((1 << k) - 1);
-    (k, id - base, SEG0 << k)
+    if id < DOUBLING_COVER {
+        let b = id / SEG0 + 1;
+        let k = (usize::BITS - 1 - b.leading_zeros()) as usize;
+        let base = SEG0 * ((1 << k) - 1);
+        (k, id - base, SEG0 << k)
+    } else {
+        let past = id - DOUBLING_COVER;
+        (DOUBLING_SEGS + past / MAX_SEG, past % MAX_SEG, MAX_SEG)
+    }
 }
 
 /// Slot marker for an insert in flight.
@@ -77,8 +98,26 @@ const MIN_SHARD_SLOTS: usize = 1 << 6;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct InternFull;
 
+/// Bit positions of the 16-bit hash tag stored next to the id in each
+/// occupied slot: a probe compares tags before touching the state
+/// arena, so walking past a different state costs one slot load
+/// instead of a full key comparison (the arena read is the cache miss
+/// that dominates intern latency on multi-word keys). Tag bits 32..48
+/// of the hash are disjoint from both the shard-index bits (58..64)
+/// and the probe-start bits (low), so the tag stays informative within
+/// a probe sequence.
+const TAG_SHIFT: u32 = 32;
+const TAG_MASK: u64 = 0xFFFF;
+const ID_MASK: u64 = 0xFFFF_FFFF;
+
+/// The tag field of a hash.
+fn tag_of(h: u64) -> u64 {
+    (h >> TAG_SHIFT) & TAG_MASK
+}
+
 struct TableInner {
-    /// `0` = empty, [`BUSY`] = claim in flight, else `id + 1`.
+    /// `0` = empty, [`BUSY`] = claim in flight, else
+    /// `tag << 32 | (id + 1)`.
     slots: Box<[AtomicU64]>,
     /// Published entries (monotone; grown tables keep the count).
     used: AtomicUsize,
@@ -202,7 +241,10 @@ impl Interner {
                                         return Err(InternFull);
                                     }
                                     self.write_state(id, key, flag.unwrap_or(false));
-                                    slot.store(id as u64 + 1, Ordering::Release);
+                                    slot.store(
+                                        (tag_of(h) << TAG_SHIFT) | (id as u64 + 1),
+                                        Ordering::Release,
+                                    );
                                     table.used.fetch_add(1, Ordering::Relaxed);
                                     result = Some(id);
                                     break 'probe;
@@ -220,7 +262,10 @@ impl Interner {
                             continue;
                         }
                         published => {
-                            let id = (published - 1) as usize;
+                            if (published >> TAG_SHIFT) & TAG_MASK != tag_of(h) {
+                                break; // tag mismatch: next slot, no arena touch
+                            }
+                            let id = ((published & ID_MASK) - 1) as usize;
                             if self.key_eq(id, key) {
                                 return Ok(id);
                             }
@@ -259,6 +304,14 @@ impl Interner {
         for (w, o) in out.iter_mut().enumerate() {
             *o = seg[base + w].load(Ordering::Relaxed);
         }
+    }
+
+    /// Frees the hash-table shards, keeping only the state arena.
+    /// Call once interning is over (e.g. when a `StateSpace` keeps the
+    /// arena as its packed-state backing): lookups by key are gone,
+    /// [`Interner::read_state`]/[`Interner::absorbing`] stay valid.
+    pub(crate) fn drop_tables(&mut self) {
+        self.shards = Vec::new().into_boxed_slice();
     }
 
     /// Whether state `id` was flagged absorbing at intern time.
@@ -310,7 +363,7 @@ impl Interner {
             }
             // No claim can be in flight while we hold the write lock.
             debug_assert_ne!(v, BUSY);
-            self.read_state((v - 1) as usize, &mut scratch);
+            self.read_state(((v & ID_MASK) - 1) as usize, &mut scratch);
             let mut idx = (hash_key(&scratch) as usize) & mask;
             while new_slots[idx].load(Ordering::Relaxed) != 0 {
                 idx = (idx + 1) & mask;
@@ -341,20 +394,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn doubling_segments_partition_the_id_space() {
-        // Consecutive ids walk segments without gaps or overlaps.
+    fn segments_partition_the_id_space() {
+        // Consecutive ids walk segments without gaps or overlaps,
+        // across the doubling → constant-size boundary.
         let mut expect_seg = 0usize;
         let mut expect_off = 0usize;
-        for id in 0..100_000 {
+        for id in 0..(DOUBLING_COVER + 3 * MAX_SEG) {
             let (k, off, len) = seg_of(id);
             assert_eq!((k, off), (expect_seg, expect_off), "id {id}");
-            assert_eq!(len, SEG0 << k);
+            let expect_len = if k < DOUBLING_SEGS {
+                SEG0 << k
+            } else {
+                MAX_SEG
+            };
+            assert_eq!(len, expect_len, "id {id}");
             expect_off += 1;
             if expect_off == len {
                 expect_seg += 1;
                 expect_off = 0;
             }
         }
+        // Past the plateau the tail over-allocation is one MAX_SEG.
+        assert_eq!(seg_of(DOUBLING_COVER).0, DOUBLING_SEGS);
         // The fixed directory covers the 2³¹ ceiling.
         let (k, _, _) = seg_of((1usize << 31) - 1);
         assert!(k < NUM_SEGS, "segment {k} out of directory");

@@ -68,19 +68,23 @@
 //! | 2 |           20 |      42 |        82 |       111 |
 //! | 3 |      135 125 | 534 429 | 2 335 749 | 5 271 585 |
 //!
-//! With the concurrent intern table and the bit-packed state encoding
-//! (single-thread wall-clock / peak RSS, measured against the former
-//! explore-then-sequential-merge engine on the same host):
+//! With the concurrent intern table, the bit-packed state encoding,
+//! and the streaming transition arena (single-thread wall-clock / peak
+//! RSS per engine generation, same host):
 //!
-//! | n = 3 workload | states | old engine | packed + concurrent |
-//! |---|---:|---:|---:|
-//! | exponential     |   135 125 |  1.19 s / 0.18 GB |  0.64 s / 0.09 GB |
-//! | order 2         |   534 429 |  9.56 s / 0.98 GB |  4.7 s / 0.51 GB |
-//! | order 3         | 2 335 749 | 72.7 s / 4.3 GB   | 20.4 s / 2.2 GB  |
+//! | n = 3 workload | states | explore+merge | packed intern | streaming arena |
+//! |---|---:|---:|---:|---:|
+//! | exponential     |   135 125 |  1.19 s / 0.18 GB |  0.64 s / 0.09 GB | 0.52 s / 0.07 GB |
+//! | order 2         |   534 429 |  9.56 s / 0.98 GB |  4.7 s / 0.51 GB | 3.3 s / 0.24 GB |
+//! | order 3         | 2 335 749 | 72.7 s / 4.3 GB   | 20.4 s / 2.2 GB  | 13.4 s / 0.95 GB |
 //!
 //! so n = 3 at orders 2–3 fits comfortably in RAM and inside a CI time
 //! budget — the `scalability` CI job solves the order-2 space and
-//! cross-validates it against the simulator on every push.
+//! cross-validates it against the simulator on every push. For spaces
+//! that do *not* fit (n ≥ 4), [`ReachOptions::spill`] pages cold
+//! transition/state segments to a temp file under an explicit RAM
+//! budget with byte-identical results — see [`SpillOptions`] and the
+//! spill-mode notes below.
 //!
 //! Prefer the **simulator** when the expanded space would exceed a few
 //! million states (deep PH orders, large `n`, two-state FD submodels),
@@ -91,7 +95,7 @@
 //! CI-fast regression pins, and tail probabilities far beyond what
 //! replications can resolve.
 //!
-//! # Concurrent exploration, compact states
+//! # Concurrent exploration, compact states, streamed assembly
 //!
 //! [`ReachOptions::threads`] fans the breadth-first exploration out
 //! over `std::thread` workers that intern newly discovered states
@@ -101,6 +105,24 @@
 //! bit-packed in a few `u64` words instead of `Arc<[u32]>` vectors
 //! (~4–8× less per-state memory; `n = 3` phase-type spaces with
 //! millions of states fit comfortably in RAM).
+//!
+//! Transitions live in a flat segmented arena instead of one `Vec` per
+//! state: workers append rows into per-worker segment chains, and each
+//! BFS level is renumbered and streamed into the canonical arena — and
+//! through [`StateSpace::explore_ctmc`] directly into the CSR
+//! generator — while the next level is still being expanded, so the
+//! explore → CSR phases pipeline instead of running serially and the
+//! per-level buffers are recycled rather than reallocated. With
+//! [`ReachOptions::spill`] set ([`SpillOptions`]; CLI
+//! `--spill-budget`), cold arena segments page out to an unlinked temp
+//! file under a RAM budget and are read back through a small LRU —
+//! results are byte-identical with spill on or off (property-tested),
+//! which is what lets state spaces larger than memory explore. Two
+//! structures stay resident outside the budget: the intern arena
+//! (`states × packed words`, required for concurrent lookups) and, on
+//! the pipelined analytic path, the CSR generator accumulated by
+//! [`StateSpace::explore_ctmc`] (~24 bytes per off-diagonal rate) —
+//! they are the spill-mode RAM floor.
 //!
 //! Determinism survives the races by construction: the reachable set,
 //! each state's successor distribution, and each state's BFS level are
@@ -185,6 +207,7 @@
 
 use std::fmt;
 
+pub mod arena;
 pub mod backend;
 pub mod ctmc;
 pub mod graph;
@@ -192,16 +215,19 @@ mod intern;
 mod krylov;
 mod pack;
 pub mod reward;
+pub mod spill;
 mod spmv;
 pub mod steady;
 pub mod transient;
 
+pub use arena::RowRef;
 pub use backend::SolverBackend;
 pub use ctmc::{Ctmc, Incoming};
 pub use graph::{ReachOptions, StateSpace, Transition};
 pub use reward::{
     expected_impulse_rate, expected_rate_reward, probability, AnalyticOutcome, AnalyticRun,
 };
+pub use spill::SpillOptions;
 pub use steady::{
     mean_time_to_absorption, steady_state, AbsorptionTimes, IterOptions, SteadyState,
 };
@@ -312,6 +338,12 @@ pub enum SolveError {
         /// The configured cap.
         limit: usize,
     },
+    /// The disk-spill backend could not be set up (temp file creation
+    /// failed in the configured directory).
+    SpillFailed {
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
     /// A chain of instantaneous firings exceeded the depth bound (the
     /// analytic analogue of the simulator's instantaneous livelock).
     VanishingLoop {
@@ -361,6 +393,9 @@ impl fmt::Display for SolveError {
             ),
             SolveError::StateSpaceTooLarge { limit } => {
                 write!(f, "reachable state space exceeds {limit} states")
+            }
+            SolveError::SpillFailed { message } => {
+                write!(f, "could not set up the disk-spill store: {message}")
             }
             SolveError::VanishingLoop { depth } => write!(
                 f,

@@ -151,6 +151,18 @@ impl StateLayout {
         Ok(())
     }
 
+    /// Overwrites one field of an already-encoded state in place — the
+    /// fast path for successors that differ from their source in a
+    /// single field (phase advances). The value must fit the field's
+    /// width; phase fields are sized exactly for their plan, so a
+    /// within-plan phase can never overflow.
+    pub(crate) fn patch(&self, words: &mut [u64], field: usize, value: u32) {
+        let f = self.fields[field];
+        debug_assert_eq!(u64::from(value) >> f.width, 0, "patch value overflows");
+        let mask = ((1u64 << f.width) - 1) << f.shift;
+        words[f.word] = (words[f.word] & !mask) | (u64::from(value) << f.shift);
+    }
+
     /// Unpacks `words` into `out`, which must hold exactly
     /// [`Self::num_fields`] values. Mirrors `encode`: the current word
     /// rides in a register, advanced at field boundaries.

@@ -54,11 +54,14 @@ pub fn expected_impulse_rate(
 ) -> f64 {
     assert_eq!(probs.len(), space.len());
     let mut total = 0.0;
-    for (s, outs) in space.transitions.iter().enumerate() {
-        if probs[s] <= 0.0 {
+    for (s, &p_s) in probs.iter().enumerate() {
+        if p_s <= 0.0 {
             continue;
         }
-        for t in outs {
+        // Flat row-slice access: no per-state clone, and under spill
+        // the sequential sweep streams each arena segment exactly once.
+        let outs = space.outgoing(s);
+        for t in outs.iter() {
             if !t.completes || !t.rate.is_finite() {
                 continue;
             }
@@ -66,7 +69,7 @@ pub fn expected_impulse_rate(
             if r == 0.0 {
                 continue;
             }
-            total += probs[s] * t.rate * r;
+            total += p_s * t.rate * r;
         }
     }
     total
@@ -119,8 +122,10 @@ impl<'m> AnalyticRun<'m> {
         opts: &ReachOptions,
         goal: impl Fn(&Marking) -> bool + Sync,
     ) -> Result<Self, SolveError> {
-        let space = StateSpace::explore_absorbing(model, opts, goal)?;
-        let ctmc = Ctmc::from_state_space(&space)?;
+        // The streaming pipeline: CSR generator rows are assembled per
+        // BFS level while later levels are still being explored, so
+        // explore → CSR is one overlapped pass, not two serial ones.
+        let (space, ctmc) = StateSpace::explore_absorbing_ctmc(model, opts, goal)?;
         Ok(Self { space, ctmc })
     }
 

@@ -1,0 +1,210 @@
+//! Disk spill for the exploration's bulk arrays.
+//!
+//! The flat transition arena and the packed-state array (see
+//! [`crate::arena`]) dominate the memory footprint of a large
+//! exploration. With [`SpillOptions`] set, their *sealed* segments are
+//! paged out to one shared unlinked temp file whenever the resident
+//! total exceeds the configured budget, oldest segment first — exactly
+//! the access pattern of the downstream consumers, which stream the
+//! arrays front to back (CSR assembly, reward evaluation, sequential
+//! row scans). Pages are read back on demand through a tiny LRU in
+//! each store.
+//!
+//! Spilling never changes results: segments hold the same bytes on
+//! disk as in RAM, and every consumer sees identical rows. The CI
+//! acceptance test asserts the canonical CSR is byte-identical with
+//! spill on and off.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Where and how aggressively to page cold exploration segments to
+/// disk.
+#[derive(Debug, Clone)]
+pub struct SpillOptions {
+    /// Target ceiling (bytes) on the *resident* sealed segments of the
+    /// exploration's bulk arrays (transition arena + packed states).
+    /// Scratch buffers, the intern table, and per-level worker chains
+    /// are not counted — the budget bounds the arrays that grow with
+    /// the full state space, not the working set of one level.
+    pub budget_bytes: usize,
+    /// Directory for the spill file (unlinked immediately after
+    /// creation, so a crash leaks no file). Defaults to
+    /// [`std::env::temp_dir`].
+    pub dir: Option<PathBuf>,
+}
+
+impl SpillOptions {
+    /// A spill configuration with the given resident budget, paging
+    /// into the system temp directory.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            dir: None,
+        }
+    }
+}
+
+/// The shared spill backend: one append-only unlinked temp file plus
+/// the resident-bytes account that all participating stores debit.
+pub(crate) struct SpillShared {
+    file: Mutex<SpillFile>,
+    /// Resident sealed-segment bytes across every store on this spill.
+    resident: AtomicUsize,
+    /// Configured ceiling on `resident`.
+    budget: usize,
+    /// Bytes currently written out (diagnostics).
+    spilled: AtomicU64,
+}
+
+struct SpillFile {
+    file: File,
+    len: u64,
+}
+
+impl SpillShared {
+    pub(crate) fn new(opts: &SpillOptions) -> io::Result<Self> {
+        let dir = opts.dir.clone().unwrap_or_else(std::env::temp_dir);
+        // Unique name: pid + a process-wide counter. The path is
+        // unlinked right after creation; the fd keeps the storage
+        // alive, the namespace stays clean even on abort.
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("ctsim-spill-{}-{seq}.bin", std::process::id()));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        let _ = std::fs::remove_file(&path);
+        Ok(Self {
+            file: Mutex::new(SpillFile { file, len: 0 }),
+            resident: AtomicUsize::new(0),
+            budget: opts.budget_bytes,
+            spilled: AtomicU64::new(0),
+        })
+    }
+
+    /// Account `bytes` of freshly sealed resident segment; returns
+    /// `true` when the caller should start paging out cold segments.
+    pub(crate) fn add_resident(&self, bytes: usize) -> bool {
+        let now = self.resident.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        now > self.budget
+    }
+
+    /// Whether the account is over budget right now.
+    pub(crate) fn over_budget(&self) -> bool {
+        self.resident.load(Ordering::Relaxed) > self.budget
+    }
+
+    /// Writes `bytes` at the end of the spill file, returning the
+    /// offset, and moves the accounting from resident to spilled.
+    pub(crate) fn write_out(&self, bytes: &[u8]) -> io::Result<u64> {
+        let mut f = self.file.lock().expect("spill file poisoned");
+        let offset = f.len;
+        write_all_at(&f.file, bytes, offset)?;
+        f.len += bytes.len() as u64;
+        drop(f);
+        self.resident.fetch_sub(bytes.len(), Ordering::Relaxed);
+        self.spilled
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        Ok(offset)
+    }
+
+    /// Reads `out.len()` bytes back from `offset`.
+    pub(crate) fn read_back(&self, offset: u64, out: &mut [u8]) -> io::Result<()> {
+        let f = self.file.lock().expect("spill file poisoned");
+        read_exact_at(&f.file, out, offset)
+    }
+
+    /// Total bytes ever paged out (test-only diagnostics).
+    #[cfg(test)]
+    pub(crate) fn spilled_bytes(&self) -> u64 {
+        self.spilled.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(unix)]
+fn write_all_at(file: &File, buf: &[u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(buf, offset)
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn write_all_at(file: &File, buf: &[u8], offset: u64) -> io::Result<()> {
+    use std::io::{Seek, SeekFrom, Write};
+    let mut f = file;
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(buf)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = file;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+/// Fixed-size byte encoding for elements that can live in the spill
+/// file. Manual field-wise encoding (rather than a byte transmute)
+/// keeps padding bytes out of the file and the round trip fully
+/// defined.
+pub(crate) trait SpillRecord: Copy {
+    /// Encoded size in bytes.
+    const BYTES: usize;
+    /// Writes the record into `out` (exactly [`Self::BYTES`] long).
+    fn store(&self, out: &mut [u8]);
+    /// Reads a record back from `bytes`.
+    fn load(bytes: &[u8]) -> Self;
+}
+
+impl SpillRecord for u64 {
+    const BYTES: usize = 8;
+    fn store(&self, out: &mut [u8]) {
+        out.copy_from_slice(&self.to_le_bytes());
+    }
+    fn load(bytes: &[u8]) -> Self {
+        u64::from_le_bytes(bytes.try_into().expect("8-byte record"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let s = SpillShared::new(&SpillOptions::with_budget(0)).unwrap();
+        let a = s.write_out(&[1, 2, 3, 4]).unwrap();
+        let b = s.write_out(&[9, 8, 7]).unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b, 4);
+        let mut buf = [0u8; 3];
+        s.read_back(b, &mut buf).unwrap();
+        assert_eq!(buf, [9, 8, 7]);
+        let mut buf = [0u8; 4];
+        s.read_back(a, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert_eq!(s.spilled_bytes(), 7);
+    }
+
+    #[test]
+    fn budget_accounting_flags_overflow() {
+        let s = SpillShared::new(&SpillOptions::with_budget(10)).unwrap();
+        assert!(!s.add_resident(8));
+        assert!(s.add_resident(8)); // 16 > 10
+        assert!(s.over_budget());
+        let _ = s.write_out(&[0u8; 8]).unwrap();
+        assert!(!s.over_budget()); // 8 resident again
+    }
+}

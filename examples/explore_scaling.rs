@@ -3,28 +3,29 @@
 //! and for eyeballing the concurrent-intern speedup.
 //!
 //! ```sh
-//! cargo run --release --example explore_scaling -- <n> <ph_order> <threads> [fp|solve] [repeats]
+//! cargo run --release --example explore_scaling -- \
+//!     <n> <ph_order> <threads> [fp|solve] [repeats] [spill-budget]
 //! ```
+//!
+//! `spill-budget` (e.g. `512M`) pages cold transition/state segments to
+//! a temp file once the exploration's bulk arrays exceed the budget —
+//! the mode that lets state spaces larger than RAM explore.
 
 use std::time::Instant;
 
 use ct_consensus_repro::models::{build_model, decided_place_ids, SanParams};
-use ct_consensus_repro::solve::{AnalyticRun, IterOptions, ReachOptions, StateSpace};
+use ct_consensus_repro::solve::{AnalyticRun, IterOptions, ReachOptions, SpillOptions, StateSpace};
+use ctsim_bench::alloc_counter::{self, CountingAlloc};
+use ctsim_experiments::{parse_size, peak_rss_mb};
 
-fn peak_rss_mb() -> f64 {
-    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: f64 = rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0.0);
-            return kb / 1024.0;
-        }
-    }
-    0.0
+/// Exact live-heap accounting next to the RSS sample: RSS includes
+/// allocator slack and freed-but-retained pages, the counter is the
+/// true peak of live bytes.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn mb(bytes: usize) -> f64 {
+    bytes as f64 / (1 << 20) as f64
 }
 
 fn main() {
@@ -34,6 +35,9 @@ fn main() {
     let threads: usize = args.get(2).map_or(1, |s| s.parse().unwrap());
     let first_passage = args.get(3).is_some_and(|s| s == "fp" || s == "solve");
     let solve = args.get(3).is_some_and(|s| s == "solve");
+    let spill = args
+        .get(5)
+        .map(|s| SpillOptions::with_budget(parse_size(s).expect("spill budget")));
 
     let params = if ph_order == 0 {
         SanParams::exponential_baseline(n)
@@ -45,6 +49,7 @@ fn main() {
         ph_order,
         threads,
         max_states: 16 << 20,
+        spill,
         ..ReachOptions::default()
     };
     let start = Instant::now();
@@ -64,6 +69,7 @@ fn main() {
             start.elapsed().as_secs_f64(),
             peak_rss_mb()
         );
+        println!("peak live heap {:.1} MB", mb(alloc_counter::peak_bytes()));
         return;
     }
     let repeats: usize = args.get(4).map_or(1, |s| s.parse().unwrap());
@@ -91,5 +97,11 @@ fn main() {
         ss.num_transitions(),
         dt.as_secs_f64(),
         peak_rss_mb()
+    );
+    println!(
+        "peak live heap {:.1} MB, live after explore {:.1} MB, {} words/state",
+        mb(alloc_counter::peak_bytes()),
+        mb(alloc_counter::live_bytes()),
+        ss.words_per_state()
     );
 }

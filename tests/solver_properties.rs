@@ -281,10 +281,11 @@ proptest! {
                 threads
             );
             prop_assert_eq!(&ss1.initial, &ssn.initial);
-            prop_assert_eq!(ss1.transitions.len(), ssn.transitions.len());
-            for (a, b) in ss1.transitions.iter().zip(&ssn.transitions) {
+            prop_assert_eq!(ss1.len(), ssn.len());
+            for s in 0..ss1.len() {
+                let (a, b) = (ss1.outgoing(s), ssn.outgoing(s));
                 prop_assert_eq!(a.len(), b.len());
-                for (x, y) in a.iter().zip(b) {
+                for (x, y) in a.iter().zip(b.iter()) {
                     prop_assert_eq!(x.target, y.target);
                     prop_assert_eq!(x.prob.to_bits(), y.prob.to_bits());
                     prop_assert_eq!(x.rate.to_bits(), y.rate.to_bits());

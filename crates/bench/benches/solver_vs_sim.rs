@@ -284,6 +284,14 @@ fn write_results_json(c: &Criterion, extra: &[BenchResult]) {
         "  \"mode\": \"{}\",\n",
         if c.is_full() { "bench" } else { "smoke" }
     ));
+    // The host the numbers were taken on: throughput rows are only
+    // comparable against a baseline from similar hardware, so the gate
+    // artifacts carry the machine shape alongside the measurements.
+    let host = ctsim_obs::host_info();
+    body.push_str(&format!(
+        "  \"host\": {{ \"logical_cores\": {}, \"page_size_bytes\": {}, \"total_ram_bytes\": {} }},\n",
+        host.logical_cores, host.page_size_bytes, host.total_ram_bytes
+    ));
     body.push_str("  \"results\": [\n");
     let rows: Vec<String> = c
         .results()

@@ -149,6 +149,16 @@ fn normalised(rows: &[Row], prefix: &str) -> Result<f64, String> {
     Ok(tp * cal)
 }
 
+/// One-line failure report for a gated metric: the percentage delta
+/// *and* the baseline-vs-measured values, so the CI log names the
+/// offending numbers without anyone opening the artifacts.
+fn failure_line(what: &str, base: f64, cur: f64, delta_pct: f64, allowed_pct: f64) -> String {
+    format!(
+        "{what} regressed {delta_pct:.1}% (allowed {allowed_pct:.0}%): \
+         baseline {base:.4} vs measured {cur:.4}"
+    )
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (mut current, mut baseline, mut max_regression) = (None, None, 0.25f64);
@@ -189,10 +199,12 @@ fn run() -> Result<(), String> {
             1.0 - max_regression
         );
         if ratio < 1.0 - max_regression {
-            failures.push(format!(
-                "{label} throughput regressed {:.1}% (allowed {:.0}%)",
+            failures.push(failure_line(
+                &format!("{label} throughput"),
+                base,
+                cur,
                 (1.0 - ratio) * 100.0,
-                max_regression * 100.0
+                max_regression * 100.0,
             ));
         }
     }
@@ -209,10 +221,12 @@ fn run() -> Result<(), String> {
             1.0 + max_regression
         );
         if ratio > 1.0 + max_regression {
-            failures.push(format!(
-                "{label} regressed {:.1}% (allowed {:.0}%)",
+            failures.push(failure_line(
+                label,
+                base,
+                cur,
                 (ratio - 1.0) * 100.0,
-                max_regression * 100.0
+                max_regression * 100.0,
             ));
         }
     }
@@ -240,6 +254,7 @@ mod tests {
     const SAMPLE: &str = r#"{
   "bench": "solver_vs_sim",
   "mode": "smoke",
+  "host": { "logical_cores": 16, "page_size_bytes": 4096, "total_ram_bytes": 67108864000 },
   "results": [
     { "name": "solver_vs_sim/simulator_n2_replications_for_1pct_ci_x2500", "ns_per_iter": 25000000.0, "iters": 1 },
     { "name": "concurrent_intern/explore_exp_n3_threads1_states135125", "ns_per_iter": 700000000.0, "iters": 2, "peak_bytes": 104857600 },
@@ -252,6 +267,8 @@ mod tests {
     #[test]
     fn parses_and_normalises_every_gate() {
         let rows = parse_rows(SAMPLE);
+        // The host-info object carries no `"name":` key, so it never
+        // becomes a measurement row.
         assert_eq!(rows.len(), 5);
         let cal = ns_per_replication(&rows).unwrap();
         assert!((cal - 10000.0).abs() < 1e-9);
@@ -276,6 +293,17 @@ mod tests {
             peak_of(&rows, "solver_backends/solve_exp_n3_gauss_seidel"),
             None
         );
+    }
+
+    #[test]
+    fn failure_line_names_baseline_measured_and_delta_in_one_line() {
+        let line = failure_line("explore throughput", 2.0, 1.0, 50.0, 25.0);
+        assert_eq!(
+            line,
+            "explore throughput regressed 50.0% (allowed 25%): \
+             baseline 2.0000 vs measured 1.0000"
+        );
+        assert!(!line.contains('\n'), "must stay a single log line");
     }
 
     #[test]

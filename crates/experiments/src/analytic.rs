@@ -20,6 +20,7 @@
 //!   order-K mean is kept alongside in `ph_raw_ms`. The overlay CDF
 //!   comes from the order-K solve.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use ctsim_models::{build_model, latency_replications, SanParams};
@@ -58,6 +59,15 @@ pub struct AnalyticOptions {
     /// analytic --spill-budget 512M`). `None` keeps everything
     /// resident. Results are byte-identical either way.
     pub spill_budget: Option<usize>,
+    /// Write a chrome://tracing (`trace_event`) file of the run here
+    /// (`repro analytic --trace out.json`). Setting this turns the
+    /// [`ctsim_obs`] telemetry on for the duration of the run; load the
+    /// file in `chrome://tracing` or Perfetto.
+    pub trace: Option<PathBuf>,
+    /// Write the [`ctsim_obs::metrics_json`] document (counters,
+    /// gauges, residual traces, histograms) here (`repro analytic
+    /// --metrics out.json`). Also turns telemetry on.
+    pub metrics: Option<PathBuf>,
 }
 
 impl Default for AnalyticOptions {
@@ -68,6 +78,8 @@ impl Default for AnalyticOptions {
             n: None,
             backend: SolverBackend::default(),
             spill_budget: None,
+            trace: None,
+            metrics: None,
         }
     }
 }
@@ -242,7 +254,37 @@ pub fn run(scale: Scale, seed: u64) -> Analytic {
 /// need `n ≥ 3` to keep a correct majority), then the phase-type rows
 /// on the paper's real parameters. [`AnalyticOptions::n`] replaces the
 /// scale's n sweep with one explicit process count.
+///
+/// When [`AnalyticOptions::trace`] or [`AnalyticOptions::metrics`] is
+/// set, telemetry is enabled for the run, the requested files are
+/// written afterwards, and the human-readable run summary goes to
+/// stderr.
 pub fn run_with(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
+    let telemetry = ph.trace.is_some() || ph.metrics.is_some();
+    if telemetry {
+        ctsim_obs::enable();
+    }
+    let result = run_inner(scale, seed, ph);
+    if telemetry {
+        if let Some(path) = &ph.trace {
+            std::fs::write(path, ctsim_obs::chrome_trace_json())
+                .unwrap_or_else(|e| panic!("writing trace {}: {e}", path.display()));
+        }
+        if let Some(path) = &ph.metrics {
+            std::fs::write(path, ctsim_obs::metrics_json())
+                .unwrap_or_else(|e| panic!("writing metrics {}: {e}", path.display()));
+        }
+        eprintln!("{}", ctsim_obs::summary().trim_end());
+        ctsim_obs::disable();
+    }
+    result
+}
+
+fn run_inner(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
+    let _run_span = ctsim_obs::span("experiment", "analytic_overlay")
+        .arg("ph_order", ph.ph_order)
+        .arg("backend", ph.backend.to_string())
+        .arg("seed", seed);
     let exp_ns: Vec<usize> = match ph.n {
         Some(n) => vec![n],
         None => analytic_ns(scale).to_vec(),

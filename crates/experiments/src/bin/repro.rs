@@ -3,7 +3,8 @@
 //! ```text
 //! repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|all> \
 //!       [--scale quick|default|full] [--seed N] [--out DIR] \
-//!       [--ph-order K] [--threads T] [--n N] [--solver BACKEND]
+//!       [--ph-order K] [--threads T] [--n N] [--solver BACKEND] \
+//!       [--trace FILE.json] [--metrics FILE.json]
 //! ```
 //!
 //! Text renderings (with the paper's reference values inline) go to
@@ -21,6 +22,12 @@
 //! (`gauss-seidel` | `jacobi` | `krylov`) the CTMC is solved with —
 //! every backend must produce the same means, which the CI
 //! `solver-backends` matrix job gates at ≤ 1e-6 relative.
+//!
+//! `--trace` and `--metrics` turn the `ctsim-obs` telemetry on for the
+//! `analytic` run and write a chrome://tracing `trace_event` file and a
+//! metrics JSON document (counters, gauges, residual traces,
+//! histograms) to the given paths; the human-readable run summary goes
+//! to stderr. Telemetry never changes results — it only observes.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -88,6 +95,16 @@ fn parse_args() -> Result<Args, String> {
                     &args.next().ok_or("missing value for --spill-budget")?,
                 )?);
             }
+            "--trace" => {
+                ph.trace = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --trace")?,
+                ));
+            }
+            "--metrics" => {
+                ph.metrics = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --metrics")?,
+                ));
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -103,7 +120,8 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|ablations|throughput|analytic|all> \
      [--scale quick|default|full] [--seed N] [--out DIR] [--ph-order K] [--threads T] [--n N] \
-     [--solver gauss-seidel|jacobi|krylov] [--spill-budget BYTES[K|M|G]]"
+     [--solver gauss-seidel|jacobi|krylov] [--spill-budget BYTES[K|M|G]] \
+     [--trace FILE.json] [--metrics FILE.json]"
         .to_string()
 }
 

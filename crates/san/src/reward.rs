@@ -70,8 +70,30 @@ pub fn replicate(
         .unwrap_or(1)
         .min(reps / (PARALLEL_THRESHOLD / 2).max(1))
         .max(1);
+    let _span = ctsim_obs::span("sim", "replicate")
+        .arg("reps", reps)
+        .arg("workers", workers);
+    // One `replication_batch` span per contiguous index chunk — the
+    // unit of work a replication worker owns.
+    let run_batch = |lo: usize, hi: usize| {
+        let t0 = if ctsim_obs::enabled() {
+            ctsim_obs::now_us()
+        } else {
+            0
+        };
+        let out: Vec<Option<f64>> = (lo..hi).map(run_one).collect();
+        if ctsim_obs::enabled() {
+            ctsim_obs::record_span(
+                "sim",
+                "replication_batch",
+                t0,
+                vec![("lo", lo.into()), ("hi", hi.into())],
+            );
+        }
+        out
+    };
     let results: Vec<Option<f64>> = if workers <= 1 || reps < PARALLEL_THRESHOLD {
-        (0..reps).map(run_one).collect()
+        run_batch(0, reps)
     } else {
         let chunk = reps.div_ceil(workers);
         let mut chunks: Vec<Vec<Option<f64>>> = Vec::with_capacity(workers);
@@ -80,8 +102,8 @@ pub fn replicate(
                 .map(|w| {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(reps);
-                    let run_one = &run_one;
-                    scope.spawn(move || (lo..hi).map(run_one).collect::<Vec<_>>())
+                    let run_batch = &run_batch;
+                    scope.spawn(move || run_batch(lo, hi))
                 })
                 .collect();
             for h in handles {
@@ -101,6 +123,10 @@ pub fn replicate(
             }
             None => discarded += 1,
         }
+    }
+    if ctsim_obs::enabled() {
+        ctsim_obs::counter_add("sim.replications", reps as u64);
+        ctsim_obs::counter_add("sim.discarded", discarded);
     }
     Replications {
         stats,

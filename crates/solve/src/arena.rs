@@ -168,6 +168,17 @@ impl<T: SpillRecord> SegStore<T> {
         let bytes = arc.len() * std::mem::size_of::<T>();
         self.tail.clear();
         self.segs.push(Segment::Resident(arc));
+        if ctsim_obs::enabled() {
+            ctsim_obs::instant(
+                "arena",
+                "segment_seal",
+                vec![
+                    ("seg", (self.segs.len() - 1).into()),
+                    ("bytes", bytes.into()),
+                ],
+            );
+            ctsim_obs::counter_add("arena.seals", 1);
+        }
         if let Some(spill) = &self.spill {
             if spill.add_resident(bytes) {
                 self.page_out();
@@ -244,8 +255,10 @@ impl<T: SpillRecord> SegStore<T> {
             let entry = cache.remove(pos);
             let arc = entry.1.clone();
             cache.push(entry); // most recently used last
+            ctsim_obs::counter_add("spill.pager_hits", 1);
             return arc;
         }
+        ctsim_obs::counter_add("spill.pager_misses", 1);
         let spill = self
             .spill
             .as_ref()

@@ -952,6 +952,9 @@ impl Assembly<'_> {
             order,
             keys,
         } = level;
+        let _csr_span = ctsim_obs::span("csr", "csr_build_level")
+            .arg("lo", lo)
+            .arg("states", hi - lo);
         self.runs_buf.clear();
         self.runs_buf.resize(hi - lo, RunSlot::NONE);
         for (ci, chain) in chains.iter().enumerate() {
@@ -1218,8 +1221,11 @@ impl<'m> StateSpace<'m> {
         // step. The *previous* level is renumbered and streamed into
         // the canonical stores while the current one is expanded.
         let mut lvl_lo = 0usize;
+        let mut level_idx = 0usize;
+        let _explore_span = ctsim_obs::span("explore", "explore").arg("workers", workers);
         while lvl_lo < interner.len() {
             let lvl_hi = interner.len();
+            let lvl_t0 = ctsim_obs::now_us();
             // Spawning a thread costs more than expanding a handful of
             // states, so cap the worker count by the level size: small
             // levels (and small models) run inline no matter how many
@@ -1318,6 +1324,34 @@ impl<'m> StateSpace<'m> {
                 .iter_mut()
                 .map(|st| std::mem::take(&mut st.chain))
                 .collect();
+            if ctsim_obs::enabled() {
+                // One intern call per generated transition target, so
+                // dedup hits = transitions minus freshly discovered
+                // states.
+                let transitions: usize = chains
+                    .iter()
+                    .map(|c| c.runs.iter().map(|r| r.len as usize).sum::<usize>())
+                    .sum();
+                let new_states = interner.len() - lvl_hi;
+                let dedup_hits = transitions.saturating_sub(new_states);
+                ctsim_obs::record_span(
+                    "explore",
+                    "bfs_level",
+                    lvl_t0,
+                    vec![
+                        ("level", level_idx.into()),
+                        ("states", (lvl_hi - lvl_lo).into()),
+                        ("new_states", new_states.into()),
+                        ("transitions", transitions.into()),
+                        ("dedup_hits", dedup_hits.into()),
+                        ("workers", effective.max(1).into()),
+                    ],
+                );
+                ctsim_obs::counter_add("explore.levels", 1);
+                ctsim_obs::counter_add("explore.transitions", transitions as u64);
+                ctsim_obs::counter_add("explore.dedup_hits", dedup_hits as u64);
+            }
+            level_idx += 1;
             // Hand emptied chains from an emitted level back to the
             // workers for the next one.
             for st in worker_states.iter_mut() {
@@ -1342,6 +1376,24 @@ impl<'m> StateSpace<'m> {
         drop((cur_order, cur_keys)); // the empty frontier past the last level
 
         asm.trans.finish();
+        if ctsim_obs::enabled() {
+            // Snapshot the intern table before its hash shards are
+            // dropped, and make sure the spill pager counters exist in
+            // the metrics document even for an all-resident run.
+            let (used, slots) = interner.table_stats();
+            let occ = if slots > 0 {
+                used as f64 / slots as f64
+            } else {
+                0.0
+            };
+            ctsim_obs::gauge_set("intern.occupancy", occ);
+            ctsim_obs::gauge_set("intern.used_slots", used as f64);
+            ctsim_obs::gauge_set("intern.table_slots", slots as f64);
+            ctsim_obs::gauge_set("explore.states_total", interner.len() as f64);
+            ctsim_obs::counter_add("spill.pager_hits", 0);
+            ctsim_obs::counter_add("spill.pager_misses", 0);
+            ctsim_obs::counter_add("spill.paged_out_bytes", 0);
+        }
         let mut init: Vec<(usize, f64)> = initial
             .into_iter()
             .map(|(id, p)| (canon[id] as usize, p))

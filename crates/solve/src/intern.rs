@@ -216,7 +216,9 @@ impl Interner {
             }
             let mut idx = (h as usize) & mask;
             let mut result = None;
+            let mut probes = 0u64;
             'probe: for _ in 0..=mask {
+                probes += 1;
                 let slot = &table.slots[idx];
                 let mut v = slot.load(Ordering::Acquire);
                 loop {
@@ -267,6 +269,9 @@ impl Interner {
                             }
                             let id = ((published & ID_MASK) - 1) as usize;
                             if self.key_eq(id, key) {
+                                if ctsim_obs::enabled() {
+                                    ctsim_obs::hist_record("intern.probe_len", probes);
+                                }
                                 return Ok(id);
                             }
                             break; // different state: next slot
@@ -281,6 +286,9 @@ impl Interner {
                     drop(table);
                     if need_grow {
                         self.grow(shard);
+                    }
+                    if ctsim_obs::enabled() {
+                        ctsim_obs::hist_record("intern.probe_len", probes);
                     }
                     return Ok(id);
                 }
@@ -304,6 +312,16 @@ impl Interner {
         for (w, o) in out.iter_mut().enumerate() {
             *o = seg[base + w].load(Ordering::Relaxed);
         }
+    }
+
+    /// Telemetry snapshot of the hash tables: `(published entries,
+    /// total slots)` summed over the shards — `(0, 0)` after
+    /// [`Interner::drop_tables`].
+    pub(crate) fn table_stats(&self) -> (usize, usize) {
+        self.shards.iter().fold((0, 0), |(used, slots), shard| {
+            let t = shard.read().expect("intern shard poisoned");
+            (used + t.used.load(Ordering::Relaxed), slots + t.slots.len())
+        })
     }
 
     /// Frees the hash-table shards, keeping only the state arena.

@@ -74,7 +74,9 @@ fn restart_dim(n: usize, opts: &IterOptions) -> usize {
 /// `apply` (which must write `A·v` into its second argument). `x` holds
 /// the initial guess and receives the solution. `check` maps the
 /// current iterate to the true (unpreconditioned) sup-norm residual the
-/// caller gates on. Returns `(matvecs, residual)` on convergence.
+/// caller gates on. `trace_label` names the solve in the telemetry
+/// residual series and restart events. Returns `(matvecs, residual)`
+/// on convergence.
 fn gmres<A, C>(
     n: usize,
     apply: A,
@@ -82,6 +84,7 @@ fn gmres<A, C>(
     x: &mut [f64],
     opts: &IterOptions,
     check: C,
+    trace_label: &'static str,
 ) -> Result<(usize, f64), SolveError>
 where
     A: Fn(&[f64], &mut [f64]),
@@ -94,8 +97,34 @@ where
     let mut w = vec![0.0; n];
     // Krylov basis, reused across cycles.
     let mut basis: Vec<Vec<f64>> = Vec::new();
+    let mut cycle = 0usize;
     loop {
+        let cycle_t0 = if ctsim_obs::enabled() {
+            ctsim_obs::now_us()
+        } else {
+            0
+        };
         let true_res = check(x);
+        if ctsim_obs::enabled() {
+            ctsim_obs::series_push(
+                &format!("solver.residual/{trace_label}"),
+                matvecs as f64,
+                true_res,
+            );
+            if cycle > 0 {
+                ctsim_obs::instant(
+                    "solver",
+                    "gmres_restart",
+                    vec![
+                        ("backend", trace_label.into()),
+                        ("cycle", cycle.into()),
+                        ("matvecs", matvecs.into()),
+                        ("residual", true_res.into()),
+                    ],
+                );
+            }
+        }
+        cycle += 1;
         if true_res <= opts.tolerance {
             return Ok((matvecs, true_res));
         }
@@ -226,6 +255,19 @@ where
                 *xi += yj * vi;
             }
         }
+        if ctsim_obs::enabled() {
+            ctsim_obs::record_span(
+                "solver",
+                "gmres_cycle",
+                cycle_t0,
+                vec![
+                    ("backend", trace_label.into()),
+                    ("cycle", (cycle - 1).into()),
+                    ("arnoldi_steps", steps.into()),
+                    ("matvecs", matvecs.into()),
+                ],
+            );
+        }
     }
 }
 
@@ -278,7 +320,7 @@ pub(crate) fn steady(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, Sol
             ctmc.vec_mul_threads(normed, qv, threads);
             qv.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
         };
-        gmres(n, apply, &b, &mut pi, opts, check)?
+        gmres(n, apply, &b, &mut pi, opts, check, "krylov_steady")?
     };
     // Normalize; clamp the tiny negative round-off a Krylov iterate can
     // carry, then re-verify the residual on the cleaned vector.
@@ -380,7 +422,7 @@ pub(crate) fn absorption(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTi
     // u₀ = c makes the initial guess τ₀ = (D − U)^{-1} c — already the
     // exact solution on acyclic chains.
     let mut u = c.clone();
-    let (iterations, residual) = gmres(n, apply, &c, &mut u, opts, check)?;
+    let (iterations, residual) = gmres(n, apply, &c, &mut u, opts, check, "krylov_absorption")?;
     let mut tau = u;
     back_substitute(ctmc, &mut tau);
     if tau.iter().any(|t| !t.is_finite()) {

@@ -111,6 +111,7 @@ impl SpillShared {
         self.resident.fetch_sub(bytes.len(), Ordering::Relaxed);
         self.spilled
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        ctsim_obs::counter_add("spill.paged_out_bytes", bytes.len() as u64);
         Ok(offset)
     }
 

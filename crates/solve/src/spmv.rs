@@ -72,8 +72,11 @@ where
     let n = out.len();
     debug_assert_eq!(ptr.len(), n + 1);
     let workers = resolve_threads(threads).min(n.max(1));
+    if ctsim_obs::enabled() {
+        ctsim_obs::counter_add("spmv.products", 1);
+    }
     if workers <= 1 || n < PARALLEL_THRESHOLD {
-        body(0, out);
+        run_shard(0, out, &body);
         return;
     }
     let mut shards: Vec<(usize, &mut [f64])> = Vec::with_capacity(workers);
@@ -91,12 +94,28 @@ where
         let body = &body;
         let mut handles = Vec::with_capacity(shards.len());
         for (lo, shard) in shards {
-            handles.push(scope.spawn(move || body(lo, shard)));
+            handles.push(scope.spawn(move || run_shard(lo, shard, body)));
         }
         for h in handles {
             h.join().expect("spmv worker panicked");
         }
     });
+}
+
+/// Runs one shard of a sharded product, timing it into the
+/// `spmv.shard_ns` histogram when telemetry is on. The disabled path
+/// adds one atomic load and branch per shard — no clock reads.
+fn run_shard<F>(lo: usize, shard: &mut [f64], body: &F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if ctsim_obs::enabled() {
+        let t0 = std::time::Instant::now();
+        body(lo, shard);
+        ctsim_obs::hist_record("spmv.shard_ns", t0.elapsed().as_nanos() as u64);
+    } else {
+        body(lo, shard);
+    }
 }
 
 /// `out = x · Q` over `threads` workers: the row-vector product both

@@ -23,6 +23,37 @@ use crate::backend::SolverBackend;
 use crate::ctmc::Ctmc;
 use crate::{krylov, spmv, SolveError};
 
+/// Iterations per telemetry batch span in the stationary loops.
+const TRACE_BATCH: usize = 64;
+
+/// Per-iteration telemetry for a stationary solver loop: one point on
+/// the residual trace, plus an `iter_batch` span closed every
+/// [`TRACE_BATCH`] iterations or at convergence. Callers guard on
+/// [`ctsim_obs::enabled`], so the disabled cost of a sweep stays one
+/// atomic load and branch.
+fn trace_iteration(
+    backend: &'static str,
+    iter: usize,
+    residual: f64,
+    done: bool,
+    batch_t0: &mut u64,
+) {
+    ctsim_obs::series_push(&format!("solver.residual/{backend}"), iter as f64, residual);
+    if done || iter % TRACE_BATCH == 0 {
+        ctsim_obs::record_span(
+            "solver",
+            "iter_batch",
+            *batch_t0,
+            vec![
+                ("backend", backend.into()),
+                ("through_iter", iter.into()),
+                ("residual", residual.into()),
+            ],
+        );
+        *batch_t0 = ctsim_obs::now_us();
+    }
+}
+
 /// Iteration limits, tolerance, and backend selection for the
 /// steady-state/absorption solvers.
 #[derive(Debug, Clone)]
@@ -104,6 +135,9 @@ pub fn steady_state(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, Solv
     if (0..n).any(|i| ctmc.is_absorbing(i)) {
         return Err(SolveError::SteadyStateUndefined);
     }
+    let _span = ctsim_obs::span("solver", "steady_state")
+        .arg("backend", opts.backend.to_string())
+        .arg("states", n);
     match opts.backend {
         SolverBackend::GaussSeidel => steady_gauss_seidel(ctmc, opts),
         SolverBackend::Jacobi => steady_jacobi(ctmc, opts),
@@ -119,6 +153,11 @@ fn steady_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, S
     let mut pi = vec![1.0 / n as f64; n];
     let mut qv = vec![0.0; n];
     let mut residual = f64::INFINITY;
+    let mut batch_t0 = if ctsim_obs::enabled() {
+        ctsim_obs::now_us()
+    } else {
+        0
+    };
     for sweep in 1..=opts.max_iterations {
         // π_j ← (Σ_{i≠j} π_i q_ij) / |q_jj|, in place (Gauss–Seidel).
         for j in 0..n {
@@ -138,6 +177,10 @@ fn steady_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, S
         // Residual: sup-norm of the balance equations πQ.
         ctmc.vec_mul(&pi, &mut qv);
         residual = qv.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        if ctsim_obs::enabled() {
+            let done = residual <= opts.tolerance;
+            trace_iteration("steady_gauss_seidel", sweep, residual, done, &mut batch_t0);
+        }
         if residual <= opts.tolerance {
             return Ok(SteadyState {
                 probs: pi,
@@ -178,11 +221,20 @@ fn steady_jacobi(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, SolveEr
     let mut pi = vec![1.0 / n as f64; n];
     let mut qv = vec![0.0; n];
     let mut residual = f64::INFINITY;
+    let mut batch_t0 = if ctsim_obs::enabled() {
+        ctsim_obs::now_us()
+    } else {
+        0
+    };
     for step in 1..=opts.max_iterations {
         ctmc.vec_mul_threads(&pi, &mut qv, opts.threads);
         // The product is the residual of the *current* normalized
         // iterate — free, exactly like the Gauss–Seidel check.
         residual = qv.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        if ctsim_obs::enabled() {
+            let done = residual <= opts.tolerance;
+            trace_iteration("steady_jacobi", step, residual, done, &mut batch_t0);
+        }
         if residual <= opts.tolerance {
             return Ok(SteadyState {
                 probs: pi,
@@ -251,6 +303,9 @@ pub fn mean_time_to_absorption(
     if !(0..n).any(|i| ctmc.is_absorbing(i)) {
         return Err(SolveError::NoAbsorbingStates);
     }
+    let _span = ctsim_obs::span("solver", "mean_time_to_absorption")
+        .arg("backend", opts.backend.to_string())
+        .arg("states", n);
     match opts.backend {
         SolverBackend::GaussSeidel => absorption_gauss_seidel(ctmc, opts),
         SolverBackend::Jacobi => absorption_jacobi(ctmc, opts),
@@ -263,6 +318,11 @@ fn absorption_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<Absorption
     let n = ctmc.num_states();
     let mut tau = vec![0.0; n];
     let mut residual = f64::INFINITY;
+    let mut batch_t0 = if ctsim_obs::enabled() {
+        ctsim_obs::now_us()
+    } else {
+        0
+    };
     for sweep in 1..=opts.max_iterations {
         // τ_j ← (1 + Σ_k q_jk τ_k) / |q_jj| over transient states, in
         // place (Gauss–Seidel on Q_TT τ = -1; absorbing τ stay 0). The
@@ -277,6 +337,16 @@ fn absorption_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<Absorption
             let flow: f64 = ctmc.row(j).map(|(k, r)| r * tau[k]).sum();
             residual = residual.max((ctmc.diag(j) * tau[j] + flow + 1.0).abs());
             tau[j] = (1.0 + flow) / -ctmc.diag(j);
+        }
+        if ctsim_obs::enabled() {
+            let done = residual <= opts.tolerance;
+            trace_iteration(
+                "absorption_gauss_seidel",
+                sweep,
+                residual,
+                done,
+                &mut batch_t0,
+            );
         }
         if residual <= opts.tolerance {
             let mean = ctmc.initial().iter().zip(&tau).map(|(&p, &t)| p * t).sum();
@@ -309,6 +379,11 @@ fn absorption_jacobi(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTimes,
     let mut tau = vec![0.0; n];
     let mut flow = vec![0.0; n];
     let mut residual = f64::INFINITY;
+    let mut batch_t0 = if ctsim_obs::enabled() {
+        ctsim_obs::now_us()
+    } else {
+        0
+    };
     for step in 1..=opts.max_iterations {
         spmv::flow_mul(ctmc, &tau, &mut flow, opts.threads);
         residual = 0.0;
@@ -321,6 +396,10 @@ fn absorption_jacobi(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTimes,
             flow[j] = (1.0 + flow[j]) / -ctmc.diag(j);
         }
         std::mem::swap(&mut tau, &mut flow);
+        if ctsim_obs::enabled() {
+            let done = residual <= opts.tolerance;
+            trace_iteration("absorption_jacobi", step, residual, done, &mut batch_t0);
+        }
         if residual <= opts.tolerance {
             let mean = ctmc.initial().iter().zip(&tau).map(|(&p, &t)| p * t).sum();
             return Ok(AbsorptionTimes {

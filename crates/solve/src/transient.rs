@@ -10,6 +10,9 @@
 use crate::ctmc::Ctmc;
 use crate::SolveError;
 
+/// Poisson terms per telemetry batch span in the uniformization loop.
+const TRACE_BATCH: usize = 256;
+
 /// Options for the transient solver.
 #[derive(Debug, Clone)]
 pub struct TransientOptions {
@@ -70,11 +73,21 @@ pub fn transient(ctmc: &Ctmc, t_ms: f64, opts: &TransientOptions) -> Result<Tran
         });
     }
     let weights = poisson_weights(lt, opts)?;
+    let _span = ctsim_obs::span("solver", "transient")
+        .arg("t_ms", t_ms)
+        .arg("lambda_t", lt)
+        .arg("terms", weights.len())
+        .arg("states", n);
     // v_k = π(0) P^k, accumulated into out with weight w_k.
     let mut v = ctmc.initial().to_vec();
     let mut qv = vec![0.0; n];
     let mut out = vec![0.0; n];
     let last = weights.len() - 1;
+    let mut batch_t0 = if ctsim_obs::enabled() {
+        ctsim_obs::now_us()
+    } else {
+        0
+    };
     for (k, &w) in weights.iter().enumerate() {
         if w > 0.0 {
             for (o, &x) in out.iter_mut().zip(&v) {
@@ -87,6 +100,18 @@ pub fn transient(ctmc: &Ctmc, t_ms: f64, opts: &TransientOptions) -> Result<Tran
             for (x, &q) in v.iter_mut().zip(&qv) {
                 *x += q / lambda;
             }
+        }
+        if ctsim_obs::enabled() && ((k + 1) % TRACE_BATCH == 0 || k == last) {
+            ctsim_obs::record_span(
+                "solver",
+                "uniformization_batch",
+                batch_t0,
+                vec![
+                    ("through_term", (k + 1).into()),
+                    ("terms", (last + 1).into()),
+                ],
+            );
+            batch_t0 = ctsim_obs::now_us();
         }
     }
     Ok(Transient {

@@ -14,10 +14,12 @@
 //! and n = 3 (exponential ≈ 1.35 × 10⁵ states, order-2 ≈ 5.3 × 10⁵) —
 //! its rows are timed directly (best of a fixed repeat count, so even
 //! the smoke run yields a stable number) and carry the state count in
-//! the name, making each row a throughput measurement. Every
-//! measurement is appended to `BENCH_solver.json` at the workspace
-//! root; `ci/bench_baseline.json` pins the committed baseline that the
-//! `bench_check` binary gates against in CI.
+//! the name, making each row a throughput measurement. The `campaign`
+//! group times the scenario-campaign engine's cached+warm grid path
+//! against the same grid solved cold, plus its deterministic cache
+//! hit-rate. Every measurement is appended to `BENCH_solver.json` at
+//! the workspace root; `ci/bench_baseline.json` pins the committed
+//! baseline that the `bench_check` binary gates against in CI.
 
 use criterion::{criterion_group, criterion_main, BenchResult, Criterion};
 use ctsim_bench::alloc_counter::{self, CountingAlloc};
@@ -80,7 +82,67 @@ fn bench(c: &mut Criterion) {
     ph_expansion(c);
     let mut extra = concurrent_intern();
     extra.extend(solver_backends());
+    extra.extend(campaign_grid());
     write_results_json(c, &extra);
+}
+
+/// The scenario-campaign engine on a dense rate-only grid: the paper's
+/// n = 2 order-8 model (267 states) swept over 16 service scales with
+/// the Krylov backend, once through the campaign path (cached
+/// reachability + rate-only CSR rebuild + warm-started solves) and once
+/// cold (fresh exploration + cold solve per point, from the same
+/// `--verify-cold` run). Three gated rows:
+///
+/// * `campaign/grid_warm_..._states<total>` — campaign-path wall-clock
+///   over the grid; `<total>` is the summed state count over all
+///   points, so the row is a states-per-nanosecond throughput metric
+///   like the exploration gates;
+/// * `campaign/grid_cold_..._states<total>` — the same grid cold;
+/// * `campaign/cache_hit_rate_per1000_states<hits>` — cache hits per
+///   1000 points with `ns_per_iter` pinned at 1000, making the
+///   "throughput" exactly the hit rate: a deterministic, machine-free
+///   metric `bench_check` gates raw (no calibration row).
+fn campaign_grid() -> Vec<BenchResult> {
+    use ctsim_experiments::campaign::{run_with, CampaignOptions};
+    let points = 16usize;
+    let opts = CampaignOptions {
+        ns: vec![2],
+        ph_orders: vec![8],
+        service_scales: (0..points).map(|i| 0.70 + 0.05 * i as f64).collect(),
+        backends: vec![SolverBackend::Krylov],
+        threads: 1,
+        verify_cold: true,
+        ..CampaignOptions::default()
+    };
+    let c = run_with(BENCH_SEED, &opts).expect("campaign grid");
+    assert_eq!(c.rows.len(), points);
+    let total_states: usize = c.rows.iter().map(|r| r.states).sum();
+    let label = format!("paper_n2_order8_points{points}_states{total_states}");
+    let hits_per_1000 = c.cache_hits * 1000 / c.rows.len() as u64;
+    let rows = vec![
+        BenchResult {
+            name: format!("campaign/grid_warm_{label}"),
+            ns_per_iter: c.campaign_point_ms() * 1e6,
+            iters: points as u64,
+            peak_bytes: None,
+        },
+        BenchResult {
+            name: format!("campaign/grid_cold_{label}"),
+            ns_per_iter: c.cold_point_ms().expect("verify-cold run") * 1e6,
+            iters: points as u64,
+            peak_bytes: None,
+        },
+        BenchResult {
+            name: format!("campaign/cache_hit_rate_per1000_states{hits_per_1000}"),
+            ns_per_iter: 1000.0,
+            iters: points as u64,
+            peak_bytes: None,
+        },
+    ];
+    for r in &rows {
+        println!("timed {:<68} {:>14.0} ns/iter", r.name, r.ns_per_iter);
+    }
+    rows
 }
 
 /// Phase-type expansion: solve time vs order on the paper's real

@@ -49,7 +49,24 @@ const GATES: &[(&str, &str)] = &[
         "solve/krylov",
         "solver_backends/solve_exp_n3_krylov_threads1_states",
     ),
+    (
+        "campaign/warm-grid",
+        "campaign/grid_warm_paper_n2_order8_points16_states",
+    ),
+    (
+        "campaign/cold-grid",
+        "campaign/grid_cold_paper_n2_order8_points16_states",
+    ),
 ];
+
+/// Raw-throughput gates: workloads whose states-per-nanosecond figure
+/// is machine-independent by construction (the `campaign` hit-rate row
+/// pins `ns_per_iter` at 1000 and encodes hits-per-1000-points as its
+/// state count), so they gate without the simulator calibration.
+const RAW_GATES: &[(&str, &str)] = &[(
+    "campaign hit-rate",
+    "campaign/cache_hit_rate_per1000_states",
+)];
 
 /// The peak-memory gates: rows whose `peak_bytes` (exact live-heap
 /// peak from the bench's counting allocator) must not regress beyond
@@ -208,6 +225,28 @@ fn run() -> Result<(), String> {
             ));
         }
     }
+    println!("raw throughput (machine-independent by construction):");
+    for &(label, prefix) in RAW_GATES {
+        let cur = throughput(&cur_rows, prefix)
+            .ok_or_else(|| format!("{current}: no `{prefix}*` row (did the bench run?)"))?;
+        let base = throughput(&base_rows, prefix)
+            .ok_or_else(|| format!("{baseline}: no `{prefix}*` row"))?;
+        let ratio = cur / base;
+        println!(
+            "  {label:<20} baseline {base:>10.4}  current {cur:>10.4}  ratio {ratio:.3}  \
+             (gate: >= {:.3})",
+            1.0 - max_regression
+        );
+        if ratio < 1.0 - max_regression {
+            failures.push(failure_line(
+                &format!("{label} throughput"),
+                base,
+                cur,
+                (1.0 - ratio) * 100.0,
+                max_regression * 100.0,
+            ));
+        }
+    }
     println!("peak live-heap (bytes, exact allocator count — lower is better):");
     for &(label, prefix) in MEM_GATES {
         let cur = peak_of(&cur_rows, prefix)
@@ -260,7 +299,10 @@ mod tests {
     { "name": "concurrent_intern/explore_exp_n3_threads1_states135125", "ns_per_iter": 700000000.0, "iters": 2, "peak_bytes": 104857600 },
     { "name": "solver_backends/solve_exp_n3_gauss_seidel_threads1_states135125", "ns_per_iter": 90000000.0, "iters": 2 },
     { "name": "solver_backends/solve_exp_n3_jacobi_threads1_states135125", "ns_per_iter": 150000000.0, "iters": 2 },
-    { "name": "solver_backends/solve_exp_n3_krylov_threads1_states135125", "ns_per_iter": 60000000.0, "iters": 2 }
+    { "name": "solver_backends/solve_exp_n3_krylov_threads1_states135125", "ns_per_iter": 60000000.0, "iters": 2 },
+    { "name": "campaign/grid_warm_paper_n2_order8_points16_states4272", "ns_per_iter": 40000000.0, "iters": 16 },
+    { "name": "campaign/grid_cold_paper_n2_order8_points16_states4272", "ns_per_iter": 160000000.0, "iters": 16 },
+    { "name": "campaign/cache_hit_rate_per1000_states937", "ns_per_iter": 1000.0, "iters": 16 }
   ]
 }"#;
 
@@ -269,7 +311,7 @@ mod tests {
         let rows = parse_rows(SAMPLE);
         // The host-info object carries no `"name":` key, so it never
         // becomes a measurement row.
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 8);
         let cal = ns_per_replication(&rows).unwrap();
         assert!((cal - 10000.0).abs() < 1e-9);
         for &(label, prefix) in GATES {
@@ -281,6 +323,17 @@ mod tests {
         // Spot-check one: the explore gate.
         let tp = throughput(&rows, GATES[0].1).unwrap();
         assert!((tp - 135125.0 / 7e8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_gates_skip_the_calibration_row() {
+        let rows = parse_rows(SAMPLE);
+        // The hit-rate row encodes hits-per-1000-points as its state
+        // count over a pinned ns_per_iter of 1000, so its raw
+        // throughput IS the hit rate — no simulator normalisation.
+        let (_, prefix) = RAW_GATES[0];
+        let rate = throughput(&rows, prefix).unwrap();
+        assert!((rate - 0.937).abs() < 1e-12, "hit rate {rate}");
     }
 
     #[test]

@@ -1,11 +1,25 @@
 //! `repro` — regenerates every table and figure of the DSN 2002 paper.
 //!
 //! ```text
-//! repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|all> \
+//! repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|campaign|all> \
 //!       [--scale quick|default|full] [--seed N] [--out DIR] \
 //!       [--ph-order K] [--threads T] [--n N] [--solver BACKEND] \
 //!       [--trace FILE.json] [--metrics FILE.json]
 //! ```
+//!
+//! `repro campaign` runs the scenario-campaign engine
+//! (`ctsim_experiments::campaign`): a parameter grid — either the
+//! cross-product of `--ns`/`--ph-orders`/`--service-scales`/
+//! `--net-scales`/`--backends` or an explicit `--grid FILE.csv` — is
+//! swept through the analytic solver with one exploration per
+//! structural family (cached reachability + rate-only CSR rebuild) and
+//! warm-started iterative solves. `--verify-cold` re-runs every point
+//! cold and records per-row agreement plus the measured speedup (the
+//! CI campaign job gates on those columns); `--measure E` adds testbed
+//! measured-latency reference rows with `E` executions per `n`. Output:
+//! `campaign.csv` (per-point rows), `campaign_heatmap_*.csv` (dense
+//! latency grids), `campaign_summary.json`, and, with `--measure`,
+//! `campaign_measured.csv`.
 //!
 //! Text renderings (with the paper's reference values inline) go to
 //! stdout; CSV series go to `--out` (default `results/`).
@@ -33,6 +47,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use ctsim_experiments::analytic::AnalyticOptions;
+use ctsim_experiments::campaign::{self, CampaignOptions, PointRow};
 use ctsim_experiments::{ablations, analytic, fig6, fig7, fig8, fig9, table1, throughput, Scale};
 
 struct Args {
@@ -41,6 +56,20 @@ struct Args {
     seed: u64,
     out: PathBuf,
     ph: AnalyticOptions,
+    campaign: CampaignOptions,
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.split(',')
+        .map(|x| {
+            x.trim()
+                .parse::<T>()
+                .map_err(|e| format!("bad {what} `{x}`: {e}"))
+        })
+        .collect()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,8 +79,49 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 20020623; // DSN 2002 conference date
     let mut out = PathBuf::from("results");
     let mut ph = AnalyticOptions::default();
+    let mut campaign = CampaignOptions::default();
     while let Some(flag) = args.next() {
         match flag.as_str() {
+            "--grid" => {
+                campaign.grid = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --grid")?,
+                ));
+            }
+            "--ns" => {
+                campaign.ns = parse_list(&args.next().ok_or("missing value for --ns")?, "n")?;
+            }
+            "--ph-orders" => {
+                campaign.ph_orders = parse_list(
+                    &args.next().ok_or("missing value for --ph-orders")?,
+                    "ph order",
+                )?;
+            }
+            "--service-scales" => {
+                campaign.service_scales = parse_list(
+                    &args.next().ok_or("missing value for --service-scales")?,
+                    "service scale",
+                )?;
+            }
+            "--net-scales" => {
+                campaign.net_scales = parse_list(
+                    &args.next().ok_or("missing value for --net-scales")?,
+                    "net scale",
+                )?;
+            }
+            "--backends" => {
+                campaign.backends = parse_list(
+                    &args.next().ok_or("missing value for --backends")?,
+                    "backend",
+                )?;
+            }
+            "--verify-cold" => campaign.verify_cold = true,
+            "--measure" => {
+                campaign.measure = args
+                    .next()
+                    .ok_or("missing value for --measure")?
+                    .parse::<u32>()
+                    .map_err(|e| e.to_string())?;
+            }
             "--scale" => {
                 scale = args.next().ok_or("missing value for --scale")?.parse()?;
             }
@@ -108,20 +178,28 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
+    // The shared knobs drive the campaign too: one `--threads` /
+    // `--trace` / `--metrics` set regardless of the subcommand.
+    campaign.threads = ph.threads;
+    campaign.trace = ph.trace.clone();
+    campaign.metrics = ph.metrics.clone();
     Ok(Args {
         command,
         scale,
         seed,
         out,
         ph,
+        campaign,
     })
 }
 
 fn usage() -> String {
-    "usage: repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|ablations|throughput|analytic|all> \
+    "usage: repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|ablations|throughput|analytic|campaign|all> \
      [--scale quick|default|full] [--seed N] [--out DIR] [--ph-order K] [--threads T] [--n N] \
      [--solver gauss-seidel|jacobi|krylov] [--spill-budget BYTES[K|M|G]] \
-     [--trace FILE.json] [--metrics FILE.json]"
+     [--trace FILE.json] [--metrics FILE.json] \
+     [--grid FILE.csv] [--ns LIST] [--ph-orders LIST] [--service-scales LIST] \
+     [--net-scales LIST] [--backends LIST] [--verify-cold] [--measure EXECUTIONS]"
         .to_string()
 }
 
@@ -405,6 +483,52 @@ fn main() {
                 )),
                 "latency_ms,cdf",
                 r.cdf.iter().map(|(t, p)| format!("{t:.6},{p:.6}")),
+            );
+        }
+    }
+
+    if want("campaign") {
+        ran = true;
+        let c = match campaign::run_with(args.seed, &args.campaign) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+        println!("{}", c.render());
+        write_csv(
+            &args.out.join("campaign.csv"),
+            PointRow::csv_header(),
+            c.rows.iter().map(PointRow::csv),
+        );
+        // Heat-map blocks arrive as complete CSV documents (their
+        // column set depends on the grid), so they bypass write_csv.
+        for (name, csv) in c.heatmaps() {
+            let path = args.out.join(format!("campaign_{name}.csv"));
+            if let Some(dir) = path.parent() {
+                let _ = fs::create_dir_all(dir);
+            }
+            match fs::write(&path, csv) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
+        let summary = args.out.join("campaign_summary.json");
+        if let Some(dir) = summary.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        match fs::write(&summary, c.summary_json()) {
+            Ok(()) => println!("wrote {}", summary.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", summary.display()),
+        }
+        if !c.measured.is_empty() {
+            write_csv(
+                &args.out.join("campaign_measured.csv"),
+                "n,measured_ms,ci90",
+                c.measured
+                    .iter()
+                    .map(|m| format!("{},{:.4},{:.4}", m.n, m.mean_ms, m.ci90)),
             );
         }
     }

@@ -1,0 +1,935 @@
+//! The scenario-campaign engine: sweeps a parameter grid through the
+//! analytic solver, paying exploration once per *structural* family.
+//!
+//! Across a campaign grid most points differ only in timing parameters
+//! (service-stage scaling, network-delay scaling), not in structure
+//! (process count, phase-type order). All such points share one
+//! reachability graph and one CSR sparsity pattern, so the engine keys
+//! every point by [`StructuralKey`], checks the explored graph out of a
+//! shared [`GraphCache`], rewrites just the transition rates
+//! ([`StateSpace::rebuild_rates`] + [`Ctmc::rebuild_values`] — a
+//! values-only pass that is bit-identical to a fresh exploration at the
+//! new rates), and solves. Consecutive points of the same structural
+//! group additionally warm-start the iterative solver from the previous
+//! point's first-passage vector ([`IterOptions::warm_start`]) — for
+//! every backend except Gauss–Seidel, whose rows the CI campaign gate
+//! compares against cold runs *bit for bit* (warm starting changes the
+//! iteration trajectory, so GS stays cold-seeded by design).
+//!
+//! Structural groups are independent, so they run on parallel workers;
+//! points inside a group run sequentially (they hand the one cache
+//! entry and the warm-start vector down the chain). Rows stream to
+//! stderr as points finish and are reported sorted deterministically.
+//!
+//! If a rate change *does* alter the expansion shape (e.g. scaling a
+//! bi-modal network delay perturbs its hyper-Erlang branch
+//! probabilities in the last ulp), the rebuild refuses with
+//! [`SolveError::StructureMismatch`](ctsim_solve::SolveError) and the
+//! point falls back to a cold exploration — correctness never depends
+//! on the cache hitting, only speed does. The CI campaign grid
+//! therefore sweeps only the service scale and leaves the network
+//! delays untouched, which keeps every rate-only point an actual hit;
+//! the network axis remains available for local exploration.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ctsim_models::{build_model, SanParams};
+use ctsim_solve::{
+    mean_time_to_absorption, CachedGraph, Ctmc, GraphCache, IterOptions, ReachOptions, SolveError,
+    SolverBackend, StateSpace, StructuralKey,
+};
+
+/// One grid point: the structural axes (`n`, `ph_order`) plus the
+/// rate-only axes (service/network scaling) and the solver backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSpec {
+    /// Number of processes.
+    pub n: usize,
+    /// Phase-type expansion order; `0` selects the exponential
+    /// (Markovian) baseline family instead of the paper's parameters.
+    pub ph_order: u32,
+    /// Linear-algebra backend for this point.
+    pub backend: SolverBackend,
+    /// Multiplier on the CPU/handler stage means (`t_send`,
+    /// `t_receive`, `t_work`). Rate-only: never changes the graph.
+    pub service_scale: f64,
+    /// Multiplier on the network delay distributions. Rate-only for
+    /// the exponential family; for the paper family it may perturb the
+    /// hyper-Erlang fit's branch probabilities and force a cold
+    /// fallback (see module docs).
+    pub net_scale: f64,
+}
+
+impl PointSpec {
+    /// The structural identity of this point's reachability graph.
+    pub fn key(&self) -> StructuralKey {
+        StructuralKey::new(self.n, self.ph_order, self.family())
+    }
+
+    fn family(&self) -> &'static str {
+        if self.ph_order == 0 {
+            "exponential"
+        } else {
+            "paper"
+        }
+    }
+
+    /// The model parameters of this point.
+    pub fn params(&self) -> SanParams {
+        let mut p = if self.ph_order == 0 {
+            SanParams::exponential_baseline(self.n)
+        } else {
+            SanParams::paper_baseline(self.n)
+        };
+        p.t_send *= self.service_scale;
+        p.t_receive *= self.service_scale;
+        p.t_work *= self.service_scale;
+        if self.net_scale != 1.0 {
+            p.net_unicast = p.net_unicast.scaled(self.net_scale);
+            p.net_broadcast = p.net_broadcast.scaled(self.net_scale);
+        }
+        p
+    }
+}
+
+/// Campaign configuration, surfaced as `repro campaign ...` flags.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Explicit grid file (`n,ph_order,backend,service_scale,net_scale`
+    /// per line, `#` comments and a header line allowed). When set, the
+    /// axis fields below are ignored.
+    pub grid: Option<PathBuf>,
+    /// Process counts (cross-product axis).
+    pub ns: Vec<usize>,
+    /// Phase-type orders (cross-product axis; `0` = exponential family).
+    pub ph_orders: Vec<u32>,
+    /// Service-stage scale factors (cross-product axis).
+    pub service_scales: Vec<f64>,
+    /// Network-delay scale factors (cross-product axis).
+    pub net_scales: Vec<f64>,
+    /// Solver backends (cross-product axis).
+    pub backends: Vec<SolverBackend>,
+    /// Worker threads for parallel structural groups (`0` = one per
+    /// core). Inside a point the solve uses the same knob when only one
+    /// group exists, and stays single-threaded otherwise.
+    pub threads: usize,
+    /// Re-run every point cold (fresh exploration, no warm start) and
+    /// record agreement + the measured speedup. This is what the CI
+    /// campaign job gates on.
+    pub verify_cold: bool,
+    /// Run the testbed's measured-latency campaign for each distinct
+    /// `n` with this many executions, reporting measured rows next to
+    /// the analytic grid (`0` = off).
+    pub measure: u32,
+    /// chrome://tracing output path (enables telemetry).
+    pub trace: Option<PathBuf>,
+    /// `ctsim_obs::metrics_json` output path (enables telemetry).
+    pub metrics: Option<PathBuf>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        Self {
+            grid: None,
+            ns: vec![2],
+            ph_orders: vec![1, 2],
+            service_scales: vec![0.85, 1.0, 1.15],
+            net_scales: vec![1.0],
+            backends: vec![SolverBackend::GaussSeidel, SolverBackend::Krylov],
+            threads: 0,
+            verify_cold: false,
+            measure: 0,
+            trace: None,
+            metrics: None,
+        }
+    }
+}
+
+/// One solved grid point.
+#[derive(Debug, Clone)]
+pub struct PointRow {
+    /// The grid point.
+    pub spec: PointSpec,
+    /// Tangible states of the CTMC.
+    pub states: usize,
+    /// Off-diagonal transitions of the CTMC.
+    pub transitions: usize,
+    /// Whether the reachability graph came out of the cache (rate-only
+    /// rebuild) instead of a fresh exploration.
+    pub cache_hit: bool,
+    /// Whether the solve was warm-started from the previous point.
+    pub warm_start: bool,
+    /// Iterations of the (possibly warm-started) solve.
+    pub iterations: usize,
+    /// Wall-clock of the graph phase: rate rebuild on a hit, full
+    /// exploration + CSR assembly on a miss (ms).
+    pub build_ms: f64,
+    /// Wall-clock of the linear-algebra solve (ms).
+    pub solve_ms: f64,
+    /// Mean consensus latency from the initial marking (ms).
+    pub mean_ms: f64,
+    /// `--verify-cold` only: mean of the cold re-run (ms).
+    pub cold_mean_ms: Option<f64>,
+    /// `--verify-cold` only: wall-clock of the cold explore + solve (ms).
+    pub cold_ms: Option<f64>,
+    /// `--verify-cold` only: iterations of the cold solve.
+    pub cold_iterations: Option<usize>,
+    /// `--verify-cold` only: whether warm and cold means agree —
+    /// bit-for-bit for Gauss–Seidel (never warm-started), ≤ 1e-10
+    /// relative for warm-started iterative backends.
+    pub agree: Option<bool>,
+}
+
+impl PointRow {
+    /// Total wall-clock of the campaign path for this point (ms).
+    pub fn total_ms(&self) -> f64 {
+        self.build_ms + self.solve_ms
+    }
+
+    /// CSV header for [`PointRow::csv`]. `cache_hit` is a stable middle
+    /// column (CI counts cold rows by index) and `agree` is
+    /// deliberately **last** so CI can gate on `,false$`.
+    pub fn csv_header() -> &'static str {
+        "n,ph_order,backend,service_scale,net_scale,states,transitions,cache_hit,\
+         warm_start,iterations,build_ms,solve_ms,total_ms,mean_ms,cold_mean_ms,cold_ms,agree"
+    }
+
+    /// The CSV rendering of this row.
+    pub fn csv(&self) -> String {
+        let tri = |v: Option<bool>| match v {
+            None => "skip".to_string(),
+            Some(b) => b.to_string(),
+        };
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.9},{},{},{}",
+            self.spec.n,
+            self.spec.ph_order,
+            self.spec.backend,
+            self.spec.service_scale,
+            self.spec.net_scale,
+            self.states,
+            self.transitions,
+            self.cache_hit,
+            self.warm_start,
+            self.iterations,
+            self.build_ms,
+            self.solve_ms,
+            self.total_ms(),
+            self.mean_ms,
+            self.cold_mean_ms
+                .map_or(String::new(), |v| format!("{v:.9}")),
+            self.cold_ms.map_or(String::new(), |v| format!("{v:.3}")),
+            tri(self.agree),
+        )
+    }
+}
+
+/// A measured-latency reference row (testbed campaign).
+#[derive(Debug, Clone)]
+pub struct MeasuredRow {
+    /// Number of processes.
+    pub n: usize,
+    /// Measured mean consensus latency (ms).
+    pub mean_ms: f64,
+    /// 90 % CI half-width of the mean (ms).
+    pub ci90: f64,
+}
+
+/// The campaign result: one row per grid point, plus cache and timing
+/// aggregates.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Solved grid points, sorted by
+    /// `(n, ph_order, backend, net_scale, service_scale)`.
+    pub rows: Vec<PointRow>,
+    /// Measured-latency rows (`--measure` only), by `n` ascending.
+    pub measured: Vec<MeasuredRow>,
+    /// Graph-cache checkout hits across the run.
+    pub cache_hits: u64,
+    /// Graph-cache checkout misses across the run.
+    pub cache_misses: u64,
+    /// Wall-clock of the whole grid (ms), workers included.
+    pub wall_ms: f64,
+}
+
+/// Parses a campaign grid file: one `n,ph_order,backend,service_scale,
+/// net_scale` point per line; blank lines, `#` comments, and a header
+/// line are skipped.
+pub fn parse_grid(text: &str) -> Result<Vec<PointSpec>, String> {
+    let mut specs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("n,") {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 5 {
+            return Err(format!(
+                "grid line {}: expected 5 fields `n,ph_order,backend,service_scale,net_scale`, \
+                 got {}",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let bad = |what: &str, e: String| format!("grid line {}: bad {what}: {e}", lineno + 1);
+        specs.push(PointSpec {
+            n: fields[0]
+                .parse()
+                .map_err(|e: std::num::ParseIntError| bad("n", e.to_string()))?,
+            ph_order: fields[1]
+                .parse()
+                .map_err(|e: std::num::ParseIntError| bad("ph_order", e.to_string()))?,
+            backend: fields[2].parse().map_err(|e: String| bad("backend", e))?,
+            service_scale: fields[3]
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| bad("service_scale", e.to_string()))?,
+            net_scale: fields[4]
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| bad("net_scale", e.to_string()))?,
+        });
+    }
+    if specs.is_empty() {
+        return Err("grid file contains no points".to_string());
+    }
+    Ok(specs)
+}
+
+/// The grid of a configuration: the parsed `--grid` file when given,
+/// otherwise the cross-product of the axis fields.
+pub fn grid(opts: &CampaignOptions) -> Result<Vec<PointSpec>, String> {
+    if let Some(path) = &opts.grid {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading grid {}: {e}", path.display()))?;
+        return parse_grid(&text);
+    }
+    let mut specs = Vec::new();
+    for &n in &opts.ns {
+        for &ph_order in &opts.ph_orders {
+            for &backend in &opts.backends {
+                for &net_scale in &opts.net_scales {
+                    for &service_scale in &opts.service_scales {
+                        specs.push(PointSpec {
+                            n,
+                            ph_order,
+                            backend,
+                            service_scale,
+                            net_scale,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if specs.is_empty() {
+        return Err("empty campaign grid: every axis needs at least one value".to_string());
+    }
+    Ok(specs)
+}
+
+/// Runs the campaign. `seed` only feeds the `--measure` testbed rows —
+/// the analytic grid is deterministic.
+///
+/// Telemetry (`trace` / `metrics`) is handled like `repro analytic`:
+/// enabled for the run, files written afterwards, summary to stderr.
+pub fn run_with(seed: u64, opts: &CampaignOptions) -> Result<Campaign, String> {
+    let telemetry = opts.trace.is_some() || opts.metrics.is_some();
+    if telemetry {
+        ctsim_obs::enable();
+    }
+    let result = run_inner(seed, opts);
+    if telemetry {
+        if let Some(path) = &opts.trace {
+            std::fs::write(path, ctsim_obs::chrome_trace_json())
+                .unwrap_or_else(|e| panic!("writing trace {}: {e}", path.display()));
+        }
+        if let Some(path) = &opts.metrics {
+            std::fs::write(path, ctsim_obs::metrics_json())
+                .unwrap_or_else(|e| panic!("writing metrics {}: {e}", path.display()));
+        }
+        eprintln!("{}", ctsim_obs::summary().trim_end());
+        ctsim_obs::disable();
+    }
+    result
+}
+
+fn run_inner(seed: u64, opts: &CampaignOptions) -> Result<Campaign, String> {
+    let _run_span = ctsim_obs::span("experiment", "campaign").arg("threads", opts.threads);
+    let specs = grid(opts)?;
+
+    // Group points by structural key; groups are the parallel unit,
+    // points inside a group run sequentially so the single cache entry
+    // and the warm-start vector chain from point to point. Within a
+    // group, order by (backend, net_scale, service_scale): warm starts
+    // only help between consecutive same-backend points, and sweeping
+    // the service scale last makes each warm seed as close as possible
+    // to the next solution.
+    let mut groups: Vec<(StructuralKey, Vec<PointSpec>)> = Vec::new();
+    for spec in specs {
+        let key = spec.key();
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, points)) => points.push(spec),
+            None => groups.push((key, vec![spec])),
+        }
+    }
+    for (_, points) in &mut groups {
+        points.sort_by(|a, b| {
+            (a.backend.name(), a.net_scale, a.service_scale)
+                .partial_cmp(&(b.backend.name(), b.net_scale, b.service_scale))
+                .expect("finite scales")
+        });
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let workers = groups
+        .len()
+        .min(if opts.threads == 0 {
+            cores
+        } else {
+            opts.threads
+        })
+        .max(1);
+    // One group keeps the solve parallel; concurrent groups already
+    // saturate the machine, so their solves stay single-threaded.
+    let solve_threads = if workers == 1 { opts.threads } else { 1 };
+
+    let cache = GraphCache::new();
+    let rows = Mutex::new(Vec::new());
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    let groups = &groups;
+    let cache_ref = &cache;
+    let rows_ref = &rows;
+    let next_ref = &next;
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(move || loop {
+                let g = next_ref.fetch_add(1, Ordering::SeqCst);
+                let Some((key, points)) = groups.get(g) else {
+                    break;
+                };
+                let out = run_group(key, points, cache_ref, solve_threads, opts.verify_cold);
+                rows_ref.lock().expect("campaign rows poisoned").extend(out);
+            });
+        }
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut rows = rows.into_inner().expect("campaign rows poisoned");
+    rows.sort_by(|a, b| {
+        (
+            a.spec.n,
+            a.spec.ph_order,
+            a.spec.backend.name(),
+            a.spec.net_scale,
+            a.spec.service_scale,
+        )
+            .partial_cmp(&(
+                b.spec.n,
+                b.spec.ph_order,
+                b.spec.backend.name(),
+                b.spec.net_scale,
+                b.spec.service_scale,
+            ))
+            .expect("finite scales")
+    });
+
+    let mut measured = Vec::new();
+    if opts.measure > 0 {
+        let mut ns: Vec<usize> = rows.iter().map(|r| r.spec.n).collect();
+        ns.sort_unstable();
+        ns.dedup();
+        for n in ns {
+            let r = ctsim_testbed::campaign::measured_latency(n, opts.measure, seed);
+            measured.push(MeasuredRow {
+                n,
+                mean_ms: r.mean(),
+                ci90: r.ci90(),
+            });
+        }
+    }
+
+    Ok(Campaign {
+        rows,
+        measured,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        wall_ms,
+    })
+}
+
+/// Solves one structural group sequentially, threading the cache entry
+/// and the warm-start vector through its points.
+fn run_group(
+    key: &StructuralKey,
+    points: &[PointSpec],
+    cache: &GraphCache,
+    solve_threads: usize,
+    verify_cold: bool,
+) -> Vec<PointRow> {
+    let mut warm: Option<(SolverBackend, Vec<f64>)> = None;
+    points
+        .iter()
+        .map(|spec| {
+            let row = run_point(spec, key, cache, solve_threads, verify_cold, &mut warm);
+            eprintln!(
+                "campaign: n={} ph={} {} svc={} net={} -> mean {:.6} ms \
+                 ({} states, {}, {} iters, build {:.1} ms, solve {:.1} ms)",
+                spec.n,
+                spec.ph_order,
+                spec.backend,
+                spec.service_scale,
+                spec.net_scale,
+                row.mean_ms,
+                row.states,
+                if row.cache_hit {
+                    "cache hit"
+                } else {
+                    "explored"
+                },
+                row.iterations,
+                row.build_ms,
+                row.solve_ms,
+            );
+            row
+        })
+        .collect()
+}
+
+fn reach_options(spec: &PointSpec, params: &SanParams, threads: usize) -> ReachOptions {
+    ReachOptions {
+        ph_order: spec.ph_order,
+        threads,
+        max_states: params.recommended_max_states(spec.ph_order),
+        ..ReachOptions::default()
+    }
+}
+
+fn run_point(
+    spec: &PointSpec,
+    key: &StructuralKey,
+    cache: &GraphCache,
+    solve_threads: usize,
+    verify_cold: bool,
+    warm: &mut Option<(SolverBackend, Vec<f64>)>,
+) -> PointRow {
+    let _point_span = ctsim_obs::span("campaign", "point")
+        .arg("n", spec.n)
+        .arg("ph_order", spec.ph_order)
+        .arg("backend", spec.backend.to_string())
+        .arg("service_scale", spec.service_scale)
+        .arg("net_scale", spec.net_scale);
+    let params = spec.params();
+    let model = build_model(&params);
+    let decided: Vec<_> = (0..params.n)
+        .map(|i| model.place(&format!("decided_{i}")).expect("built model"))
+        .collect();
+    let goal = |m: &ctsim_san::Marking| decided.iter().any(|&d| m.get(d) > 0);
+    let reach = reach_options(spec, &params, solve_threads);
+
+    let fail = |what: &str, e: SolveError| -> ! {
+        panic!(
+            "campaign {what} failed for n={} ph={} {} svc={} net={}: {e}",
+            spec.n, spec.ph_order, spec.backend, spec.service_scale, spec.net_scale
+        )
+    };
+
+    // Graph phase: rate-only rebuild of the cached graph, or a cold
+    // exploration on a miss / structure mismatch.
+    let build_start = Instant::now();
+    let mut rebuilt: Option<(StateSpace<'_>, Ctmc)> = None;
+    if let Some(entry) = cache.take(key) {
+        let _sp =
+            ctsim_obs::span("campaign", "rebuild_rates").arg("states", entry.parts.num_states());
+        match StateSpace::from_parts(&model, entry.parts) {
+            Ok(mut ss) => match ss.rebuild_rates() {
+                Ok(()) => {
+                    let mut ctmc = entry.ctmc;
+                    // The sparsity pattern survived `rebuild_rates`, so a
+                    // value-pattern mismatch here is a bug, not a fallback.
+                    ctmc.rebuild_values(&ss)
+                        .unwrap_or_else(|e| fail("CSR value rebuild", e));
+                    rebuilt = Some((ss, ctmc));
+                }
+                Err(SolveError::StructureMismatch { .. }) => {}
+                Err(e) => fail("rate rebuild", e),
+            },
+            Err(SolveError::StructureMismatch { .. }) => {}
+            Err(e) => fail("graph re-attach", e),
+        }
+    }
+    let cache_hit = rebuilt.is_some();
+    let (ss, ctmc) = rebuilt.unwrap_or_else(|| {
+        let _sp = ctsim_obs::span("campaign", "explore");
+        StateSpace::explore_absorbing_ctmc(&model, &reach, goal)
+            .unwrap_or_else(|e| fail("exploration", e))
+    });
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+    // Solve phase. Gauss–Seidel stays cold-seeded so its campaign rows
+    // are bit-identical to cold runs; the other backends warm-start
+    // from the previous point of the same group + backend.
+    let mut iter = IterOptions {
+        backend: spec.backend,
+        threads: solve_threads,
+        ..IterOptions::default()
+    };
+    if spec.backend != SolverBackend::GaussSeidel {
+        if let Some((b, tau)) = warm.as_ref() {
+            if *b == spec.backend && tau.len() == ctmc.num_states() {
+                iter.warm_start = Some(tau.clone());
+            }
+        }
+    }
+    let warm_start = iter.warm_start.is_some();
+    let solve_start = Instant::now();
+    let sol = mean_time_to_absorption(&ctmc, &iter).unwrap_or_else(|e| fail("solve", e));
+    let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
+    if warm_start && ctsim_obs::enabled() {
+        ctsim_obs::counter_add("campaign.warm_starts", 1);
+    }
+    *warm = Some((spec.backend, sol.per_state.clone()));
+
+    let states = ss.len();
+    let transitions = ss.num_transitions();
+    // Return the graph to the cache for the group's next point.
+    cache.put(
+        key.clone(),
+        CachedGraph {
+            parts: ss.into_parts(),
+            ctmc,
+        },
+    );
+
+    let (mut cold_mean_ms, mut cold_ms, mut cold_iterations, mut agree) = (None, None, None, None);
+    if verify_cold {
+        let _sp = ctsim_obs::span("campaign", "verify_cold");
+        let cold_start = Instant::now();
+        let (_cold_ss, cold_ctmc) = StateSpace::explore_absorbing_ctmc(&model, &reach, goal)
+            .unwrap_or_else(|e| fail("cold exploration", e));
+        let cold_iter = IterOptions {
+            warm_start: None,
+            ..iter.clone()
+        };
+        let cold_sol = mean_time_to_absorption(&cold_ctmc, &cold_iter)
+            .unwrap_or_else(|e| fail("cold solve", e));
+        cold_ms = Some(cold_start.elapsed().as_secs_f64() * 1e3);
+        cold_mean_ms = Some(cold_sol.mean);
+        cold_iterations = Some(cold_sol.iterations);
+        agree = Some(if spec.backend == SolverBackend::GaussSeidel {
+            // Never warm-started and the rebuild is bit-identical, so
+            // the two trajectories are the same sequence of floats.
+            sol.mean.to_bits() == cold_sol.mean.to_bits()
+        } else {
+            (sol.mean - cold_sol.mean).abs() <= 1e-10 * cold_sol.mean.abs().max(1e-300)
+        });
+    }
+
+    PointRow {
+        spec: spec.clone(),
+        states,
+        transitions,
+        cache_hit,
+        warm_start,
+        iterations: sol.iterations,
+        build_ms,
+        solve_ms,
+        mean_ms: sol.mean,
+        cold_mean_ms,
+        cold_ms,
+        cold_iterations,
+        agree,
+    }
+}
+
+impl Campaign {
+    /// Sum of per-point campaign wall-clock (build + solve, ms).
+    pub fn campaign_point_ms(&self) -> f64 {
+        self.rows.iter().map(PointRow::total_ms).sum()
+    }
+
+    /// Sum of per-point cold wall-clock (ms); `None` unless every row
+    /// was verified cold.
+    pub fn cold_point_ms(&self) -> Option<f64> {
+        self.rows.iter().map(|r| r.cold_ms).sum()
+    }
+
+    /// Cold-vs-campaign speedup on per-point sums (`--verify-cold`
+    /// runs only).
+    pub fn speedup(&self) -> Option<f64> {
+        let warmed = self.campaign_point_ms();
+        self.cold_point_ms()
+            .filter(|_| warmed > 0.0)
+            .map(|cold| cold / warmed)
+    }
+
+    /// Iterations saved by warm starting, summed over warm-started
+    /// rows with a cold twin.
+    pub fn warm_iterations_saved(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.warm_start)
+            .filter_map(|r| Some(r.cold_iterations?.saturating_sub(r.iterations)))
+            .sum()
+    }
+
+    /// Latency heat-map blocks: for every `(n, ph_order, backend)` a
+    /// dense `service_scale × net_scale` matrix of mean latencies,
+    /// rendered as CSV (first column `service_scale`, one column per
+    /// net scale). Returns `(block_name, csv_text)` pairs.
+    pub fn heatmaps(&self) -> Vec<(String, String)> {
+        let mut blocks: Vec<(usize, u32, &'static str)> = Vec::new();
+        for r in &self.rows {
+            let b = (r.spec.n, r.spec.ph_order, r.spec.backend.name());
+            if !blocks.contains(&b) {
+                blocks.push(b);
+            }
+        }
+        blocks
+            .into_iter()
+            .map(|(n, ph_order, backend)| {
+                let rows: Vec<&PointRow> = self
+                    .rows
+                    .iter()
+                    .filter(|r| {
+                        r.spec.n == n
+                            && r.spec.ph_order == ph_order
+                            && r.spec.backend.name() == backend
+                    })
+                    .collect();
+                let mut svc: Vec<f64> = rows.iter().map(|r| r.spec.service_scale).collect();
+                svc.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                svc.dedup();
+                let mut net: Vec<f64> = rows.iter().map(|r| r.spec.net_scale).collect();
+                net.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                net.dedup();
+                let mut csv = String::from("service_scale");
+                for x in &net {
+                    csv.push_str(&format!(",net_{x}"));
+                }
+                csv.push('\n');
+                for &s in &svc {
+                    csv.push_str(&format!("{s}"));
+                    for &x in &net {
+                        let cell = rows
+                            .iter()
+                            .find(|r| r.spec.service_scale == s && r.spec.net_scale == x)
+                            .map_or(String::new(), |r| format!("{:.9}", r.mean_ms));
+                        csv.push(',');
+                        csv.push_str(&cell);
+                    }
+                    csv.push('\n');
+                }
+                (format!("heatmap_n{n}_ph{ph_order}_{backend}"), csv)
+            })
+            .collect()
+    }
+
+    /// Aggregate summary as a small JSON document (hand-rolled like the
+    /// bench harness — the workspace carries no JSON dependency).
+    pub fn summary_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"points\": {},\n", self.rows.len()));
+        s.push_str(&format!("  \"cache_hits\": {},\n", self.cache_hits));
+        s.push_str(&format!("  \"cache_misses\": {},\n", self.cache_misses));
+        s.push_str(&format!(
+            "  \"warm_started_points\": {},\n",
+            self.rows.iter().filter(|r| r.warm_start).count()
+        ));
+        s.push_str(&format!("  \"wall_ms\": {:.3},\n", self.wall_ms));
+        s.push_str(&format!(
+            "  \"campaign_point_ms\": {:.3},\n",
+            self.campaign_point_ms()
+        ));
+        match self.cold_point_ms() {
+            Some(cold) => s.push_str(&format!("  \"cold_point_ms\": {cold:.3},\n")),
+            None => s.push_str("  \"cold_point_ms\": null,\n"),
+        }
+        match self.speedup() {
+            Some(x) => s.push_str(&format!("  \"speedup\": {x:.3},\n")),
+            None => s.push_str("  \"speedup\": null,\n"),
+        }
+        s.push_str(&format!(
+            "  \"warm_iterations_saved\": {}\n",
+            self.warm_iterations_saved()
+        ));
+        s.push('}');
+        s
+    }
+
+    /// Paper-style text rendering of the campaign.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "Campaign — {} points, cache {} hits / {} misses, wall {:.1} ms\n",
+            self.rows.len(),
+            self.cache_hits,
+            self.cache_misses,
+            self.wall_ms
+        );
+        s.push_str(
+            "  n | ph | backend      |  svc |  net |  states |   hit |  warm | iters | \
+             build_ms | solve_ms |  mean_ms | agree\n",
+        );
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:>3} | {:>2} | {:<12} | {:>4} | {:>4} | {:>7} | {:>5} | {:>5} | {:>5} | \
+                 {:>8.2} | {:>8.2} | {} | {}\n",
+                r.spec.n,
+                r.spec.ph_order,
+                r.spec.backend.name(),
+                r.spec.service_scale,
+                r.spec.net_scale,
+                r.states,
+                r.cache_hit,
+                r.warm_start,
+                r.iterations,
+                r.build_ms,
+                r.solve_ms,
+                crate::cell(r.mean_ms),
+                r.agree.map_or("skip".to_string(), |b| b.to_string()),
+            ));
+        }
+        if let Some(x) = self.speedup() {
+            s.push_str(&format!(
+                "cold-vs-campaign: {:.1} ms cold vs {:.1} ms cached+warm per-point -> {x:.2}x \
+                 ({} warm-start iterations saved)\n",
+                self.cold_point_ms().expect("speedup implies cold"),
+                self.campaign_point_ms(),
+                self.warm_iterations_saved(),
+            ));
+        }
+        for m in &self.measured {
+            s.push_str(&format!(
+                "measured n={}: {:.3} ms +/- {:.3} (testbed campaign)\n",
+                m.n, m.mean_ms, m.ci90
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(verify: bool) -> CampaignOptions {
+        CampaignOptions {
+            ns: vec![2],
+            ph_orders: vec![0, 2],
+            service_scales: vec![0.9, 1.0, 1.2],
+            backends: vec![SolverBackend::GaussSeidel, SolverBackend::Krylov],
+            threads: 2,
+            verify_cold: verify,
+            ..CampaignOptions::default()
+        }
+    }
+
+    #[test]
+    fn grid_cross_product_and_structural_grouping() {
+        let specs = grid(&tiny(false)).unwrap();
+        // 1 n x 2 orders x 2 backends x 1 net x 3 service = 12 points,
+        // but only 2 structural families (backend is not structural).
+        assert_eq!(specs.len(), 12);
+        let mut keys: Vec<StructuralKey> = specs.iter().map(PointSpec::key).collect();
+        keys.dedup();
+        keys.sort_by_key(|k| k.ph_order);
+        keys.dedup();
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].topology, "exponential");
+        assert_eq!(keys[1].topology, "paper");
+    }
+
+    #[test]
+    fn grid_file_round_trip() {
+        let text = "# campaign grid\nn,ph_order,backend,service_scale,net_scale\n\
+                    2,2,krylov,1.0,1.0\n3,0,gauss-seidel,0.9,1.1\n";
+        let specs = parse_grid(text).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].backend, SolverBackend::Krylov);
+        assert_eq!(specs[1].n, 3);
+        assert_eq!(specs[1].net_scale, 1.1);
+        assert!(parse_grid("2,2,krylov,1.0\n").is_err());
+        assert!(parse_grid("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn campaign_caches_warm_starts_and_agrees_with_cold() {
+        let c = run_with(7, &tiny(true)).unwrap();
+        assert_eq!(c.rows.len(), 12);
+        // Exactly one cold exploration per structural family; every
+        // other point is a rate-only rebuild.
+        let cold: Vec<&PointRow> = c.rows.iter().filter(|r| !r.cache_hit).collect();
+        assert_eq!(cold.len(), 2, "one miss per structural group");
+        assert_eq!(c.cache_misses, 2);
+        assert_eq!(c.cache_hits, 10);
+        // Gauss-Seidel rows are never warm-started; Krylov rows after
+        // the first of each group are.
+        assert!(c
+            .rows
+            .iter()
+            .filter(|r| r.spec.backend == SolverBackend::GaussSeidel)
+            .all(|r| !r.warm_start));
+        let krylov_warm = c
+            .rows
+            .iter()
+            .filter(|r| r.spec.backend == SolverBackend::Krylov && r.warm_start)
+            .count();
+        assert!(krylov_warm >= 2, "warm-started krylov rows: {krylov_warm}");
+        // The verify-cold gate: every row agrees with its cold twin.
+        assert!(c.rows.iter().all(|r| r.agree == Some(true)), "{:?}", c.rows);
+        // Distinct service scales genuinely move the answer.
+        let means: Vec<f64> = c
+            .rows
+            .iter()
+            .filter(|r| r.spec.backend == SolverBackend::GaussSeidel && r.spec.ph_order == 2)
+            .map(|r| r.mean_ms)
+            .collect();
+        assert_eq!(means.len(), 3);
+        assert!(means.windows(2).all(|w| w[0] < w[1]), "{means:?}");
+        // Rendering and CSV round out the row.
+        let rendered = c.render();
+        assert!(rendered.contains("cache 10 hits / 2 misses"));
+        assert!(c.speedup().is_some());
+        let csv = c.rows[0].csv();
+        assert_eq!(
+            csv.split(',').count(),
+            PointRow::csv_header().split(',').count()
+        );
+        assert!(csv.ends_with(",true"));
+        assert!(!c.heatmaps().is_empty());
+        let json = c.summary_json();
+        assert!(json.contains("\"cache_hits\": 10"));
+    }
+
+    #[test]
+    fn gauss_seidel_campaign_means_are_bit_identical_to_cold() {
+        // The strongest form of the acceptance criterion, in-process:
+        // rate-only rebuilt + cold-seeded GS reproduces the cold mean
+        // to the last bit on every point of a service sweep.
+        let opts = CampaignOptions {
+            ns: vec![2],
+            ph_orders: vec![2],
+            service_scales: vec![0.8, 0.9, 1.0, 1.1, 1.25],
+            backends: vec![SolverBackend::GaussSeidel],
+            threads: 1,
+            verify_cold: true,
+            ..CampaignOptions::default()
+        };
+        let c = run_with(7, &opts).unwrap();
+        assert_eq!(c.rows.len(), 5);
+        assert_eq!(c.rows.iter().filter(|r| r.cache_hit).count(), 4);
+        for r in &c.rows {
+            let cold = r.cold_mean_ms.unwrap();
+            assert_eq!(
+                r.mean_ms.to_bits(),
+                cold.to_bits(),
+                "svc={}: {} vs cold {}",
+                r.spec.service_scale,
+                r.mean_ms,
+                cold
+            );
+        }
+    }
+}

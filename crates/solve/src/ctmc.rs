@@ -3,9 +3,10 @@
 //! A SAN whose timed activities are all exponential — natively or after
 //! phase-type expansion — is, after vanishing elimination, a
 //! continuous-time Markov chain over the tangible states: each
-//! [`Transition`] of the reachability graph carries
-//! its generator contribution (exponential event rate × branching
-//! probability) directly. The generator `Q` is stored in
+//! [`Transition`] of the reachability graph carries its exponential
+//! stage rate and branching probability, whose product
+//! ([`Transition::q`]) is the generator contribution. The generator
+//! `Q` is stored in
 //! compressed-sparse-row (CSR) form with the diagonal split out, the
 //! layout both the uniformization and the Gauss–Seidel solvers want.
 
@@ -136,8 +137,8 @@ impl CtmcAcc {
                 continue;
             }
             match acc.iter_mut().find(|(d, _)| *d == t.target) {
-                Some((_, existing)) => *existing += t.rate,
-                None => acc.push((t.target, t.rate)),
+                Some((_, existing)) => *existing += t.q(),
+                None => acc.push((t.target, t.q())),
             }
         }
         acc.sort_unstable_by_key(|&(d, _)| d);
@@ -201,6 +202,81 @@ impl Ctmc {
                 })?;
         }
         Ok(acc.finish(&ss.initial))
+    }
+
+    /// Rewrites the generator's *values* (off-diagonal rates, diagonal,
+    /// absorbing marks) from a rate-rebuilt reachability graph, keeping
+    /// the CSR sparsity pattern — the CTMC half of the campaign
+    /// engine's rate-only rebuild (see [`StateSpace::rebuild_rates`]).
+    /// Replays the exact accumulation of [`Ctmc::from_state_space`], so
+    /// the result is byte-identical to a generator built fresh from the
+    /// same graph. The cached incoming view is invalidated; the initial
+    /// distribution is rate-independent and kept.
+    ///
+    /// # Errors
+    /// [`SolveError::NonMarkovian`] on a NaN rate (as in
+    /// `from_state_space`); [`SolveError::StructureMismatch`] if the
+    /// graph's row structure does not match this generator's sparsity —
+    /// the caller paired a generator with the wrong graph. On error the
+    /// generator may hold partially rewritten values — discard it.
+    pub fn rebuild_values(&mut self, ss: &StateSpace<'_>) -> Result<(), SolveError> {
+        if ss.len() != self.n {
+            return Err(SolveError::StructureMismatch {
+                reason: format!(
+                    "generator has {} states, rebuilt graph has {}",
+                    self.n,
+                    ss.len()
+                ),
+            });
+        }
+        let model = ss.model();
+        let mut acc: Vec<(usize, f64)> = Vec::new();
+        for s in 0..self.n {
+            let outs = ss.outgoing(s);
+            acc.clear();
+            for t in outs.iter() {
+                if t.rate.is_nan() {
+                    return Err(SolveError::NonMarkovian {
+                        activity: model.activity_name(t.activity).to_string(),
+                    });
+                }
+                if t.target == s {
+                    continue;
+                }
+                match acc.iter_mut().find(|(d, _)| *d == t.target) {
+                    Some((_, existing)) => *existing += t.q(),
+                    None => acc.push((t.target, t.q())),
+                }
+            }
+            acc.sort_unstable_by_key(|&(d, _)| d);
+            let lo = self.row_ptr[s];
+            let hi = self.row_ptr[s + 1];
+            if acc.len() != hi - lo {
+                return Err(SolveError::StructureMismatch {
+                    reason: format!(
+                        "row {s}: {} destinations, generator stores {}",
+                        acc.len(),
+                        hi - lo
+                    ),
+                });
+            }
+            let mut d = 0.0;
+            for (k, &(dst, r)) in acc.iter().enumerate() {
+                if self.col[lo + k] != dst {
+                    return Err(SolveError::StructureMismatch {
+                        reason: format!("row {s}: destination {dst} not in sparsity pattern"),
+                    });
+                }
+                d -= r;
+                self.rate[lo + k] = r;
+            }
+            self.diag[s] = d;
+        }
+        for (i, &d) in self.diag.iter().enumerate() {
+            self.absorbing[i] = d == 0.0;
+        }
+        self.incoming = OnceLock::new();
+        Ok(())
     }
 
     /// Number of states.

@@ -28,8 +28,11 @@
 //! and re-enters afresh when next enabled.
 //!
 //! Everything downstream is unchanged: the expanded graph is still a
-//! CTMC, each [`Transition`] carrying its generator `rate` directly
-//! (stage rate × branching probability).
+//! CTMC, each [`Transition`] carrying the exponential stage `rate` and
+//! its branching `prob` separately; the generator contribution is
+//! their product ([`Transition::q`]). Keeping the base rate pure lets
+//! [`StateSpace::rebuild_rates`] rewrite rates in place when only the
+//! model's timing parameters change between solves.
 //!
 //! # Compact state encoding
 //!
@@ -156,10 +159,13 @@ pub struct Transition {
     pub activity: ActivityId,
     /// Branching probability of this particular outcome.
     pub prob: f64,
-    /// Generator-matrix contribution `q` of this transition (1/ms):
-    /// the exponential event rate times `prob`. `NaN` when the source
-    /// activity is non-exponential and expansion is disabled — the
-    /// CTMC build turns that into [`SolveError::NonMarkovian`].
+    /// Exponential event rate (1/ms) of the stage whose completion
+    /// drives this move: the phase-stage rate for expanded activities,
+    /// `1/mean` for native exponentials. The generator-matrix
+    /// contribution is `rate * prob` ([`Transition::q`]). `NaN` when
+    /// the source activity is non-exponential and expansion is
+    /// disabled — the CTMC build turns that into
+    /// [`SolveError::NonMarkovian`].
     pub rate: f64,
     /// Whether this move completes the activity (fires its cases).
     /// `false` only for internal phase advances of expanded activities
@@ -167,6 +173,15 @@ pub struct Transition {
     pub completes: bool,
     /// Index of the destination state.
     pub target: usize,
+}
+
+impl Transition {
+    /// Generator-matrix contribution of this transition (1/ms): the
+    /// exponential stage rate weighted by the branching probability.
+    #[inline]
+    pub fn q(&self) -> f64 {
+        self.rate * self.prob
+    }
 }
 
 impl SpillRecord for Transition {
@@ -231,6 +246,12 @@ pub struct StateSpace<'m> {
     /// Marks states at which the absorbing predicate held (if one was
     /// given); their outgoing transitions are suppressed.
     pub absorbing: Vec<bool>,
+    /// The expansion order this space was explored at
+    /// ([`ReachOptions::ph_order`]).
+    ph_order: u32,
+    /// Structural fingerprint of the expansion — what
+    /// [`StateSpace::rebuild_rates`] validates against.
+    shape: ExpansionShape,
 }
 
 impl std::fmt::Debug for StateSpace<'_> {
@@ -357,7 +378,54 @@ impl Expansion {
             })
             .collect()
     }
+
+    /// The rate-independent fingerprint of this expansion.
+    fn shape(&self, model: &SanModel) -> ExpansionShape {
+        ExpansionShape {
+            places: model.num_places(),
+            activities: model.num_activities(),
+            slots: self
+                .expanded
+                .iter()
+                .map(|&(a, _)| {
+                    let plan = self.plans[a.index()]
+                        .as_ref()
+                        .expect("expanded activity has a plan");
+                    (
+                        a.index(),
+                        plan.last.clone(),
+                        plan.starts
+                            .iter()
+                            .map(|&(ph, p)| (ph, p.to_bits()))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
 }
+
+/// Rate-independent fingerprint of a model's phase-type expansion —
+/// everything about the expansion that determines the *structure* of
+/// the expanded reachability graph. Two models whose nets are identical
+/// and whose expansions have equal shapes at the same order explore
+/// identical graphs (same states, same CSR sparsity) differing only in
+/// transition rates; [`StateSpace::rebuild_rates`] insists on shape
+/// equality before rewriting rates in place. Branch probabilities enter
+/// exploration verbatim, so bit equality is the right comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ExpansionShape {
+    /// Number of places.
+    places: usize,
+    /// Number of activities.
+    activities: usize,
+    /// Per expanded activity in slot order.
+    slots: Vec<SlotShape>,
+}
+
+/// Shape of one expanded-activity slot: `(activity index, per-phase
+/// last-stage flags, entry distribution as (phase, prob bits))`.
+type SlotShape = (usize, Vec<bool>, Vec<(u32, u64)>);
 
 /// Why an exploration attempt stopped: a packed field overflowed (retry
 /// with wider place fields) or a real solver error.
@@ -714,7 +782,7 @@ impl Explorer<'_, '_> {
                 trans.push(Transition {
                     activity: a,
                     prob: p,
-                    rate: base_rate * p,
+                    rate: base_rate,
                     completes: true,
                     target,
                 });
@@ -858,6 +926,68 @@ enum PackedStates {
     },
     /// Default: the intern arena, read through the permutation.
     Interned { interner: Interner, perm: Vec<u32> },
+}
+
+impl PackedStates {
+    /// Reads state `i`'s packed words (`words` per state) into `buf`
+    /// without borrowing the whole `StateSpace` — the rate rebuild
+    /// decodes states while the transition arena is mutably borrowed.
+    fn read_into(&self, words: usize, i: usize, buf: &mut [u64]) {
+        match self {
+            PackedStates::Store { store, per_seg } => {
+                let row = store.row(RowLoc {
+                    seg: (i / per_seg) as u32,
+                    off: ((i % per_seg) * words) as u32,
+                    len: words as u32,
+                });
+                buf.copy_from_slice(&row);
+            }
+            PackedStates::Interned { interner, perm } => {
+                interner.read_state(perm[i] as usize, buf);
+            }
+        }
+    }
+}
+
+/// The model-independent payload of an explored [`StateSpace`] — what a
+/// [`crate::cache::GraphCache`] stores between campaign grid points.
+/// Detach with [`StateSpace::into_parts`], re-attach to a (possibly
+/// re-parameterised) model with [`StateSpace::from_parts`], then
+/// rewrite rates with [`StateSpace::rebuild_rates`].
+pub struct GraphParts {
+    base: usize,
+    phase_slots: usize,
+    ph_order: u32,
+    layout: StateLayout,
+    packed: PackedStates,
+    trans: SegStore<Transition>,
+    row_locs: Vec<RowLoc>,
+    total_trans: usize,
+    initial: Vec<(usize, f64)>,
+    absorbing: Vec<bool>,
+    shape: ExpansionShape,
+}
+
+impl GraphParts {
+    /// Number of tangible states in the detached graph.
+    pub fn num_states(&self) -> usize {
+        self.row_locs.len()
+    }
+
+    /// Total transitions in the detached graph.
+    pub fn num_transitions(&self) -> usize {
+        self.total_trans
+    }
+}
+
+impl std::fmt::Debug for GraphParts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphParts")
+            .field("states", &self.num_states())
+            .field("transitions", &self.total_trans)
+            .field("ph_order", &self.ph_order)
+            .finish()
+    }
 }
 
 /// Locates one provisional state's transition run inside a level's
@@ -1432,6 +1562,8 @@ impl<'m> StateSpace<'m> {
             total_trans: asm.total_trans,
             initial: init,
             absorbing: asm.absorbing,
+            ph_order: opts.ph_order,
+            shape: expansion.shape(model),
         };
         Ok((ss, ctmc))
     }
@@ -1523,13 +1655,139 @@ impl<'m> StateSpace<'m> {
         let tokens = self.tokens(i);
         self.model.marking_from(&tokens[..self.base])
     }
+
+    /// Detaches the model-independent payload of this space so it can
+    /// outlive the model borrow (e.g. in a [`crate::cache::GraphCache`]
+    /// between campaign grid points).
+    pub fn into_parts(self) -> GraphParts {
+        GraphParts {
+            base: self.base,
+            phase_slots: self.phase_slots,
+            ph_order: self.ph_order,
+            layout: self.layout,
+            packed: self.packed,
+            trans: self.trans,
+            row_locs: self.row_locs,
+            total_trans: self.total_trans,
+            initial: self.initial,
+            absorbing: self.absorbing,
+            shape: self.shape,
+        }
+    }
+
+    /// Re-attaches cached [`GraphParts`] to a model. The model must
+    /// have the same net dimensions the graph was explored with (full
+    /// structural equality is the caller's contract — campaign drivers
+    /// key caches by the structural parameters that generated the
+    /// model); call [`StateSpace::rebuild_rates`] afterwards if the
+    /// model's timing parameters changed.
+    pub fn from_parts(model: &'m SanModel, parts: GraphParts) -> Result<Self, SolveError> {
+        if model.num_places() != parts.base || model.num_activities() != parts.shape.activities {
+            return Err(SolveError::StructureMismatch {
+                reason: format!(
+                    "model has {} places / {} activities, cached graph was explored with {} / {}",
+                    model.num_places(),
+                    model.num_activities(),
+                    parts.base,
+                    parts.shape.activities
+                ),
+            });
+        }
+        Ok(Self {
+            model,
+            base: parts.base,
+            phase_slots: parts.phase_slots,
+            layout: parts.layout,
+            packed: parts.packed,
+            trans: parts.trans,
+            row_locs: parts.row_locs,
+            total_trans: parts.total_trans,
+            initial: parts.initial,
+            absorbing: parts.absorbing,
+            ph_order: parts.ph_order,
+            shape: parts.shape,
+        })
+    }
+
+    /// Re-evaluates every transition's stage rate from the (possibly
+    /// re-parameterised) model, in place, without re-exploring — the
+    /// rate-only rebuild of the campaign engine. When two grid points
+    /// share structure (same net, same `ph_order`, same expansion
+    /// shape) but differ in timing parameters, the reachability graph
+    /// and its CSR sparsity are identical; only rate values change.
+    ///
+    /// Stage rates are a pure function of `(activity, source state)`
+    /// and the duplicate fold in `merge_outgoing` never mixes them, so
+    /// the rewritten transitions — and a CSR rebuilt from them via
+    /// [`Ctmc::rebuild_values`] — are bit-identical to a fresh
+    /// exploration of the new model. The initial distribution and
+    /// absorbing marks are rate-independent and stay valid as-is.
+    ///
+    /// Fails with [`SolveError::StructureMismatch`] when the new
+    /// model's expansion shape differs (e.g. a distribution change
+    /// moved the moment-matching fit to a different branch structure);
+    /// the caller should fall back to a cold exploration. On error the
+    /// space may hold partially rewritten rates — discard it.
+    pub fn rebuild_rates(&mut self) -> Result<(), SolveError> {
+        let expansion = Expansion::build(self.model, self.ph_order)?;
+        let shape = expansion.shape(self.model);
+        if shape != self.shape {
+            return Err(SolveError::StructureMismatch {
+                reason: "phase-type expansion shape changed between grid points".to_string(),
+            });
+        }
+        // Base rate of each unexpanded activity (NaN for
+        // non-exponential ones — surfaces as `NonMarkovian` at the CTMC
+        // build, exactly like a cold exploration).
+        let unexpanded: Vec<f64> = self
+            .model
+            .activity_ids()
+            .map(|a| match self.model.timing(a) {
+                Timing::Timed(Dist::Exp { mean }) => 1.0 / mean,
+                _ => f64::NAN,
+            })
+            .collect();
+        let layout = &self.layout;
+        let packed = &self.packed;
+        let words = layout.words();
+        let mut key = vec![0u64; words];
+        let mut ext = vec![0u32; layout.num_fields()];
+        self.trans.update_rows(&self.row_locs, |i, row| {
+            if row.is_empty() {
+                return;
+            }
+            packed.read_into(words, i, &mut key);
+            layout.decode(&key, &mut ext);
+            for t in row {
+                let idx = t.activity.index();
+                t.rate = match expansion.plans[idx].as_ref() {
+                    Some(plan) => {
+                        // A transition of an expanded activity exists
+                        // only while its phase counter is active.
+                        let phase = ext[expansion.slots[idx]];
+                        debug_assert!(phase >= 1, "active expanded activity has phase 0");
+                        plan.rates[(phase - 1) as usize]
+                    }
+                    None => unexpanded[idx],
+                };
+            }
+        });
+        if ctsim_obs::enabled() {
+            ctsim_obs::counter_add("graph_cache.rate_rebuilds", 1);
+        }
+        Ok(())
+    }
 }
 
 /// Sorts and merges one source state's transitions in place: duplicate
 /// `(activity, target, completes)` outcomes within each activity's
-/// contiguous run are folded by summing `prob`/`rate` in sorted order,
-/// so the floating-point result is independent of discovery
-/// interleaving. Must be called with canonical target ids.
+/// contiguous run are folded by summing `prob` in sorted order, so the
+/// floating-point result is independent of discovery interleaving.
+/// Duplicates always share the same stage `rate` — one activity's row
+/// transitions all come from one `completions` call with one base rate
+/// — so the fold keeps `rate` untouched, which is what makes a
+/// rate-only rebuild bit-identical to a fresh exploration. Must be
+/// called with canonical target ids.
 fn merge_outgoing(outs: &mut Vec<Transition>) {
     let mut i = 0;
     while i < outs.len() {
@@ -1549,8 +1807,8 @@ fn merge_outgoing(outs: &mut Vec<Transition>) {
             && prev.target == cur.target
             && prev.completes == cur.completes
         {
+            debug_assert_eq!(prev.rate.to_bits(), cur.rate.to_bits());
             prev.prob += cur.prob;
-            prev.rate += cur.rate;
             true
         } else {
             false

@@ -300,7 +300,7 @@ pub(crate) fn steady(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, Sol
         }
     };
     let mut qv = vec![0.0; n];
-    let mut pi = vec![1.0 / n as f64; n];
+    let mut pi = crate::steady::initial_pi(n, opts);
     let (iterations, _) = {
         // True residual: sup-norm of πQ after normalizing the iterate —
         // identical semantics to the Gauss–Seidel sweep check. The
@@ -419,9 +419,33 @@ pub(crate) fn absorption(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTi
         }
         res
     };
-    // u₀ = c makes the initial guess τ₀ = (D − U)^{-1} c — already the
-    // exact solution on acyclic chains.
-    let mut u = c.clone();
+    // Cold start: u₀ = c makes the initial guess τ₀ = (D − U)^{-1} c —
+    // already the exact solution on acyclic chains. Warm start: GMRES
+    // iterates the preconditioned variable, so the previous grid
+    // point's τ must be pushed forward through the preconditioner,
+    // u₀ = (D − U) τ₀ (identity on absorbing rows) — then the first
+    // true-residual check sees exactly τ₀ and a near-converged seed
+    // finishes in one cycle.
+    let mut u = match crate::steady::initial_tau(ctmc, opts) {
+        Some(tau0) => {
+            let mut u0 = vec![0.0; n];
+            for i in 0..n {
+                if ctmc.is_absorbing(i) {
+                    u0[i] = tau0[i];
+                    continue;
+                }
+                let mut acc = -ctmc.diag(i) * tau0[i];
+                for (k, r) in ctmc.row(i) {
+                    if k > i {
+                        acc -= r * tau0[k];
+                    }
+                }
+                u0[i] = acc;
+            }
+            u0
+        }
+        None => c.clone(),
+    };
     let (iterations, residual) = gmres(n, apply, &c, &mut u, opts, check, "krylov_absorption")?;
     let mut tau = u;
     back_substitute(ctmc, &mut tau);

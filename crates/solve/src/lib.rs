@@ -209,6 +209,7 @@ use std::fmt;
 
 pub mod arena;
 pub mod backend;
+pub mod cache;
 pub mod ctmc;
 pub mod graph;
 mod intern;
@@ -222,8 +223,9 @@ pub mod transient;
 
 pub use arena::RowRef;
 pub use backend::SolverBackend;
+pub use cache::{CachedGraph, GraphCache, StructuralKey};
 pub use ctmc::{Ctmc, Incoming};
-pub use graph::{ReachOptions, StateSpace, Transition};
+pub use graph::{GraphParts, ReachOptions, StateSpace, Transition};
 pub use reward::{
     expected_impulse_rate, expected_rate_reward, probability, AnalyticOutcome, AnalyticRun,
 };
@@ -369,6 +371,14 @@ pub enum SolveError {
         /// Index of a reachable non-goal deadlock state.
         state: usize,
     },
+    /// A cached reachability graph cannot be reused for the requested
+    /// model: the structure (net dimensions or phase-type expansion
+    /// shape) changed, so a rate-only rebuild would be wrong. Fall back
+    /// to a cold exploration.
+    StructureMismatch {
+        /// What differed, rendered.
+        reason: String,
+    },
     /// Steady state requested for a chain with absorbing states.
     SteadyStateUndefined,
     /// Absorption times requested but no state is absorbing.
@@ -420,6 +430,11 @@ impl fmt::Display for SolveError {
                 "state {state} is a reachable dead end that does not satisfy \
                  the goal predicate: the mean first-passage time is infinite \
                  (use `cdf` to see where the distribution plateaus)"
+            ),
+            SolveError::StructureMismatch { reason } => write!(
+                f,
+                "cached reachability graph does not match the model: {reason} \
+                 (re-explore instead of rate-only rebuild)"
             ),
             SolveError::SteadyStateUndefined => {
                 write!(f, "steady state undefined: the chain has absorbing states")

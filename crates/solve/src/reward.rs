@@ -69,7 +69,7 @@ pub fn expected_impulse_rate(
             if r == 0.0 {
                 continue;
             }
-            total += p_s * t.rate * r;
+            total += p_s * t.q() * r;
         }
     }
     total

@@ -74,6 +74,19 @@ pub struct IterOptions {
     /// Trimmed automatically on multi-million-state systems to bound
     /// basis memory; ignored by the stationary backends.
     pub restart: usize,
+    /// Optional warm-start iterate from a previous solve on a chain
+    /// with the *same state numbering* (e.g. the previous grid point of
+    /// a rate-only campaign sweep): for [`steady_state`] a (possibly
+    /// unnormalized) probability vector, for
+    /// [`mean_time_to_absorption`] the previous
+    /// [`AbsorptionTimes::per_state`] times. Ignored unless its length
+    /// matches the state count and every entry is finite.
+    ///
+    /// Warm starting changes the iteration trajectory, so a converged
+    /// answer agrees with the cold one only to the residual tolerance,
+    /// not bit-for-bit — campaign drivers that promise bit-identical
+    /// Gauss–Seidel means leave this `None` for that backend.
+    pub warm_start: Option<Vec<f64>>,
 }
 
 impl Default for IterOptions {
@@ -84,6 +97,7 @@ impl Default for IterOptions {
             backend: SolverBackend::default(),
             threads: 1,
             restart: 30,
+            warm_start: None,
         }
     }
 }
@@ -97,6 +111,51 @@ impl IterOptions {
             ..Self::default()
         }
     }
+}
+
+/// The validated warm-start vector, if one is usable for an `n`-state
+/// chain: right length, all entries finite. Anything else falls back to
+/// the backend's cold initial iterate.
+fn warm_vec(opts: &IterOptions, n: usize) -> Option<&[f64]> {
+    opts.warm_start
+        .as_deref()
+        .filter(|w| w.len() == n && w.iter().all(|x| x.is_finite()))
+}
+
+/// Initial π iterate for the stationary solvers: the warm start
+/// clamped non-negative and renormalized, or the uniform distribution.
+pub(crate) fn initial_pi(n: usize, opts: &IterOptions) -> Vec<f64> {
+    if let Some(w) = warm_vec(opts, n) {
+        let mut pi: Vec<f64> = w.iter().map(|&x| x.max(0.0)).collect();
+        let total: f64 = pi.iter().sum();
+        if total.is_finite() && total > 0.0 {
+            for p in &mut pi {
+                *p /= total;
+            }
+            if ctsim_obs::enabled() {
+                ctsim_obs::counter_add("solver.warm_starts", 1);
+            }
+            return pi;
+        }
+    }
+    vec![1.0 / n as f64; n]
+}
+
+/// Initial τ iterate for the absorption solvers: the warm start with
+/// absorbing entries scrubbed to their exact value 0, or all zeros.
+pub(crate) fn initial_tau(ctmc: &Ctmc, opts: &IterOptions) -> Option<Vec<f64>> {
+    let n = ctmc.num_states();
+    let w = warm_vec(opts, n)?;
+    let mut tau = w.to_vec();
+    for (i, t) in tau.iter_mut().enumerate() {
+        if ctmc.is_absorbing(i) {
+            *t = 0.0;
+        }
+    }
+    if ctsim_obs::enabled() {
+        ctsim_obs::counter_add("solver.warm_starts", 1);
+    }
+    Some(tau)
 }
 
 /// A steady-state distribution with convergence diagnostics.
@@ -150,7 +209,7 @@ pub fn steady_state(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, Solv
 fn steady_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, SolveError> {
     let n = ctmc.num_states();
     let incoming = ctmc.incoming_view();
-    let mut pi = vec![1.0 / n as f64; n];
+    let mut pi = initial_pi(n, opts);
     let mut qv = vec![0.0; n];
     let mut residual = f64::INFINITY;
     let mut batch_t0 = if ctsim_obs::enabled() {
@@ -218,7 +277,7 @@ fn steady_jacobi(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, SolveEr
             residual: f64::INFINITY,
         });
     }
-    let mut pi = vec![1.0 / n as f64; n];
+    let mut pi = initial_pi(n, opts);
     let mut qv = vec![0.0; n];
     let mut residual = f64::INFINITY;
     let mut batch_t0 = if ctsim_obs::enabled() {
@@ -316,7 +375,7 @@ pub fn mean_time_to_absorption(
 /// The reference backend: in-place Gauss–Seidel sweeps on `Q_TT τ = -1`.
 fn absorption_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTimes, SolveError> {
     let n = ctmc.num_states();
-    let mut tau = vec![0.0; n];
+    let mut tau = initial_tau(ctmc, opts).unwrap_or_else(|| vec![0.0; n]);
     let mut residual = f64::INFINITY;
     let mut batch_t0 = if ctsim_obs::enabled() {
         ctsim_obs::now_us()
@@ -376,7 +435,7 @@ fn absorption_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<Absorption
 /// iterate, the buffers swap and no write order matters.
 fn absorption_jacobi(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTimes, SolveError> {
     let n = ctmc.num_states();
-    let mut tau = vec![0.0; n];
+    let mut tau = initial_tau(ctmc, opts).unwrap_or_else(|| vec![0.0; n]);
     let mut flow = vec![0.0; n];
     let mut residual = f64::INFINITY;
     let mut batch_t0 = if ctsim_obs::enabled() {

@@ -319,6 +319,14 @@ impl CampaignResult {
     }
 }
 
+/// Measured class-1 consensus latency for `n` hosts: the one-call
+/// entry point the scenario-campaign driver uses to put a measured
+/// (simulated-testbed) column next to its analytic grid rows, mirroring
+/// the paper's measurement-vs-model comparison.
+pub fn measured_latency(n: usize, executions: u32, seed: u64) -> CampaignResult {
+    run_campaign(&TestbedConfig::class1(n, executions, seed))
+}
+
 /// Runs one campaign to completion and extracts latencies and QoS.
 pub fn run_campaign(cfg: &TestbedConfig) -> CampaignResult {
     cfg.validate();

@@ -14,12 +14,16 @@
 //! and n = 3 (exponential ≈ 1.35 × 10⁵ states, order-2 ≈ 5.3 × 10⁵) —
 //! its rows are timed directly (best of a fixed repeat count, so even
 //! the smoke run yields a stable number) and carry the state count in
-//! the name, making each row a throughput measurement. The `campaign`
-//! group times the scenario-campaign engine's cached+warm grid path
-//! against the same grid solved cold, plus its deterministic cache
-//! hit-rate. Every measurement is appended to `BENCH_solver.json` at
-//! the workspace root; `ci/bench_baseline.json` pins the committed
-//! baseline that the `bench_check` binary gates against in CI.
+//! the name, making each row a throughput measurement. The
+//! `kron_matvec` group races the forward `Q v` product of the
+//! matrix-free Kronecker descriptor against the materialized CSR
+//! matrix on the n = 3 space, recording peak live-heap for both. The
+//! `campaign` group times the scenario-campaign engine's cached+warm
+//! grid path against the same grid solved cold, plus its deterministic
+//! cache hit-rate. Every measurement is appended to
+//! `BENCH_solver.json` at the workspace root; `ci/bench_baseline.json`
+//! pins the committed baseline that the `bench_check` binary gates
+//! against in CI.
 
 use criterion::{criterion_group, criterion_main, BenchResult, Criterion};
 use ctsim_bench::alloc_counter::{self, CountingAlloc};
@@ -27,8 +31,8 @@ use ctsim_bench::BENCH_SEED;
 use ctsim_models::{build_model, decided_place_ids, latency_replications, SanParams};
 use ctsim_san::Marking;
 use ctsim_solve::{
-    AnalyticRun, IterOptions, ReachOptions, SolveOptions, SolverBackend, StateSpace,
-    TransientOptions,
+    AnalyticRun, GeneratorBackend, IterOptions, LinOp, ReachOptions, SolveOptions, SolverBackend,
+    StateSpace, TransientOptions,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -82,6 +86,7 @@ fn bench(c: &mut Criterion) {
     ph_expansion(c);
     let mut extra = concurrent_intern();
     extra.extend(solver_backends());
+    extra.extend(kron_matvec());
     extra.extend(campaign_grid());
     write_results_json(c, &extra);
 }
@@ -125,18 +130,21 @@ fn campaign_grid() -> Vec<BenchResult> {
             ns_per_iter: c.campaign_point_ms() * 1e6,
             iters: points as u64,
             peak_bytes: None,
+            meta: None,
         },
         BenchResult {
             name: format!("campaign/grid_cold_{label}"),
             ns_per_iter: c.cold_point_ms().expect("verify-cold run") * 1e6,
             iters: points as u64,
             peak_bytes: None,
+            meta: None,
         },
         BenchResult {
             name: format!("campaign/cache_hit_rate_per1000_states{hits_per_1000}"),
             ns_per_iter: 1000.0,
             iters: points as u64,
             peak_bytes: None,
+            meta: None,
         },
     ];
     for r in &rows {
@@ -226,6 +234,7 @@ fn concurrent_intern() -> Vec<BenchResult> {
                     ns_per_iter: best,
                     iters: u64::from(repeats),
                     peak_bytes: Some(peak),
+                    meta: None,
                 });
             }
         };
@@ -257,6 +266,99 @@ fn concurrent_intern() -> Vec<BenchResult> {
         vec![1, cores],
         1,
     );
+    rows
+}
+
+/// Generator-representation SpMV throughput: the forward `Q v` product
+/// — the hot loop of every absorption solve — on the n = 3 exponential
+/// first-passage space (≈ 1.35 × 10⁵ states), once on the materialized
+/// CSR matrix and once on the matrix-free Kronecker-factored
+/// descriptor. Self-timed best-of-N like the intern sweep, state count
+/// in the row name so each row is a states-per-nanosecond throughput
+/// metric. The single-thread rows carry `peak_bytes` — the live-heap
+/// peak of the *whole* explore-and-build-then-multiply pass — so
+/// `bench_check` gates both the kron matvec speed and the descriptor's
+/// memory headline (it must stay below the CSR run's peak: the forward
+/// product never builds the kron transpose, and the descriptor packs
+/// 8 B per entry against CSR's 16 B). Each row also carries a nested
+/// `op` object in the results JSON (generator/product/threads), which
+/// doubles as the regression fixture for `bench_check`'s
+/// unknown-key-tolerant parser.
+fn kron_matvec() -> Vec<BenchResult> {
+    let params = SanParams::exponential_n3();
+    let model = build_model(&params);
+    let decided = decided_place_ids(&model, params.n);
+    let opts = ReachOptions {
+        ph_order: 0,
+        threads: 0,
+        max_states: 4 << 20,
+        ..ReachOptions::default()
+    };
+    let mut rows = Vec::new();
+    let mut reference: Option<Vec<f64>> = None;
+    for backend in GeneratorBackend::ALL {
+        alloc_counter::reset_peak();
+        let (ss, gen) = StateSpace::explore_absorbing_gen(&model, &opts, backend, |m| {
+            decided.iter().any(|&d| m.get(d) > 0)
+        })
+        .unwrap();
+        let states = ss.len();
+        drop(ss);
+        let n = LinOp::dim(&gen);
+        // A fixed, structured input so the product (and thus the
+        // cross-representation agreement assert) is deterministic.
+        let v: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+        let mut y = vec![0.0; n];
+        let repeats = 20u32;
+        for t in [1usize, 8] {
+            let mut best = f64::INFINITY;
+            for _ in 0..repeats {
+                let start = Instant::now();
+                gen.apply(&v, &mut y, t);
+                black_box(&y[0]);
+                best = best.min(start.elapsed().as_nanos() as f64);
+            }
+            // Peak rides on the threads-1 row only: it covers the
+            // explore + generator build + first products high-water
+            // mark, which the thread count does not change.
+            let peak = (t == 1).then(|| alloc_counter::peak_bytes() as u64);
+            let name = format!(
+                "kron_matvec/apply_{}_exp_n3_threads{t}_states{states}",
+                backend.name()
+            );
+            match peak {
+                Some(p) => println!(
+                    "timed {name:<68} {best:>14.0} ns/iter, peak {:.1} MB (best of {repeats})",
+                    p as f64 / (1 << 20) as f64
+                ),
+                None => println!("timed {name:<68} {best:>14.0} ns/iter (best of {repeats})"),
+            }
+            rows.push(BenchResult {
+                name,
+                ns_per_iter: best,
+                iters: u64::from(repeats),
+                peak_bytes: peak,
+                meta: Some(format!(
+                    "{{ \"generator\": \"{}\", \"product\": \"flow\", \"threads\": {t} }}",
+                    backend.name()
+                )),
+            });
+        }
+        // The two representations must agree on the product itself —
+        // same contract the generator-agreement CI job gates end to
+        // end, here at ULP scale since it is one multiply, not a solve.
+        match &reference {
+            None => reference = Some(y.clone()),
+            Some(r) => {
+                for (i, (&a, &b)) in r.iter().zip(&y).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
+                        "kron matvec diverges from csr at state {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
     rows
 }
 
@@ -323,6 +425,7 @@ fn solver_backends() -> Vec<BenchResult> {
                     ns_per_iter: best,
                     iters: u64::from(repeats),
                     peak_bytes: None,
+                    meta: None,
                 });
             }
         }
@@ -363,10 +466,20 @@ fn write_results_json(c: &Criterion, extra: &[BenchResult]) {
             let peak = r
                 .peak_bytes
                 .map_or(String::new(), |p| format!(", \"peak_bytes\": {p}"));
-            format!(
-                "    {{ \"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}{peak} }}",
-                r.name, r.ns_per_iter, r.iters
-            )
+            match &r.meta {
+                // Rows with structured context render multi-line with a
+                // nested `op` object — consumers must parse the results
+                // array structurally, not line by line.
+                Some(meta) => format!(
+                    "    {{\n      \"name\": \"{}\",\n      \"ns_per_iter\": {:.1},\n      \
+                     \"iters\": {}{peak},\n      \"op\": {meta}\n    }}",
+                    r.name, r.ns_per_iter, r.iters
+                ),
+                None => format!(
+                    "    {{ \"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}{peak} }}",
+                    r.name, r.ns_per_iter, r.iters
+                ),
+            }
         })
         .collect();
     body.push_str(&rows.join(",\n"));

@@ -24,7 +24,11 @@
 //! * **solve (per backend)** — the single-thread `Q_TT τ = -1` mean
 //!   solve on the same n = 3 CTMC, one gate per linear-algebra
 //!   backend, so a regression in any of Gauss–Seidel, Jacobi, or
-//!   Krylov fails CI even while the others stay fast.
+//!   Krylov fails CI even while the others stay fast;
+//! * **matvec (per generator)** — the single-thread forward `Q v`
+//!   product on the same n = 3 space, once on the materialized CSR
+//!   matrix and once on the matrix-free Kronecker descriptor, plus a
+//!   peak-heap gate pinning the descriptor's memory headline.
 //!
 //! Both files must come from the same bench code for names to line up.
 
@@ -48,6 +52,11 @@ const GATES: &[(&str, &str)] = &[
     (
         "solve/krylov",
         "solver_backends/solve_exp_n3_krylov_threads1_states",
+    ),
+    ("matvec/csr", "kron_matvec/apply_csr_exp_n3_threads1_states"),
+    (
+        "matvec/kron",
+        "kron_matvec/apply_kron_exp_n3_threads1_states",
     ),
     (
         "campaign/warm-grid",
@@ -73,10 +82,16 @@ const RAW_GATES: &[(&str, &str)] = &[(
 /// the allowed fraction. Unlike wall-clock, peak bytes of a
 /// deterministic workload are machine-independent, so the gate
 /// compares raw bytes without the throughput normalisation.
-const MEM_GATES: &[(&str, &str)] = &[(
-    "explore peak-mem",
-    "concurrent_intern/explore_exp_n3_threads1_states",
-)];
+const MEM_GATES: &[(&str, &str)] = &[
+    (
+        "explore peak-mem",
+        "concurrent_intern/explore_exp_n3_threads1_states",
+    ),
+    (
+        "kron matvec peak-mem",
+        "kron_matvec/apply_kron_exp_n3_threads1_states",
+    ),
+];
 
 /// The calibration workload: the simulator replication campaign, whose
 /// name carries its replication count as `..._x<reps>`.
@@ -88,47 +103,136 @@ struct Row {
     peak_bytes: Option<f64>,
 }
 
-/// Minimal extractor for the flat `{ "name": ..., "ns_per_iter": ... }`
-/// rows our bench writer emits (the workspace builds offline — no JSON
-/// crate — and the format is ours end to end).
+/// Index just past the closing quote of the string starting at `at`
+/// (which must point at the opening `"`). `\"` escapes are honoured.
+fn end_of_string(text: &str, at: usize) -> usize {
+    let bytes = text.as_bytes();
+    let mut i = at + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Index just past the bracket matching the `{` or `[` at `start`,
+/// string-aware so braces inside quoted values don't count.
+fn end_of_balanced(text: &str, start: usize) -> usize {
+    let bytes = text.as_bytes();
+    let (open, close) = if bytes[start] == b'{' {
+        (b'{', b'}')
+    } else {
+        (b'[', b']')
+    };
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'"' {
+            i = end_of_string(text, i);
+            continue;
+        }
+        if b == open {
+            depth += 1;
+        } else if b == close {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Index just past the JSON value starting at `at`: a string, a nested
+/// object/array (skipped wholesale), or a bare scalar (read up to the
+/// enclosing `,`/`}`/`]`).
+fn end_of_value(text: &str, at: usize) -> usize {
+    match text.as_bytes()[at] {
+        b'"' => end_of_string(text, at),
+        b'{' | b'[' => end_of_balanced(text, at),
+        _ => text[at..]
+            .find([',', '}', ']'])
+            .map_or(text.len(), |off| at + off),
+    }
+}
+
+/// One measurement row from the body of a results-array object
+/// (`body` excludes the outer braces). Only the row's *own* `name` /
+/// `ns_per_iter` / `peak_bytes` fields count — keys inside nested
+/// objects (e.g. a row's `op` context) are skipped with their values,
+/// and unknown keys of any shape are ignored.
+fn row_from_object(body: &str) -> Option<Row> {
+    let bytes = body.as_bytes();
+    let (mut name, mut ns, mut peak) = (None, None, None);
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let key_end = end_of_string(body, i);
+        let key = &body[i + 1..key_end - 1];
+        let Some(colon_off) = body[key_end..].find(|c: char| !c.is_whitespace()) else {
+            break;
+        };
+        if bytes[key_end + colon_off] != b':' {
+            i = key_end;
+            continue;
+        }
+        let Some(val_off) = body[key_end + colon_off + 1..].find(|c: char| !c.is_whitespace())
+        else {
+            break;
+        };
+        let val_at = key_end + colon_off + 1 + val_off;
+        let val_end = end_of_value(body, val_at);
+        let raw = body[val_at..val_end].trim();
+        match key {
+            "name" => name = raw.strip_prefix('"')?.strip_suffix('"').map(String::from),
+            "ns_per_iter" => ns = raw.parse::<f64>().ok(),
+            "peak_bytes" => peak = raw.parse::<f64>().ok(),
+            _ => {}
+        }
+        i = val_end;
+    }
+    Some(Row {
+        name: name?,
+        ns_per_iter: ns?,
+        peak_bytes: peak,
+    })
+}
+
+/// Extracts the measurement rows from the `"results"` array of a bench
+/// JSON document (the workspace builds offline — no JSON crate — and
+/// the format is ours end to end). The scan is structural, not
+/// line-based: rows may span lines, nest objects (the `op` context of
+/// the `kron_matvec` rows), or carry unknown keys, and anything that
+/// lacks a `name` + `ns_per_iter` of its own is skipped.
 fn parse_rows(text: &str) -> Vec<Row> {
+    let Some(results_at) = text.find("\"results\"") else {
+        return Vec::new();
+    };
+    let Some(array_at) = text[results_at..].find('[').map(|off| results_at + off) else {
+        return Vec::new();
+    };
+    let array_end = end_of_balanced(text, array_at);
     let mut rows = Vec::new();
-    for line in text.lines() {
-        let Some(name_at) = line.find("\"name\":") else {
-            continue;
-        };
-        let rest = &line[name_at + 7..];
-        let Some(open) = rest.find('"') else { continue };
-        let Some(close) = rest[open + 1..].find('"') else {
-            continue;
-        };
-        let name = rest[open + 1..open + 1 + close].to_string();
-        let Some(ns_at) = line.find("\"ns_per_iter\":") else {
-            continue;
-        };
-        let tail = line[ns_at + 14..]
-            .trim_start()
-            .trim_end_matches(['}', ',', ' '].as_ref());
-        let ns: f64 = match tail.split(',').next().unwrap_or("").trim().parse() {
-            Ok(v) => v,
-            Err(_) => continue,
-        };
-        let peak_bytes = line.find("\"peak_bytes\":").and_then(|at| {
-            line[at + 13..]
-                .trim_start()
-                .trim_end_matches(['}', ',', ' '].as_ref())
-                .split(',')
-                .next()
-                .unwrap_or("")
-                .trim()
-                .parse::<f64>()
-                .ok()
-        });
-        rows.push(Row {
-            name,
-            ns_per_iter: ns,
-            peak_bytes,
-        });
+    let bytes = text.as_bytes();
+    let mut i = array_at + 1;
+    while i < array_end {
+        if bytes[i] == b'{' {
+            let end = end_of_balanced(text, i);
+            if let Some(row) = row_from_object(&text[i + 1..end - 1]) {
+                rows.push(row);
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
     }
     rows
 }
@@ -300,6 +404,18 @@ mod tests {
     { "name": "solver_backends/solve_exp_n3_gauss_seidel_threads1_states135125", "ns_per_iter": 90000000.0, "iters": 2 },
     { "name": "solver_backends/solve_exp_n3_jacobi_threads1_states135125", "ns_per_iter": 150000000.0, "iters": 2 },
     { "name": "solver_backends/solve_exp_n3_krylov_threads1_states135125", "ns_per_iter": 60000000.0, "iters": 2 },
+    {
+      "name": "kron_matvec/apply_csr_exp_n3_threads1_states135125",
+      "ns_per_iter": 500000.0,
+      "iters": 20, "peak_bytes": 52428800,
+      "op": { "generator": "csr", "product": "flow", "threads": 1 }
+    },
+    {
+      "name": "kron_matvec/apply_kron_exp_n3_threads1_states135125",
+      "ns_per_iter": 400000.0,
+      "iters": 20, "peak_bytes": 31457280,
+      "op": { "generator": "kron", "product": "flow", "threads": 1 }
+    },
     { "name": "campaign/grid_warm_paper_n2_order8_points16_states4272", "ns_per_iter": 40000000.0, "iters": 16 },
     { "name": "campaign/grid_cold_paper_n2_order8_points16_states4272", "ns_per_iter": 160000000.0, "iters": 16 },
     { "name": "campaign/cache_hit_rate_per1000_states937", "ns_per_iter": 1000.0, "iters": 16 }
@@ -309,9 +425,9 @@ mod tests {
     #[test]
     fn parses_and_normalises_every_gate() {
         let rows = parse_rows(SAMPLE);
-        // The host-info object carries no `"name":` key, so it never
-        // becomes a measurement row.
-        assert_eq!(rows.len(), 8);
+        // The host-info object sits outside the results array, so it
+        // never becomes a measurement row.
+        assert_eq!(rows.len(), 10);
         let cal = ns_per_replication(&rows).unwrap();
         assert!((cal - 10000.0).abs() < 1e-9);
         for &(label, prefix) in GATES {
@@ -346,6 +462,68 @@ mod tests {
             peak_of(&rows, "solver_backends/solve_exp_n3_gauss_seidel"),
             None
         );
+    }
+
+    #[test]
+    fn multiline_rows_with_nested_objects_parse_structurally() {
+        // The kron_matvec rows span several lines and nest an `op`
+        // object; a line-based scan would drop them (no `ns_per_iter`
+        // on the `name` line) or mis-read the nested keys.
+        let rows = parse_rows(SAMPLE);
+        let kron = rows
+            .iter()
+            .find(|r| r.name.starts_with("kron_matvec/apply_kron_"))
+            .expect("multi-line row parsed");
+        assert_eq!(
+            kron.name,
+            "kron_matvec/apply_kron_exp_n3_threads1_states135125"
+        );
+        assert!((kron.ns_per_iter - 400000.0).abs() < 1e-9);
+        assert_eq!(kron.peak_bytes, Some(31457280.0));
+        // No phantom row from the nested object's own keys.
+        assert!(rows.iter().all(|r| !r.name.contains("generator")));
+    }
+
+    #[test]
+    fn unknown_and_nested_keys_inside_rows_are_ignored() {
+        // Future bench groups may attach arbitrary context — including
+        // a nested object that itself has a "name" or "ns_per_iter"
+        // key. Only the row's own fields may count.
+        let doc = r#"{
+  "results": [
+    {
+      "op": { "name": "inner", "ns_per_iter": 1.0, "peak_bytes": 7 },
+      "name": "grp/row_states100",
+      "annotations": ["a", "b}c"],
+      "ns_per_iter": 2000.0,
+      "iters": 3
+    },
+    { "comment": "no measurement fields at all" }
+  ]
+}"#;
+        let rows = parse_rows(doc);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "grp/row_states100");
+        assert!((rows[0].ns_per_iter - 2000.0).abs() < 1e-9);
+        assert_eq!(rows[0].peak_bytes, None);
+    }
+
+    #[test]
+    fn committed_baseline_satisfies_every_gate_prefix() {
+        // The baseline the CI gate diffs against must resolve every
+        // gated prefix — a drive-by rename of a bench row would
+        // otherwise only surface on the next full CI run.
+        let baseline = include_str!("../../../../ci/bench_baseline.json");
+        let rows = parse_rows(baseline);
+        for &(label, prefix) in GATES {
+            assert!(normalised(&rows, prefix).is_ok(), "gate {label}");
+        }
+        for &(label, prefix) in RAW_GATES {
+            assert!(throughput(&rows, prefix).is_some(), "raw gate {label}");
+        }
+        for &(label, prefix) in MEM_GATES {
+            assert!(peak_of(&rows, prefix).is_some(), "mem gate {label}");
+        }
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub struct BenchResult {
     /// Peak live-heap bytes of one iteration, when the bench target
     /// measured it (self-timed rows with a counting allocator).
     pub peak_bytes: Option<u64>,
+    /// Extra structured context as a raw JSON object literal (e.g.
+    /// `{ "generator": "kron" }`); bench targets render it as a nested
+    /// object alongside the flat measurement fields.
+    pub meta: Option<String>,
 }
 
 /// Benchmark driver; mirrors `criterion::Criterion`.
@@ -69,6 +73,7 @@ impl Criterion {
                 ns_per_iter: b.elapsed.as_nanos() as f64 / b.iters as f64,
                 iters: b.iters,
                 peak_bytes: None,
+                meta: None,
             });
         }
         self

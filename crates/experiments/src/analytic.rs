@@ -25,7 +25,8 @@ use std::time::Instant;
 
 use ctsim_models::{build_model, latency_replications, SanParams};
 use ctsim_solve::{
-    extrapolated_mean, AnalyticRun, SolveError, SolveOptions, SolverBackend, SpillOptions,
+    extrapolated_mean, AnalyticRun, GeneratorBackend, SolveError, SolveOptions, SolverBackend,
+    SpillOptions,
 };
 use ctsim_testbed::CrashScenario;
 
@@ -54,6 +55,11 @@ pub struct AnalyticOptions {
     /// on the same means — the CI `solver-backends` matrix gates their
     /// agreement to ≤ 1e-6 relative.
     pub backend: SolverBackend,
+    /// Which generator representation the solve iterates on (`repro
+    /// analytic --generator csr|kron`). Both must land on the same
+    /// means — the CI `generator-agreement` job gates them to ≤ 1e-6
+    /// relative.
+    pub generator: GeneratorBackend,
     /// RAM budget (bytes) for the exploration's bulk arrays; beyond it
     /// cold transition/state segments page to a temp file (`repro
     /// analytic --spill-budget 512M`). `None` keeps everything
@@ -77,6 +83,7 @@ impl Default for AnalyticOptions {
             threads: 0,
             n: None,
             backend: SolverBackend::default(),
+            generator: GeneratorBackend::default(),
             spill_budget: None,
             trace: None,
             metrics: None,
@@ -105,6 +112,8 @@ pub struct AnalyticRow {
     pub solve_ms: f64,
     /// Which backend produced the analytic columns.
     pub backend: SolverBackend,
+    /// Which generator representation the solve iterated on.
+    pub generator: GeneratorBackend,
     /// Tangible states of the underlying CTMC (0 when skipped).
     pub states: usize,
     /// Analytic latency CDF points `(t_ms, P(latency ≤ t))`.
@@ -309,6 +318,7 @@ fn run_inner(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
             }
             let reps = latency_replications(&params, analytic_reps(scale), seed, 10_000.0);
             let mut opts = SolveOptions::ph_with_backend(0, ph.threads, ph.backend);
+            opts.generator = ph.generator;
             opts.reach.max_states = if ph.n.is_some() {
                 params.recommended_max_states(1)
             } else {
@@ -324,6 +334,7 @@ fn run_inner(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
                     ph_raw_ms: None,
                     solve_ms,
                     backend: ph.backend,
+                    generator: ph.generator,
                     states,
                     cdf,
                     sim_ms: reps.mean(),
@@ -340,6 +351,7 @@ fn run_inner(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
                     ph_raw_ms: None,
                     solve_ms: 0.0,
                     backend: ph.backend,
+                    generator: ph.generator,
                     states: 0,
                     cdf: Vec::new(),
                     sim_ms: reps.mean(),
@@ -369,6 +381,7 @@ fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRo
     let reps = latency_replications(&params, analytic_reps(scale), seed, 10_000.0);
     let k = ph.ph_order;
     let mut opts = SolveOptions::ph_with_backend(k, ph.threads, ph.backend);
+    opts.generator = ph.generator;
     opts.reach.max_states = if ph.n.is_some() {
         params.recommended_max_states(k)
     } else {
@@ -381,6 +394,7 @@ fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRo
             // error of the Erlang(K) stand-ins for deterministic
             // stages is ∝ 1/K (see `ctsim_solve::extrapolated_mean`).
             let mut prev = SolveOptions::ph_with_backend(k - 1, ph.threads, ph.backend);
+            prev.generator = ph.generator;
             prev.reach.max_states = opts.reach.max_states;
             prev.reach.spill = opts.reach.spill.clone();
             let (mk1, _, _, t_k1) = solve_mean_and_cdf(&params, &prev, false)?;
@@ -411,6 +425,7 @@ fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRo
                 ph_raw_ms: Some(raw),
                 solve_ms,
                 backend: ph.backend,
+                generator: ph.generator,
                 states,
                 cdf,
                 sim_ms: reps.mean(),
@@ -428,6 +443,7 @@ fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRo
             ph_raw_ms: None,
             solve_ms: 0.0,
             backend: ph.backend,
+            generator: ph.generator,
             states: 0,
             cdf: Vec::new(),
             sim_ms: reps.mean(),
@@ -475,8 +491,12 @@ impl Analytic {
             .rows
             .first()
             .map_or_else(|| SolverBackend::default().name(), |r| r.backend.name());
+        let generator = self.rows.first().map_or_else(
+            || GeneratorBackend::default().name(),
+            |r| r.generator.name(),
+        );
         s.push_str(&format!(
-            "Analytic overlay — exact solve vs simulation (ms), solver backend: {backend}\n"
+            "Analytic overlay — exact solve vs simulation (ms), solver backend: {backend}, generator: {generator}\n"
         ));
         s.push_str(
             "scenario           |  n | model | states | analytic | solve_ms |     sim |    ci90 | agree | engine\n",
@@ -592,6 +612,34 @@ mod tests {
                 assert!(b.engine_agrees(), "{backend}");
             }
         }
+    }
+
+    /// The matrix-free Kronecker generator reproduces the CSR overlay
+    /// means exactly: the in-process mirror of the CI
+    /// `generator-agreement` job, gated at the same 1e-6 relative
+    /// budget.
+    #[test]
+    fn generators_agree_on_the_overlay_means() {
+        let solve = |generator: GeneratorBackend| {
+            let opts = AnalyticOptions {
+                ph_order: 3,
+                threads: 2,
+                n: Some(2),
+                generator,
+                ..AnalyticOptions::default()
+            };
+            run_with(Scale::Quick, 11, &opts)
+        };
+        let reference = solve(GeneratorBackend::Csr);
+        let a = solve(GeneratorBackend::Kron);
+        assert_eq!(a.rows.len(), reference.rows.len());
+        for (r, b) in reference.rows.iter().zip(&a.rows) {
+            let (rm, bm) = (r.analytic_ms.unwrap(), b.analytic_ms.unwrap());
+            assert!((rm - bm).abs() <= 1e-6 * rm.abs(), "kron: {bm} vs csr {rm}");
+            assert_eq!(b.generator, GeneratorBackend::Kron);
+            assert!(b.engine_agrees(), "kron n = {}", b.n);
+        }
+        assert!(a.render().contains("generator: kron"));
     }
 
     #[test]

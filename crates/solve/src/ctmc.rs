@@ -362,6 +362,61 @@ impl Ctmc {
     }
 }
 
+/// The CSR generator as a [`LinOp`](crate::linop::LinOp): the
+/// reference implementor. Every
+/// method forwards to the pre-existing inherent accessors and sharded
+/// kernels, so solvers monomorphized over `Ctmc` run the exact code
+/// (and produce the bit-exact results) they did before the trait
+/// existed.
+impl crate::linop::LinOp for Ctmc {
+    type Row<'a> = std::iter::Zip<
+        std::iter::Copied<std::slice::Iter<'a, usize>>,
+        std::iter::Copied<std::slice::Iter<'a, f64>>,
+    >;
+    type Col<'a> = std::iter::Copied<std::slice::Iter<'a, (usize, f64)>>;
+
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn diag(&self, i: usize) -> f64 {
+        self.diag[i]
+    }
+
+    fn initial(&self) -> &[f64] {
+        &self.initial
+    }
+
+    fn is_absorbing(&self, i: usize) -> bool {
+        self.absorbing[i]
+    }
+
+    fn max_exit_rate(&self) -> f64 {
+        Ctmc::max_exit_rate(self)
+    }
+
+    fn row(&self, i: usize) -> Self::Row<'_> {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.rate[lo..hi].iter().copied())
+    }
+
+    fn column(&self, j: usize) -> Self::Col<'_> {
+        self.incoming_view().column(j).iter().copied()
+    }
+
+    fn apply(&self, v: &[f64], out: &mut [f64], threads: usize) {
+        crate::spmv::flow_mul(self, v, out, threads);
+    }
+
+    fn apply_transposed(&self, x: &[f64], out: &mut [f64], threads: usize) {
+        crate::spmv::vec_mul(self, x, out, threads);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -100,8 +100,11 @@ use ctsim_san::{ActivityId, Marking, SanModel, Timing};
 use ctsim_stoch::{Dist, PhaseType};
 
 use crate::arena::{RowLoc, RowRef, SegStore};
+use crate::backend::GeneratorBackend;
 use crate::ctmc::{Ctmc, CtmcAcc};
 use crate::intern::Interner;
+use crate::kron::KronAcc;
+use crate::linop::Generator;
 use crate::pack::StateLayout;
 use crate::spill::{SpillOptions, SpillRecord, SpillShared};
 use crate::SolveError;
@@ -1010,6 +1013,38 @@ impl RunSlot {
     };
 }
 
+/// The streaming generator accumulator behind
+/// [`StateSpace::explore_ctmc`] and friends: one variant per
+/// [`GeneratorBackend`], fed the same canonical rows, producing the
+/// matching [`Generator`] representation.
+enum GenSink {
+    Csr(CtmcAcc, Vec<(usize, f64)>),
+    Kron(KronAcc),
+}
+
+impl GenSink {
+    fn new(backend: GeneratorBackend) -> Self {
+        match backend {
+            GeneratorBackend::Csr => GenSink::Csr(CtmcAcc::new(), Vec::new()),
+            GeneratorBackend::Kron => GenSink::Kron(KronAcc::new()),
+        }
+    }
+
+    fn push_row(&mut self, src: usize, outs: &[Transition]) -> Result<(), ActivityId> {
+        match self {
+            GenSink::Csr(acc, scratch) => acc.push_row(src, outs, scratch),
+            GenSink::Kron(acc) => acc.push_row(src, outs),
+        }
+    }
+
+    fn finish(self, initial_pairs: &[(usize, f64)]) -> Generator {
+        match self {
+            GenSink::Csr(acc, _) => Generator::Csr(acc.finish(initial_pairs)),
+            GenSink::Kron(acc) => Generator::Kron(acc.finish(initial_pairs)),
+        }
+    }
+}
+
 /// The output side of the streaming pipeline: the canonical packed
 /// states, the flat transition arena, and (optionally) the CTMC
 /// generator accumulated row by row as levels are emitted.
@@ -1025,9 +1060,8 @@ struct Assembly<'m> {
     row_locs: Vec<RowLoc>,
     absorbing: Vec<bool>,
     total_trans: usize,
-    ctmc: Option<CtmcAcc>,
+    gen: Option<GenSink>,
     merge_buf: Vec<Transition>,
-    acc_buf: Vec<(usize, f64)>,
     runs_buf: Vec<RunSlot>,
     /// Emptied worker chains awaiting reuse by a later level.
     chain_pool: Vec<WorkerChain>,
@@ -1039,7 +1073,7 @@ impl Assembly<'_> {
     fn new(
         model: &SanModel,
         words: usize,
-        want_ctmc: bool,
+        want: Option<GeneratorBackend>,
         spill: Option<Arc<SpillShared>>,
     ) -> Assembly<'_> {
         let states_per_seg = (PACKED_SEG / words).max(1);
@@ -1054,9 +1088,8 @@ impl Assembly<'_> {
             row_locs: Vec::new(),
             absorbing: Vec::new(),
             total_trans: 0,
-            ctmc: want_ctmc.then(CtmcAcc::new),
+            gen: want.map(GenSink::new),
             merge_buf: Vec::new(),
-            acc_buf: Vec::new(),
             runs_buf: Vec::new(),
             chain_pool: Vec::new(),
             level_buf_pool: Vec::new(),
@@ -1120,13 +1153,12 @@ impl Assembly<'_> {
                 }
                 merge_outgoing(&mut self.merge_buf);
             }
-            if let Some(acc) = &mut self.ctmc {
-                acc.push_row(src, &self.merge_buf, &mut self.acc_buf)
-                    .map_err(|a| {
-                        Abort::Solve(SolveError::NonMarkovian {
-                            activity: model.activity_name(a).to_string(),
-                        })
-                    })?;
+            if let Some(acc) = &mut self.gen {
+                acc.push_row(src, &self.merge_buf).map_err(|a| {
+                    Abort::Solve(SolveError::NonMarkovian {
+                        activity: model.activity_name(a).to_string(),
+                    })
+                })?;
             }
             let loc = self.trans.append_row(&self.merge_buf);
             self.row_locs.push(loc);
@@ -1181,7 +1213,7 @@ fn canonize_frontier(
 impl<'m> StateSpace<'m> {
     /// Explores the full tangible state space (no absorbing predicate).
     pub fn explore(model: &'m SanModel, opts: &ReachOptions) -> Result<Self, SolveError> {
-        Self::explore_inner(model, opts, None, false).map(|(ss, _)| ss)
+        Self::explore_inner(model, opts, None, None).map(|(ss, _)| ss)
     }
 
     /// [`StateSpace::explore`] with the CTMC generator built *in the
@@ -1195,8 +1227,26 @@ impl<'m> StateSpace<'m> {
         model: &'m SanModel,
         opts: &ReachOptions,
     ) -> Result<(Self, Ctmc), SolveError> {
-        Self::explore_inner(model, opts, None, true)
-            .map(|(ss, ctmc)| (ss, ctmc.expect("ctmc requested")))
+        Self::explore_inner(model, opts, None, Some(GeneratorBackend::Csr)).map(|(ss, gen)| {
+            match gen {
+                Some(Generator::Csr(q)) => (ss, q),
+                _ => unreachable!("csr generator requested"),
+            }
+        })
+    }
+
+    /// [`StateSpace::explore_ctmc`] generalized over the generator
+    /// representation: the returned [`Generator`] is the CSR matrix or
+    /// the factored Kronecker-style descriptor
+    /// ([`KronGenerator`](crate::KronGenerator)) per `backend`, built
+    /// in the same streaming pass.
+    pub fn explore_gen(
+        model: &'m SanModel,
+        opts: &ReachOptions,
+        backend: GeneratorBackend,
+    ) -> Result<(Self, Generator), SolveError> {
+        Self::explore_inner(model, opts, None, Some(backend))
+            .map(|(ss, gen)| (ss, gen.expect("generator requested")))
     }
 
     /// [`StateSpace::explore_absorbing`] with the CTMC generator built
@@ -1206,8 +1256,24 @@ impl<'m> StateSpace<'m> {
         opts: &ReachOptions,
         absorb: impl Fn(&Marking) -> bool + Sync,
     ) -> Result<(Self, Ctmc), SolveError> {
-        Self::explore_inner(model, opts, Some(&absorb), true)
-            .map(|(ss, ctmc)| (ss, ctmc.expect("ctmc requested")))
+        Self::explore_inner(model, opts, Some(&absorb), Some(GeneratorBackend::Csr)).map(
+            |(ss, gen)| match gen {
+                Some(Generator::Csr(q)) => (ss, q),
+                _ => unreachable!("csr generator requested"),
+            },
+        )
+    }
+
+    /// [`StateSpace::explore_absorbing_ctmc`] generalized over the
+    /// generator representation — see [`StateSpace::explore_gen`].
+    pub fn explore_absorbing_gen(
+        model: &'m SanModel,
+        opts: &ReachOptions,
+        backend: GeneratorBackend,
+        absorb: impl Fn(&Marking) -> bool + Sync,
+    ) -> Result<(Self, Generator), SolveError> {
+        Self::explore_inner(model, opts, Some(&absorb), Some(backend))
+            .map(|(ss, gen)| (ss, gen.expect("generator requested")))
     }
 
     /// Explores the state space, treating every tangible marking for
@@ -1226,19 +1292,19 @@ impl<'m> StateSpace<'m> {
         opts: &ReachOptions,
         absorb: impl Fn(&Marking) -> bool + Sync,
     ) -> Result<Self, SolveError> {
-        Self::explore_inner(model, opts, Some(&absorb), false).map(|(ss, _)| ss)
+        Self::explore_inner(model, opts, Some(&absorb), None).map(|(ss, _)| ss)
     }
 
     fn explore_inner(
         model: &'m SanModel,
         opts: &ReachOptions,
         absorb: Option<&AbsorbFn<'_>>,
-        want_ctmc: bool,
-    ) -> Result<(Self, Option<Ctmc>), SolveError> {
+        want: Option<GeneratorBackend>,
+    ) -> Result<(Self, Option<Generator>), SolveError> {
         let expansion = Expansion::build(model, opts.ph_order)?;
         let mut layout = StateLayout::new(model.num_places(), &expansion.phase_maxes());
         loop {
-            match Self::explore_attempt(model, opts, absorb, &expansion, &layout, want_ctmc) {
+            match Self::explore_attempt(model, opts, absorb, &expansion, &layout, want) {
                 Ok(pair) => return Ok(pair),
                 // A place field overflowed its bit width: restart from
                 // scratch one ladder rung wider. The reachable set is
@@ -1259,8 +1325,8 @@ impl<'m> StateSpace<'m> {
         absorb: Option<&AbsorbFn<'_>>,
         expansion: &Expansion,
         layout: &StateLayout,
-        want_ctmc: bool,
-    ) -> Result<(Self, Option<Ctmc>), Abort> {
+        want: Option<GeneratorBackend>,
+    ) -> Result<(Self, Option<Generator>), Abort> {
         let base = model.num_places();
         let words = layout.words();
         let explorer = Explorer {
@@ -1337,7 +1403,7 @@ impl<'m> StateSpace<'m> {
             })?)),
             None => None,
         };
-        let mut asm = Assembly::new(model, words, want_ctmc, spill);
+        let mut asm = Assembly::new(model, words, want, spill);
         let mut canon: Vec<u32> = Vec::new();
         let (mut cur_order, mut cur_keys) =
             canonize_frontier(&interner, words, 0, interner.len(), &mut canon, None);
@@ -1529,7 +1595,7 @@ impl<'m> StateSpace<'m> {
             .map(|(id, p)| (canon[id] as usize, p))
             .collect();
         init.sort_unstable_by_key(|&(i, _)| i);
-        let ctmc = asm.ctmc.take().map(|acc| acc.finish(&init));
+        let gen = asm.gen.take().map(|acc| acc.finish(&init));
         let packed = match asm.packed {
             // Spill mode: the pageable copy is the backing; the intern
             // arena is freed wholesale right here.
@@ -1565,7 +1631,7 @@ impl<'m> StateSpace<'m> {
             ph_order: opts.ph_order,
             shape: expansion.shape(model),
         };
-        Ok((ss, ctmc))
+        Ok((ss, gen))
     }
 
     /// The model this space was explored from.

@@ -42,8 +42,7 @@
 
 use std::cell::RefCell;
 
-use crate::ctmc::Ctmc;
-use crate::spmv;
+use crate::linop::LinOp;
 use crate::steady::{AbsorptionTimes, IterOptions, SteadyState};
 use crate::SolveError;
 
@@ -274,26 +273,26 @@ where
 /// Steady state via restarted GMRES (see module docs). Pre-checks
 /// (empty/absorbing chains) are done by the dispatching
 /// [`steady_state`](crate::steady_state).
-pub(crate) fn steady(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, SolveError> {
-    let n = ctmc.num_states();
+pub(crate) fn steady<L: LinOp>(op: &L, opts: &IterOptions) -> Result<SteadyState, SolveError> {
+    let n = op.dim();
     let threads = opts.threads;
     // Anchor: the equation replaced by Σπ = 1. The state with the
     // largest exit rate keeps the preconditioned system best scaled.
     let anchor = (0..n)
         .max_by(|&a, &b| {
-            (-ctmc.diag(a))
-                .partial_cmp(&-ctmc.diag(b))
+            (-op.diag(a))
+                .partial_cmp(&-op.diag(b))
                 .expect("rates are finite")
         })
         .expect("n > 0");
     // Row scales of the Jacobi preconditioner.
     let scale: Vec<f64> = (0..n)
-        .map(|j| if j == anchor { 1.0 } else { -ctmc.diag(j) })
+        .map(|j| if j == anchor { 1.0 } else { -op.diag(j) })
         .collect();
     let mut b = vec![0.0; n];
     b[anchor] = 1.0;
     let apply = |x: &[f64], out: &mut [f64]| {
-        ctmc.vec_mul_threads(x, out, threads);
+        op.apply_transposed(x, out, threads);
         out[anchor] = x.iter().sum();
         for (o, &s) in out.iter_mut().zip(&scale) {
             *o /= s;
@@ -317,7 +316,7 @@ pub(crate) fn steady(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, Sol
             for (nv, &v) in normed.iter_mut().zip(x) {
                 *nv = v / total;
             }
-            ctmc.vec_mul_threads(normed, qv, threads);
+            op.apply_transposed(normed, qv, threads);
             qv.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
         };
         gmres(n, apply, &b, &mut pi, opts, check, "krylov_steady")?
@@ -339,7 +338,7 @@ pub(crate) fn steady(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, Sol
     for p in &mut pi {
         *p /= total;
     }
-    ctmc.vec_mul_threads(&pi, &mut qv, threads);
+    op.apply_transposed(&pi, &mut qv, threads);
     let residual = qv.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
     if !residual.is_finite() || residual > opts.tolerance {
         return Err(SolveError::NotConverged {
@@ -354,37 +353,21 @@ pub(crate) fn steady(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, Sol
     })
 }
 
-/// Backward Gauss–Seidel substitution: solves `(D − U) z = v` in place,
-/// where `D − U` is the diagonal-plus-strict-upper part of `-Q_TT` in
-/// the canonical state order (absorbing rows are identity). One
-/// `O(nnz)` descending pass — the right preconditioner of the
-/// absorption GMRES.
-fn back_substitute(ctmc: &Ctmc, v: &mut [f64]) {
-    for i in (0..ctmc.num_states()).rev() {
-        if ctmc.is_absorbing(i) {
-            continue; // identity row: z_i = v_i
-        }
-        let mut acc = v[i];
-        for (k, r) in ctmc.row(i) {
-            if k > i {
-                acc += r * v[k];
-            }
-        }
-        v[i] = acc / -ctmc.diag(i);
-    }
-}
-
 /// Absorption times via restarted GMRES, right-preconditioned by a
-/// backward Gauss–Seidel substitution (see module docs). The
-/// dispatcher has already verified an absorbing state exists.
-pub(crate) fn absorption(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTimes, SolveError> {
-    let n = ctmc.num_states();
+/// backward Gauss–Seidel substitution ([`LinOp::upper_solve`]; see
+/// module docs). The dispatcher has already verified an absorbing
+/// state exists.
+pub(crate) fn absorption<L: LinOp>(
+    op: &L,
+    opts: &IterOptions,
+) -> Result<AbsorptionTimes, SolveError> {
+    let n = op.dim();
     let threads = opts.threads;
     // `B τ = c` with `B = -Q_TT` over transient rows (positive
     // diagonal), identity on absorbing rows. GMRES iterates the
     // preconditioned variable `u` with `τ = (D − U)^{-1} u`.
     let c: Vec<f64> = (0..n)
-        .map(|i| if ctmc.is_absorbing(i) { 0.0 } else { 1.0 })
+        .map(|i| if op.is_absorbing(i) { 0.0 } else { 1.0 })
         .collect();
     // Scratch buffers hoisted out of the closures: `apply` runs once
     // per Arnoldi step and must not allocate an n-vector each time.
@@ -392,13 +375,13 @@ pub(crate) fn absorption(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTi
     let apply = |u: &[f64], out: &mut [f64]| {
         let mut z = apply_z.borrow_mut();
         z.copy_from_slice(u);
-        back_substitute(ctmc, &mut z);
-        spmv::flow_mul(ctmc, &z, out, threads);
+        op.upper_solve(&mut z);
+        op.apply(&z, out, threads);
         for i in 0..n {
-            out[i] = if ctmc.is_absorbing(i) {
+            out[i] = if op.is_absorbing(i) {
                 z[i]
             } else {
-                -ctmc.diag(i) * z[i] - out[i]
+                -op.diag(i) * z[i] - out[i]
             };
         }
     };
@@ -409,12 +392,12 @@ pub(crate) fn absorption(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTi
         let mut s = scratch.borrow_mut();
         let (z, flow) = &mut *s;
         z.copy_from_slice(u);
-        back_substitute(ctmc, z);
-        spmv::flow_mul(ctmc, z, flow, threads);
+        op.upper_solve(z);
+        op.apply(z, flow, threads);
         let mut res = 0.0f64;
         for i in 0..n {
-            if !ctmc.is_absorbing(i) {
-                res = res.max((ctmc.diag(i) * z[i] + flow[i] + 1.0).abs());
+            if !op.is_absorbing(i) {
+                res = res.max((op.diag(i) * z[i] + flow[i] + 1.0).abs());
             }
         }
         res
@@ -426,16 +409,16 @@ pub(crate) fn absorption(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTi
     // u₀ = (D − U) τ₀ (identity on absorbing rows) — then the first
     // true-residual check sees exactly τ₀ and a near-converged seed
     // finishes in one cycle.
-    let mut u = match crate::steady::initial_tau(ctmc, opts) {
+    let mut u = match crate::steady::initial_tau(op, opts) {
         Some(tau0) => {
             let mut u0 = vec![0.0; n];
             for i in 0..n {
-                if ctmc.is_absorbing(i) {
+                if op.is_absorbing(i) {
                     u0[i] = tau0[i];
                     continue;
                 }
-                let mut acc = -ctmc.diag(i) * tau0[i];
-                for (k, r) in ctmc.row(i) {
+                let mut acc = -op.diag(i) * tau0[i];
+                for (k, r) in op.row(i) {
                     if k > i {
                         acc -= r * tau0[k];
                     }
@@ -448,7 +431,7 @@ pub(crate) fn absorption(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTi
     };
     let (iterations, residual) = gmres(n, apply, &c, &mut u, opts, check, "krylov_absorption")?;
     let mut tau = u;
-    back_substitute(ctmc, &mut tau);
+    op.upper_solve(&mut tau);
     if tau.iter().any(|t| !t.is_finite()) {
         return Err(SolveError::NotConverged {
             iterations,
@@ -458,11 +441,11 @@ pub(crate) fn absorption(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTi
     // Absorbing rows are pinned by construction; scrub round-off so
     // `per_state` keeps the documented exact zeros.
     for (i, t) in tau.iter_mut().enumerate() {
-        if ctmc.is_absorbing(i) {
+        if op.is_absorbing(i) {
             *t = 0.0;
         }
     }
-    let mean = ctmc.initial().iter().zip(&tau).map(|(&p, &t)| p * t).sum();
+    let mean = op.initial().iter().zip(&tau).map(|(&p, &t)| p * t).sum();
     Ok(AbsorptionTimes {
         per_state: tau,
         mean,
@@ -477,6 +460,7 @@ mod tests {
     use crate::backend::SolverBackend;
     use crate::graph::{ReachOptions, StateSpace};
     use crate::steady::{mean_time_to_absorption, steady_state};
+    use crate::Ctmc;
     use ctsim_san::{Activity, Case, SanBuilder, SanModel};
     use ctsim_stoch::Dist;
 

@@ -213,7 +213,9 @@ pub mod cache;
 pub mod ctmc;
 pub mod graph;
 mod intern;
+pub mod kron;
 mod krylov;
+pub mod linop;
 mod pack;
 pub mod reward;
 pub mod spill;
@@ -222,10 +224,12 @@ pub mod steady;
 pub mod transient;
 
 pub use arena::RowRef;
-pub use backend::SolverBackend;
+pub use backend::{GeneratorBackend, SolverBackend};
 pub use cache::{CachedGraph, GraphCache, StructuralKey};
 pub use ctmc::{Ctmc, Incoming};
 pub use graph::{GraphParts, ReachOptions, StateSpace, Transition};
+pub use kron::KronGenerator;
+pub use linop::{Generator, LinOp};
 pub use reward::{
     expected_impulse_rate, expected_rate_reward, probability, AnalyticOutcome, AnalyticRun,
 };
@@ -248,6 +252,9 @@ pub struct SolveOptions {
     pub iter: IterOptions,
     /// Uniformization truncation tolerance, term cap, and SpMV threads.
     pub transient: TransientOptions,
+    /// Which generator representation the solvers iterate on (CSR or
+    /// the factored Kronecker-style descriptor).
+    pub generator: GeneratorBackend,
 }
 
 impl SolveOptions {

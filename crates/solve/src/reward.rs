@@ -12,8 +12,10 @@
 
 use ctsim_san::{ActivityId, Marking, SanModel};
 
+use crate::backend::GeneratorBackend;
 use crate::ctmc::Ctmc;
 use crate::graph::{ReachOptions, StateSpace};
+use crate::linop::{Generator, LinOp};
 use crate::steady::{mean_time_to_absorption, IterOptions};
 use crate::transient::{transient, TransientOptions};
 use crate::{SolveError, SolveOptions};
@@ -76,7 +78,9 @@ pub fn expected_impulse_rate(
 }
 
 /// A solved first-passage problem: the state space explored with the
-/// goal predicate absorbing, plus its CTMC.
+/// goal predicate absorbing, plus its generator (CSR by default, or
+/// the matrix-free Kronecker descriptor via
+/// [`SolveOptions::generator`]).
 ///
 /// This is the analytic replacement for the replication loop "run until
 /// the predicate holds, record the time": the absorbed probability mass
@@ -84,14 +88,14 @@ pub fn expected_impulse_rate(
 /// latency the paper tabulates.
 pub struct AnalyticRun<'m> {
     space: StateSpace<'m>,
-    ctmc: Ctmc,
+    gen: Generator,
 }
 
 impl std::fmt::Debug for AnalyticRun<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AnalyticRun")
             .field("states", &self.space.len())
-            .field("rates", &self.ctmc.num_rates())
+            .field("rates", &self.num_rates())
             .finish()
     }
 }
@@ -122,22 +126,34 @@ impl<'m> AnalyticRun<'m> {
         opts: &ReachOptions,
         goal: impl Fn(&Marking) -> bool + Sync,
     ) -> Result<Self, SolveError> {
-        // The streaming pipeline: CSR generator rows are assembled per
-        // BFS level while later levels are still being explored, so
-        // explore → CSR is one overlapped pass, not two serial ones.
-        let (space, ctmc) = StateSpace::explore_absorbing_ctmc(model, opts, goal)?;
-        Ok(Self { space, ctmc })
+        Self::first_passage_gen(model, opts, GeneratorBackend::Csr, goal)
+    }
+
+    /// [`AnalyticRun::first_passage`] with an explicit generator
+    /// representation. The streaming pipeline assembles generator rows
+    /// per BFS level while later levels are still being explored, so
+    /// explore → generator is one overlapped pass, not two serial
+    /// ones — for both representations.
+    pub fn first_passage_gen(
+        model: &'m SanModel,
+        opts: &ReachOptions,
+        backend: GeneratorBackend,
+        goal: impl Fn(&Marking) -> bool + Sync,
+    ) -> Result<Self, SolveError> {
+        let (space, gen) = StateSpace::explore_absorbing_gen(model, opts, backend, goal)?;
+        Ok(Self { space, gen })
     }
 
     /// [`AnalyticRun::first_passage`] with the top-level
     /// [`SolveOptions`] bundle — the entry point experiment code uses
-    /// to dial phase-type order and exploration threads.
+    /// to dial phase-type order, exploration threads, and the
+    /// generator representation.
     pub fn first_passage_with(
         model: &'m SanModel,
         opts: &SolveOptions,
         goal: impl Fn(&Marking) -> bool + Sync,
     ) -> Result<Self, SolveError> {
-        Self::first_passage(model, &opts.reach, goal)
+        Self::first_passage_gen(model, &opts.reach, opts.generator, goal)
     }
 
     /// The explored state space.
@@ -145,15 +161,37 @@ impl<'m> AnalyticRun<'m> {
         &self.space
     }
 
-    /// The generator matrix.
+    /// The generator, in whichever representation was requested.
+    pub fn generator(&self) -> &Generator {
+        &self.gen
+    }
+
+    /// The CSR generator matrix.
+    ///
+    /// # Panics
+    /// If the run was solved with the matrix-free
+    /// [`GeneratorBackend::Kron`] representation — use
+    /// [`AnalyticRun::generator`] there.
     pub fn ctmc(&self) -> &Ctmc {
-        &self.ctmc
+        self.gen
+            .as_csr()
+            .expect("run uses the kron generator; use AnalyticRun::generator")
+    }
+
+    /// Stored off-diagonal generator entries (CSR rates, or factored
+    /// descriptor entries — the counts differ only where several
+    /// activities drive the same state pair).
+    fn num_rates(&self) -> usize {
+        match &self.gen {
+            Generator::Csr(q) => q.num_rates(),
+            Generator::Kron(k) => k.num_entries(),
+        }
     }
 
     /// `P(T ≤ t)`: probability the predicate holds by time `t` (ms) —
     /// one point of the latency CDF the paper plots.
     pub fn cdf(&self, t_ms: f64, opts: &TransientOptions) -> Result<f64, SolveError> {
-        let sol = transient(&self.ctmc, t_ms, opts)?;
+        let sol = transient(&self.gen, t_ms, opts)?;
         Ok((0..self.space.len())
             .filter(|&s| self.space.absorbing[s])
             .map(|s| sol.probs[s])
@@ -174,15 +212,15 @@ impl<'m> AnalyticRun<'m> {
         // Every state is reachable by construction, so a rate-absorbing
         // state outside the goal set traps probability mass forever.
         if let Some(state) =
-            (0..self.space.len()).find(|&s| self.ctmc.is_absorbing(s) && !self.space.absorbing[s])
+            (0..self.space.len()).find(|&s| self.gen.is_absorbing(s) && !self.space.absorbing[s])
         {
             return Err(SolveError::GoalUnreachable { state });
         }
-        let sol = mean_time_to_absorption(&self.ctmc, opts)?;
+        let sol = mean_time_to_absorption(&self.gen, opts)?;
         Ok(AnalyticOutcome {
             mean_ms: sol.mean,
             states: self.space.len(),
-            rates: self.ctmc.num_rates(),
+            rates: self.num_rates(),
             iterations: sol.iterations,
         })
     }

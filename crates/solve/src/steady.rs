@@ -20,8 +20,8 @@
 //! diagnostics — never NaNs, never a hang.
 
 use crate::backend::SolverBackend;
-use crate::ctmc::Ctmc;
-use crate::{krylov, spmv, SolveError};
+use crate::linop::LinOp;
+use crate::{krylov, SolveError};
 
 /// Iterations per telemetry batch span in the stationary loops.
 const TRACE_BATCH: usize = 64;
@@ -143,12 +143,12 @@ pub(crate) fn initial_pi(n: usize, opts: &IterOptions) -> Vec<f64> {
 
 /// Initial τ iterate for the absorption solvers: the warm start with
 /// absorbing entries scrubbed to their exact value 0, or all zeros.
-pub(crate) fn initial_tau(ctmc: &Ctmc, opts: &IterOptions) -> Option<Vec<f64>> {
-    let n = ctmc.num_states();
+pub(crate) fn initial_tau<L: LinOp>(op: &L, opts: &IterOptions) -> Option<Vec<f64>> {
+    let n = op.dim();
     let w = warm_vec(opts, n)?;
     let mut tau = w.to_vec();
     for (i, t) in tau.iter_mut().enumerate() {
-        if ctmc.is_absorbing(i) {
+        if op.is_absorbing(i) {
             *t = 0.0;
         }
     }
@@ -169,7 +169,9 @@ pub struct SteadyState {
     pub residual: f64,
 }
 
-/// Solves `πQ = 0`, `Σπ = 1` with the backend named in `opts`.
+/// Solves `πQ = 0`, `Σπ = 1` with the backend named in `opts`, over
+/// any [`LinOp`] generator representation (CSR, Kronecker descriptor,
+/// or the runtime-selected [`Generator`](crate::Generator)).
 ///
 /// # Errors
 /// * [`SolveError::SteadyStateUndefined`] if the chain has an absorbing
@@ -179,8 +181,8 @@ pub struct SteadyState {
 ///   the tolerance within the iteration budget (e.g. the chain is
 ///   reducible, or a stiff chain outruns a stationary backend's
 ///   budget).
-pub fn steady_state(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, SolveError> {
-    let n = ctmc.num_states();
+pub fn steady_state<L: LinOp>(op: &L, opts: &IterOptions) -> Result<SteadyState, SolveError> {
+    let n = op.dim();
     if n == 0 {
         return Err(SolveError::EmptyStateSpace);
     }
@@ -191,24 +193,23 @@ pub fn steady_state(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, Solv
             residual: 0.0,
         });
     }
-    if (0..n).any(|i| ctmc.is_absorbing(i)) {
+    if (0..n).any(|i| op.is_absorbing(i)) {
         return Err(SolveError::SteadyStateUndefined);
     }
     let _span = ctsim_obs::span("solver", "steady_state")
         .arg("backend", opts.backend.to_string())
         .arg("states", n);
     match opts.backend {
-        SolverBackend::GaussSeidel => steady_gauss_seidel(ctmc, opts),
-        SolverBackend::Jacobi => steady_jacobi(ctmc, opts),
-        SolverBackend::Krylov => krylov::steady(ctmc, opts),
+        SolverBackend::GaussSeidel => steady_gauss_seidel(op, opts),
+        SolverBackend::Jacobi => steady_jacobi(op, opts),
+        SolverBackend::Krylov => krylov::steady(op, opts),
     }
 }
 
-/// The reference backend: in-place Gauss–Seidel sweeps over the cached
-/// incoming-rate view.
-fn steady_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, SolveError> {
-    let n = ctmc.num_states();
-    let incoming = ctmc.incoming_view();
+/// The reference backend: in-place Gauss–Seidel sweeps over the
+/// operator's (cached) incoming-column view.
+fn steady_gauss_seidel<L: LinOp>(op: &L, opts: &IterOptions) -> Result<SteadyState, SolveError> {
+    let n = op.dim();
     let mut pi = initial_pi(n, opts);
     let mut qv = vec![0.0; n];
     let mut residual = f64::INFINITY;
@@ -220,8 +221,8 @@ fn steady_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, S
     for sweep in 1..=opts.max_iterations {
         // π_j ← (Σ_{i≠j} π_i q_ij) / |q_jj|, in place (Gauss–Seidel).
         for j in 0..n {
-            let inflow: f64 = incoming.column(j).iter().map(|&(i, r)| pi[i] * r).sum();
-            pi[j] = inflow / -ctmc.diag(j);
+            let inflow: f64 = op.column(j).map(|(i, r)| pi[i] * r).sum();
+            pi[j] = inflow / -op.diag(j);
         }
         let total: f64 = pi.iter().sum();
         if !(total.is_finite() && total > 0.0) {
@@ -234,7 +235,7 @@ fn steady_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, S
             *p /= total;
         }
         // Residual: sup-norm of the balance equations πQ.
-        ctmc.vec_mul(&pi, &mut qv);
+        op.apply_transposed(&pi, &mut qv, 1);
         residual = qv.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
         if ctsim_obs::enabled() {
             let done = residual <= opts.tolerance;
@@ -268,9 +269,9 @@ fn steady_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, S
 /// chain Jacobi split would cycle on periodic chains). Each step is one
 /// sharded `π·Q` product over [`IterOptions::threads`] workers plus two
 /// `O(n)` passes.
-fn steady_jacobi(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, SolveError> {
-    let n = ctmc.num_states();
-    let lambda = ctmc.max_exit_rate() * 1.05;
+fn steady_jacobi<L: LinOp>(op: &L, opts: &IterOptions) -> Result<SteadyState, SolveError> {
+    let n = op.dim();
+    let lambda = op.max_exit_rate() * 1.05;
     if !(lambda.is_finite() && lambda > 0.0) {
         return Err(SolveError::NotConverged {
             iterations: 0,
@@ -286,7 +287,7 @@ fn steady_jacobi(ctmc: &Ctmc, opts: &IterOptions) -> Result<SteadyState, SolveEr
         0
     };
     for step in 1..=opts.max_iterations {
-        ctmc.vec_mul_threads(&pi, &mut qv, opts.threads);
+        op.apply_transposed(&pi, &mut qv, opts.threads);
         // The product is the residual of the *current* normalized
         // iterate — free, exactly like the Gauss–Seidel check.
         residual = qv.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
@@ -344,38 +345,42 @@ pub struct AbsorptionTimes {
 }
 
 /// Solves the expected time to absorption from every state with the
-/// backend named in `opts`.
+/// backend named in `opts`, over any [`LinOp`] generator
+/// representation.
 ///
 /// # Errors
 /// * [`SolveError::NoAbsorbingStates`] if the chain has none.
 /// * [`SolveError::NotConverged`] if absorption is not certain from
 ///   some reachable state (the expected time is then infinite) or the
 ///   iteration budget is exhausted.
-pub fn mean_time_to_absorption(
-    ctmc: &Ctmc,
+pub fn mean_time_to_absorption<L: LinOp>(
+    op: &L,
     opts: &IterOptions,
 ) -> Result<AbsorptionTimes, SolveError> {
-    let n = ctmc.num_states();
+    let n = op.dim();
     if n == 0 {
         return Err(SolveError::EmptyStateSpace);
     }
-    if !(0..n).any(|i| ctmc.is_absorbing(i)) {
+    if !(0..n).any(|i| op.is_absorbing(i)) {
         return Err(SolveError::NoAbsorbingStates);
     }
     let _span = ctsim_obs::span("solver", "mean_time_to_absorption")
         .arg("backend", opts.backend.to_string())
         .arg("states", n);
     match opts.backend {
-        SolverBackend::GaussSeidel => absorption_gauss_seidel(ctmc, opts),
-        SolverBackend::Jacobi => absorption_jacobi(ctmc, opts),
-        SolverBackend::Krylov => krylov::absorption(ctmc, opts),
+        SolverBackend::GaussSeidel => absorption_gauss_seidel(op, opts),
+        SolverBackend::Jacobi => absorption_jacobi(op, opts),
+        SolverBackend::Krylov => krylov::absorption(op, opts),
     }
 }
 
 /// The reference backend: in-place Gauss–Seidel sweeps on `Q_TT τ = -1`.
-fn absorption_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTimes, SolveError> {
-    let n = ctmc.num_states();
-    let mut tau = initial_tau(ctmc, opts).unwrap_or_else(|| vec![0.0; n]);
+fn absorption_gauss_seidel<L: LinOp>(
+    op: &L,
+    opts: &IterOptions,
+) -> Result<AbsorptionTimes, SolveError> {
+    let n = op.dim();
+    let mut tau = initial_tau(op, opts).unwrap_or_else(|| vec![0.0; n]);
     let mut residual = f64::INFINITY;
     let mut batch_t0 = if ctsim_obs::enabled() {
         ctsim_obs::now_us()
@@ -390,12 +395,12 @@ fn absorption_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<Absorption
         // it vanishes exactly at the fixed point.
         residual = 0.0;
         for j in 0..n {
-            if ctmc.is_absorbing(j) {
+            if op.is_absorbing(j) {
                 continue;
             }
-            let flow: f64 = ctmc.row(j).map(|(k, r)| r * tau[k]).sum();
-            residual = residual.max((ctmc.diag(j) * tau[j] + flow + 1.0).abs());
-            tau[j] = (1.0 + flow) / -ctmc.diag(j);
+            let flow: f64 = op.row(j).map(|(k, r)| r * tau[k]).sum();
+            residual = residual.max((op.diag(j) * tau[j] + flow + 1.0).abs());
+            tau[j] = (1.0 + flow) / -op.diag(j);
         }
         if ctsim_obs::enabled() {
             let done = residual <= opts.tolerance;
@@ -408,7 +413,7 @@ fn absorption_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<Absorption
             );
         }
         if residual <= opts.tolerance {
-            let mean = ctmc.initial().iter().zip(&tau).map(|(&p, &t)| p * t).sum();
+            let mean = op.initial().iter().zip(&tau).map(|(&p, &t)| p * t).sum();
             return Ok(AbsorptionTimes {
                 per_state: tau,
                 mean,
@@ -433,9 +438,9 @@ fn absorption_gauss_seidel(ctmc: &Ctmc, opts: &IterOptions) -> Result<Absorption
 /// `Q_TT τ = -1`. The flow gather `Σ_k q_jk τ_k` is one sharded
 /// row-oriented SpMV; since every update reads only the previous
 /// iterate, the buffers swap and no write order matters.
-fn absorption_jacobi(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTimes, SolveError> {
-    let n = ctmc.num_states();
-    let mut tau = initial_tau(ctmc, opts).unwrap_or_else(|| vec![0.0; n]);
+fn absorption_jacobi<L: LinOp>(op: &L, opts: &IterOptions) -> Result<AbsorptionTimes, SolveError> {
+    let n = op.dim();
+    let mut tau = initial_tau(op, opts).unwrap_or_else(|| vec![0.0; n]);
     let mut flow = vec![0.0; n];
     let mut residual = f64::INFINITY;
     let mut batch_t0 = if ctsim_obs::enabled() {
@@ -444,15 +449,15 @@ fn absorption_jacobi(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTimes,
         0
     };
     for step in 1..=opts.max_iterations {
-        spmv::flow_mul(ctmc, &tau, &mut flow, opts.threads);
+        op.apply(&tau, &mut flow, opts.threads);
         residual = 0.0;
         for j in 0..n {
-            if ctmc.is_absorbing(j) {
+            if op.is_absorbing(j) {
                 flow[j] = 0.0;
                 continue;
             }
-            residual = residual.max((ctmc.diag(j) * tau[j] + flow[j] + 1.0).abs());
-            flow[j] = (1.0 + flow[j]) / -ctmc.diag(j);
+            residual = residual.max((op.diag(j) * tau[j] + flow[j] + 1.0).abs());
+            flow[j] = (1.0 + flow[j]) / -op.diag(j);
         }
         std::mem::swap(&mut tau, &mut flow);
         if ctsim_obs::enabled() {
@@ -460,7 +465,7 @@ fn absorption_jacobi(ctmc: &Ctmc, opts: &IterOptions) -> Result<AbsorptionTimes,
             trace_iteration("absorption_jacobi", step, residual, done, &mut batch_t0);
         }
         if residual <= opts.tolerance {
-            let mean = ctmc.initial().iter().zip(&tau).map(|(&p, &t)| p * t).sum();
+            let mean = op.initial().iter().zip(&tau).map(|(&p, &t)| p * t).sum();
             return Ok(AbsorptionTimes {
                 per_state: tau,
                 mean,

@@ -7,7 +7,7 @@
 //! exponentials under- or overflow even for large `Λt`, and the series
 //! is truncated once the missing mass is below the requested tolerance.
 
-use crate::ctmc::Ctmc;
+use crate::linop::LinOp;
 use crate::SolveError;
 
 /// Poisson terms per telemetry batch span in the uniformization loop.
@@ -51,22 +51,27 @@ pub struct Transient {
     pub terms: usize,
 }
 
-/// Computes `π(t)` for the chain started from its initial distribution.
+/// Computes `π(t)` for the chain started from its initial
+/// distribution, over any [`LinOp`] generator representation.
 ///
 /// # Errors
 /// [`SolveError::TruncationTooLong`] if `Λt` needs more than
 /// `max_terms` Poisson terms at the requested tolerance.
-pub fn transient(ctmc: &Ctmc, t_ms: f64, opts: &TransientOptions) -> Result<Transient, SolveError> {
+pub fn transient<L: LinOp>(
+    op: &L,
+    t_ms: f64,
+    opts: &TransientOptions,
+) -> Result<Transient, SolveError> {
     assert!(
         t_ms >= 0.0 && t_ms.is_finite(),
         "time must be finite and >= 0"
     );
-    let n = ctmc.num_states();
-    let lambda = ctmc.max_exit_rate();
+    let n = op.dim();
+    let lambda = op.max_exit_rate();
     let lt = lambda * t_ms;
     if lt == 0.0 {
         return Ok(Transient {
-            probs: ctmc.initial().to_vec(),
+            probs: op.initial().to_vec(),
             t: t_ms,
             lambda,
             terms: 0,
@@ -79,7 +84,7 @@ pub fn transient(ctmc: &Ctmc, t_ms: f64, opts: &TransientOptions) -> Result<Tran
         .arg("terms", weights.len())
         .arg("states", n);
     // v_k = π(0) P^k, accumulated into out with weight w_k.
-    let mut v = ctmc.initial().to_vec();
+    let mut v = op.initial().to_vec();
     let mut qv = vec![0.0; n];
     let mut out = vec![0.0; n];
     let last = weights.len() - 1;
@@ -96,7 +101,7 @@ pub fn transient(ctmc: &Ctmc, t_ms: f64, opts: &TransientOptions) -> Result<Tran
         }
         if k < last {
             // v ← v P = v + (v Q)/Λ, the sharded gather product.
-            ctmc.vec_mul_threads(&v, &mut qv, opts.threads);
+            op.apply_transposed(&v, &mut qv, opts.threads);
             for (x, &q) in v.iter_mut().zip(&qv) {
                 *x += q / lambda;
             }
@@ -185,6 +190,7 @@ fn poisson_weights(lt: f64, opts: &TransientOptions) -> Result<Vec<f64>, SolveEr
 mod tests {
     use super::*;
     use crate::graph::{ReachOptions, StateSpace};
+    use crate::Ctmc;
     use ctsim_san::{Activity, Case, SanBuilder, SanModel};
     use ctsim_stoch::Dist;
 

@@ -31,8 +31,8 @@ use ctsim_bench::BENCH_SEED;
 use ctsim_models::{build_model, decided_place_ids, latency_replications, SanParams};
 use ctsim_san::Marking;
 use ctsim_solve::{
-    AnalyticRun, GeneratorBackend, IterOptions, LinOp, ReachOptions, SolveOptions, SolverBackend,
-    StateSpace, TransientOptions,
+    AnalyticRun, DedupMode, GeneratorBackend, IterOptions, LinOp, ReachOptions, SolveOptions,
+    SolverBackend, SpillOptions, StateSpace, TransientOptions,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -85,6 +85,7 @@ fn bench(c: &mut Criterion) {
 
     ph_expansion(c);
     let mut extra = concurrent_intern();
+    extra.extend(out_of_core());
     extra.extend(solver_backends());
     extra.extend(kron_matvec());
     extra.extend(campaign_grid());
@@ -266,6 +267,69 @@ fn concurrent_intern() -> Vec<BenchResult> {
         vec![1, cores],
         1,
     );
+    rows
+}
+
+/// The out-of-core pipeline on the n = 3 exponential first-passage
+/// space (≈ 1.35 × 10⁵ states): full explore → CSR → Krylov mean,
+/// once resident and once under an 8 MB spill budget with forced
+/// external-memory dedup (delayed duplicate detection + the paged CSR
+/// streamed through the sharded SpMV). Self-timed best-of-N like the
+/// intern sweep. Both rows carry `peak_bytes`, so `bench_check` gates
+/// two things at once: the spilled pipeline's throughput (the
+/// sort-merge and pager overhead must stay bounded relative to the
+/// resident leg) and — via the budgeted row's live-heap peak — that
+/// the budget actually holds the bulk arrays out of RAM.
+fn out_of_core() -> Vec<BenchResult> {
+    let params = SanParams::exponential_n3();
+    let model = build_model(&params);
+    let decided = decided_place_ids(&model, params.n);
+    let goal = |m: &Marking| decided.iter().any(|&d| m.get(d) > 0);
+    let iter = IterOptions {
+        backend: SolverBackend::Krylov,
+        ..IterOptions::default()
+    };
+    let legs: [(&str, Option<SpillOptions>); 2] = [
+        ("resident", None),
+        (
+            "ddd_spill8M",
+            Some(SpillOptions::with_budget(8 << 20).dedup(DedupMode::External)),
+        ),
+    ];
+    let repeats = 2u32;
+    let mut rows = Vec::new();
+    for (label, spill) in legs {
+        let opts = ReachOptions {
+            threads: 4,
+            max_states: 4 << 20,
+            spill: spill.clone(),
+            ..ReachOptions::default()
+        };
+        let mut best = f64::INFINITY;
+        let mut peak = u64::MAX;
+        let mut states = 0usize;
+        for _ in 0..repeats {
+            alloc_counter::reset_peak();
+            let start = Instant::now();
+            let run = AnalyticRun::first_passage(&model, &opts, goal).unwrap();
+            black_box(run.mean(&iter).unwrap().mean_ms);
+            states = run.space().len();
+            best = best.min(start.elapsed().as_nanos() as f64);
+            peak = peak.min(alloc_counter::peak_bytes() as u64);
+        }
+        let name = format!("out_of_core/analytic_exp_n3_{label}_states{states}");
+        println!(
+            "timed {name:<68} {best:>14.0} ns/iter, peak {:.1} MB (best of {repeats})",
+            peak as f64 / (1 << 20) as f64
+        );
+        rows.push(BenchResult {
+            name,
+            ns_per_iter: best,
+            iters: u64::from(repeats),
+            peak_bytes: Some(peak),
+            meta: None,
+        });
+    }
     rows
 }
 

@@ -28,7 +28,11 @@
 //! * **matvec (per generator)** — the single-thread forward `Q v`
 //!   product on the same n = 3 space, once on the materialized CSR
 //!   matrix and once on the matrix-free Kronecker descriptor, plus a
-//!   peak-heap gate pinning the descriptor's memory headline.
+//!   peak-heap gate pinning the descriptor's memory headline;
+//! * **out-of-core analytic** — the full explore → CSR → Krylov-mean
+//!   pipeline on the same n = 3 space under an 8 MB spill budget with
+//!   external-memory dedup, plus a peak-heap gate on the spilled leg
+//!   proving the budget keeps the bulk arrays out of RAM.
 //!
 //! Both files must come from the same bench code for names to line up.
 
@@ -52,6 +56,10 @@ const GATES: &[(&str, &str)] = &[
     (
         "solve/krylov",
         "solver_backends/solve_exp_n3_krylov_threads1_states",
+    ),
+    (
+        "ooc/analytic-spilled",
+        "out_of_core/analytic_exp_n3_ddd_spill8M_states",
     ),
     ("matvec/csr", "kron_matvec/apply_csr_exp_n3_threads1_states"),
     (
@@ -90,6 +98,10 @@ const MEM_GATES: &[(&str, &str)] = &[
     (
         "kron matvec peak-mem",
         "kron_matvec/apply_kron_exp_n3_threads1_states",
+    ),
+    (
+        "ooc spilled peak-mem",
+        "out_of_core/analytic_exp_n3_ddd_spill8M_states",
     ),
 ];
 
@@ -416,6 +428,7 @@ mod tests {
       "iters": 20, "peak_bytes": 31457280,
       "op": { "generator": "kron", "product": "flow", "threads": 1 }
     },
+    { "name": "out_of_core/analytic_exp_n3_ddd_spill8M_states135125", "ns_per_iter": 650000000.0, "iters": 2, "peak_bytes": 37748736 },
     { "name": "campaign/grid_warm_paper_n2_order8_points16_states4272", "ns_per_iter": 40000000.0, "iters": 16 },
     { "name": "campaign/grid_cold_paper_n2_order8_points16_states4272", "ns_per_iter": 160000000.0, "iters": 16 },
     { "name": "campaign/cache_hit_rate_per1000_states937", "ns_per_iter": 1000.0, "iters": 16 }
@@ -427,7 +440,7 @@ mod tests {
         let rows = parse_rows(SAMPLE);
         // The host-info object sits outside the results array, so it
         // never becomes a measurement row.
-        assert_eq!(rows.len(), 10);
+        assert_eq!(rows.len(), 11);
         let cal = ns_per_replication(&rows).unwrap();
         assert!((cal - 10000.0).abs() < 1e-9);
         for &(label, prefix) in GATES {

@@ -25,8 +25,8 @@ use std::time::Instant;
 
 use ctsim_models::{build_model, latency_replications, SanParams};
 use ctsim_solve::{
-    extrapolated_mean, AnalyticRun, GeneratorBackend, SolveError, SolveOptions, SolverBackend,
-    SpillOptions,
+    extrapolated_mean, AnalyticRun, DedupMode, GeneratorBackend, SolveError, SolveOptions,
+    SolverBackend, SpillOptions,
 };
 use ctsim_testbed::CrashScenario;
 
@@ -60,11 +60,19 @@ pub struct AnalyticOptions {
     /// means — the CI `generator-agreement` job gates them to ≤ 1e-6
     /// relative.
     pub generator: GeneratorBackend,
-    /// RAM budget (bytes) for the exploration's bulk arrays; beyond it
-    /// cold transition/state segments page to a temp file (`repro
-    /// analytic --spill-budget 512M`). `None` keeps everything
-    /// resident. Results are byte-identical either way.
+    /// RAM budget (bytes) for the exploration's and solve's bulk
+    /// arrays — the transition arena, the packed states, the CSR
+    /// entries, and (under [`DedupMode::Auto`]) the intern table's
+    /// estimated footprint; beyond it cold segments page to a temp
+    /// file (`repro analytic --spill-budget 512M`). `None` keeps
+    /// everything resident. Results are byte-identical either way.
     pub spill_budget: Option<usize>,
+    /// How exploration deduplicates states when a spill budget is set
+    /// (`repro analytic --dedup auto|resident|external`): the resident
+    /// sharded intern table, or external-memory BFS with delayed
+    /// duplicate detection. Ignored without `--spill-budget`. Results
+    /// are byte-identical across modes.
+    pub dedup: DedupMode,
     /// Write a chrome://tracing (`trace_event`) file of the run here
     /// (`repro analytic --trace out.json`). Setting this turns the
     /// [`ctsim_obs`] telemetry on for the duration of the run; load the
@@ -85,6 +93,7 @@ impl Default for AnalyticOptions {
             backend: SolverBackend::default(),
             generator: GeneratorBackend::default(),
             spill_budget: None,
+            dedup: DedupMode::default(),
             trace: None,
             metrics: None,
         }
@@ -324,7 +333,9 @@ fn run_inner(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
             } else {
                 max_states(scale)
             };
-            opts.reach.spill = ph.spill_budget.map(SpillOptions::with_budget);
+            opts.reach.spill = ph
+                .spill_budget
+                .map(|b| SpillOptions::with_budget(b).dedup(ph.dedup));
             let row = match solve_mean_and_cdf(&params, &opts, true) {
                 Ok((mean, states, cdf, solve_ms)) => AnalyticRow {
                     scenario,
@@ -387,7 +398,9 @@ fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRo
     } else {
         max_states(scale)
     };
-    opts.reach.spill = ph.spill_budget.map(SpillOptions::with_budget);
+    opts.reach.spill = ph
+        .spill_budget
+        .map(|b| SpillOptions::with_budget(b).dedup(ph.dedup));
     let solved = solve_mean_and_cdf(&params, &opts, true).and_then(|(mk, states, cdf, t_k)| {
         let (mean, solve_ms) = if k >= 2 {
             // Richardson extrapolation over the order: the dominant

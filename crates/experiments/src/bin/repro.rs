@@ -176,6 +176,9 @@ fn parse_args() -> Result<Args, String> {
                     &args.next().ok_or("missing value for --spill-budget")?,
                 )?);
             }
+            "--dedup" => {
+                ph.dedup = args.next().ok_or("missing value for --dedup")?.parse()?;
+            }
             "--trace" => {
                 ph.trace = Some(PathBuf::from(
                     args.next().ok_or("missing value for --trace")?,
@@ -208,6 +211,7 @@ fn usage() -> String {
     "usage: repro <fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b|ablations|throughput|analytic|campaign|all> \
      [--scale quick|default|full] [--seed N] [--out DIR] [--ph-order K] [--threads T] [--n N] \
      [--solver gauss-seidel|jacobi|krylov] [--generator csr|kron] [--spill-budget BYTES[K|M|G]] \
+     [--dedup auto|resident|external] \
      [--trace FILE.json] [--metrics FILE.json] \
      [--grid FILE.csv] [--ns LIST] [--ph-orders LIST] [--service-scales LIST] \
      [--net-scales LIST] [--backends LIST] [--verify-cold] [--measure EXECUTIONS]"
@@ -471,15 +475,16 @@ fn main() {
         // spill-budget leg uses it to show the budget actually binds.
         write_csv(
             &args.out.join("peak_memory.csv"),
-            "command,n,ph_order,threads,spill_budget_bytes,peak_rss_mb",
+            "command,n,ph_order,threads,spill_budget_bytes,dedup,peak_rss_mb",
             std::iter::once(format!(
-                "analytic,{},{},{},{},{:.1}",
+                "analytic,{},{},{},{},{},{:.1}",
                 args.ph.n.map_or(String::new(), |n| n.to_string()),
                 args.ph.ph_order,
                 args.ph.threads,
                 args.ph
                     .spill_budget
                     .map_or(String::new(), |b| b.to_string()),
+                args.ph.dedup,
                 ctsim_experiments::peak_rss_mb(),
             )),
         );

@@ -16,9 +16,20 @@
 //! With a `SpillShared` spill backend attached, sealed
 //! segments are paged out to the shared temp file oldest-first whenever
 //! the resident account exceeds the budget, and paged back on demand
-//! through a two-slot LRU — the streaming access pattern of every
-//! downstream consumer (CSR assembly, reward sweeps) touches each
-//! segment once, front to back, so the tiny cache is enough.
+//! through a small LRU (two slots by default — the streaming access
+//! pattern of every downstream consumer touches each segment once,
+//! front to back; stores serving iterative solvers raise it with
+//! `SegStore::set_cache_slots`). Sweep-style consumers that walk
+//! many rows per pass (the paged-CSR SpMV) use
+//! `SegStore::stream_rows`, which loads each spilled segment once
+//! per group of consecutive rows instead of once per row.
+//!
+//! Segment lifecycle: a segment is *open* (the `tail`, append-only)
+//! until a row does not fit; sealing freezes it behind an `Arc` and
+//! accounts its bytes against the shared spill budget; a sealed
+//! segment may then page out (`Resident` → `Spilled`), after which its
+//! bytes are immutable on disk except through
+//! `SegStore::update_rows`, which rewrites to a fresh offset.
 
 use std::ops::Deref;
 use std::sync::{Arc, Mutex};
@@ -108,6 +119,11 @@ pub(crate) struct SegStore<T: SpillRecord> {
     /// Oldest sealed segment not yet paged out.
     next_spill: usize,
     cache: Mutex<Vec<(usize, Arc<[T]>)>>,
+    /// LRU depth for reloaded segments ([`CACHE_SLOTS`] by default).
+    cache_slots: usize,
+    /// Extra `ctsim-obs` counter credited with every byte paged back
+    /// in (e.g. `spill.csr_paged_bytes` for the generator store).
+    page_counter: Option<&'static str>,
 }
 
 impl<T: SpillRecord> SegStore<T> {
@@ -121,7 +137,32 @@ impl<T: SpillRecord> SegStore<T> {
             spill,
             next_spill: 0,
             cache: Mutex::new(Vec::with_capacity(CACHE_SLOTS)),
+            cache_slots: CACHE_SLOTS,
+            page_counter: None,
         }
+    }
+
+    /// Raises (or lowers) the reloaded-segment LRU depth. Stores that
+    /// serve iterative solvers — many full sweeps, occasional
+    /// look-backs across a shard boundary — want more than the
+    /// streaming default.
+    pub(crate) fn set_cache_slots(&mut self, slots: usize) {
+        self.cache_slots = slots.max(1);
+    }
+
+    /// Credits `counter` with every byte paged back into RAM by this
+    /// store, in addition to the global pager counters.
+    pub(crate) fn set_page_counter(&mut self, counter: &'static str) {
+        self.page_counter = Some(counter);
+    }
+
+    /// Whether any segment currently lives on disk. Stable once the
+    /// store is finished (reads never page out), so consumers can make
+    /// a one-shot resident-vs-streamed decision per solve.
+    pub(crate) fn has_spilled(&self) -> bool {
+        self.segs
+            .iter()
+            .any(|s| matches!(s, Segment::Spilled { .. }))
     }
 
     /// Appends one row, returning its location.
@@ -259,6 +300,9 @@ impl<T: SpillRecord> SegStore<T> {
             return arc;
         }
         ctsim_obs::counter_add("spill.pager_misses", 1);
+        if let Some(counter) = self.page_counter {
+            ctsim_obs::counter_add(counter, (seg_len * T::BYTES) as u64);
+        }
         let spill = self
             .spill
             .as_ref()
@@ -277,11 +321,54 @@ impl<T: SpillRecord> SegStore<T> {
         }
         let data: Vec<T> = bytes.chunks_exact(T::BYTES).map(T::load).collect();
         let arc: Arc<[T]> = data.into();
-        if cache.len() >= CACHE_SLOTS {
+        if cache.len() >= self.cache_slots {
             cache.remove(0);
         }
         cache.push((seg, arc.clone()));
         arc
+    }
+
+    /// Streams the rows addressed by `locs` (in the given order) into
+    /// `f(index_within_locs, row_slice)`, loading each spilled segment
+    /// at most once per run of consecutive rows that live in it. This
+    /// is the sweep primitive of the paged-CSR SpMV: one `O(rows)`
+    /// pass pays `O(segments)` disk reads rather than `O(rows)` LRU
+    /// probes, and the per-row callback order — hence every
+    /// floating-point summation order built on it — is exactly the
+    /// order of `locs`.
+    pub(crate) fn stream_rows(&self, locs: &[RowLoc], mut f: impl FnMut(usize, &[T])) {
+        let mut i = 0;
+        while i < locs.len() {
+            let seg_idx = locs[i].seg as usize;
+            let mut j = i;
+            while j < locs.len() && locs[j].seg as usize == seg_idx {
+                j += 1;
+            }
+            let group = i..j;
+            i = j;
+            if seg_idx == self.segs.len() {
+                for k in group {
+                    let (off, len) = (locs[k].off as usize, locs[k].len as usize);
+                    f(k, &self.tail[off..off + len]);
+                }
+                continue;
+            }
+            match &self.segs[seg_idx] {
+                Segment::Resident(s) => {
+                    for k in group {
+                        let (off, len) = (locs[k].off as usize, locs[k].len as usize);
+                        f(k, &s[off..off + len]);
+                    }
+                }
+                Segment::Spilled { offset, len } => {
+                    let loaded = self.load(seg_idx, *offset, *len as usize);
+                    for k in group {
+                        let (off, len) = (locs[k].off as usize, locs[k].len as usize);
+                        f(k, &loaded[off..off + len]);
+                    }
+                }
+            }
+        }
     }
 
     /// Rewrites every stored row in place through `f(row_index, row)`,

@@ -20,6 +20,15 @@
 //! and is surfaced as `repro analytic --solver <backend>`; CI runs the
 //! full matrix and gates cross-backend agreement of the extrapolated
 //! mean to ≤ 1e-6 relative.
+//!
+//! One asymmetry under a spill budget: Gauss–Seidel sweeps rows in
+//! place through the incoming view and revisits them out of order, so
+//! it requires a fully resident generator and refuses a disk-paged CSR
+//! with [`SolveError::ResidentOnly`](crate::SolveError::ResidentOnly)
+//! rather than thrash the pager. Jacobi and Krylov consume the
+//! generator only through the front-to-back sharded SpMV, which
+//! streams paged segments through the LRU — they are the out-of-core
+//! backends (see `docs/MEMORY.md`).
 
 use std::fmt;
 use std::str::FromStr;

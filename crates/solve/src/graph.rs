@@ -102,11 +102,12 @@ use ctsim_stoch::{Dist, PhaseType};
 use crate::arena::{RowLoc, RowRef, SegStore};
 use crate::backend::GeneratorBackend;
 use crate::ctmc::{Ctmc, CtmcAcc};
+use crate::ddd::{resolve_level, CandSet, DedupSink, Frontier, VisitedRuns};
 use crate::intern::Interner;
 use crate::kron::KronAcc;
 use crate::linop::Generator;
 use crate::pack::StateLayout;
-use crate::spill::{SpillOptions, SpillRecord, SpillShared};
+use crate::spill::{DedupMode, SpillOptions, SpillRecord, SpillShared};
 use crate::SolveError;
 
 /// Exploration limits and expansion/parallelism knobs.
@@ -431,9 +432,12 @@ pub(crate) struct ExpansionShape {
 type SlotShape = (usize, Vec<bool>, Vec<(u32, u64)>);
 
 /// Why an exploration attempt stopped: a packed field overflowed (retry
-/// with wider place fields) or a real solver error.
+/// with wider place fields), the resident intern table outgrew its
+/// share of the spill budget (restart in external-memory dedup mode),
+/// or a real solver error.
 enum Abort {
     Pack,
+    Ddd,
     Solve(SolveError),
 }
 
@@ -612,6 +616,64 @@ impl WorkerChain {
     }
 }
 
+impl<'m, 'a> Explorer<'m, 'a> {
+    fn new(
+        model: &'m SanModel,
+        opts: &'a ReachOptions,
+        expansion: &'a Expansion,
+        absorb: Option<&'a AbsorbFn<'a>>,
+        layout: &'a StateLayout,
+    ) -> Self {
+        Self {
+            model,
+            opts,
+            expansion,
+            absorb,
+            layout,
+            base: model.num_places(),
+            timed: model
+                .activity_ids()
+                .filter(|&a| matches!(model.timing(a), Timing::Timed(_)))
+                .collect(),
+            instantaneous: model
+                .activity_ids()
+                .filter_map(|a| match *model.timing(a) {
+                    Timing::Instantaneous { priority, weight } => Some((a, priority, weight)),
+                    Timing::Timed(_) => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Resolves the initial marking's vanishing chain (and phase
+    /// entry) into the extended initial token vectors with their
+    /// probabilities — the pre-interning half of level 0, shared by
+    /// both exploration modes.
+    fn initial_ext(&self) -> Result<Vec<(Vec<u32>, f64)>, Abort> {
+        let init_marking = self
+            .model
+            .marking_from(self.model.initial_marking().tokens());
+        let mut init_dist: Vec<(Marking, f64)> = Vec::new();
+        let (mut vwork, mut vlevel) = (Vec::new(), Vec::new());
+        let mut mpool: Vec<Marking> = Vec::new();
+        self.resolve_vanishing(
+            init_marking,
+            1.0,
+            &mut init_dist,
+            &mut vwork,
+            &mut vlevel,
+            &mut mpool,
+        )?;
+        let mut ext: Vec<(Vec<u32>, f64)> = Vec::new();
+        let mut pool: Vec<Vec<u32>> = Vec::new();
+        let mut split: Vec<(Vec<u32>, f64)> = Vec::new();
+        for (marking, p) in init_dist {
+            self.continue_phases(None, None, &marking, p, &mut ext, &mut pool, &mut split);
+        }
+        Ok(ext)
+    }
+}
+
 impl Explorer<'_, '_> {
     /// Whether the tangible place prefix of `tokens` is absorbing.
     fn is_absorbing(&self, tokens: &[u32]) -> bool {
@@ -619,16 +681,17 @@ impl Explorer<'_, '_> {
             .is_some_and(|f| f(&self.model.marking_from(&tokens[..self.base])))
     }
 
-    /// Encodes `tokens` and interns it, returning the provisional id.
-    fn intern_tokens(
+    /// Encodes `tokens` and hands it to the deduplicator, returning the
+    /// sink's id for it: the provisional intern id on the resident
+    /// path, a worker-local candidate index on the external-memory one.
+    fn intern_tokens<S: DedupSink>(
         &self,
-        interner: &Interner,
+        sink: &mut S,
         tokens: &[u32],
         key: &mut [u64],
     ) -> Result<usize, Abort> {
         self.layout.encode(tokens, key).map_err(|_| Abort::Pack)?;
-        interner
-            .intern(key, || self.is_absorbing(tokens))
+        sink.intern_key(key, || self.is_absorbing(tokens))
             .map_err(|_| {
                 Abort::Solve(SolveError::StateSpaceTooLarge {
                     limit: self.opts.max_states,
@@ -732,9 +795,9 @@ impl Explorer<'_, '_> {
     /// `base_rate` is the exponential rate of the completing event.
     /// Transitions are appended to `trans` (the caller's reused row
     /// buffer — `scratch.row`, temporarily taken out of the scratch).
-    fn completions(
+    fn completions<S: DedupSink>(
         &self,
-        interner: &Interner,
+        sink: &mut S,
         ext: &[u32],
         a: ActivityId,
         base_rate: f64,
@@ -780,7 +843,7 @@ impl Explorer<'_, '_> {
                 mpool.push(marking);
             }
             for (tokens, p) in outs.drain(..) {
-                let target = self.intern_tokens(interner, &tokens, key)?;
+                let target = self.intern_tokens(sink, &tokens, key)?;
                 pool.push(tokens);
                 trans.push(Transition {
                     activity: a,
@@ -804,19 +867,33 @@ impl Explorer<'_, '_> {
         scratch: &mut Scratch,
     ) -> Result<(), Abort> {
         interner.read_state(id, &mut scratch.src_key);
+        let mut sink = interner;
+        self.successors_from_key(&mut sink, scratch)
+    }
+
+    /// [`Explorer::successors_of`] with the source's packed key already
+    /// in `scratch.src_key` and the deduplicator abstracted — the entry
+    /// point the external-memory exploration shares with the resident
+    /// one, so both monomorphize the exact same firing/vanishing/phase
+    /// code.
+    fn successors_from_key<S: DedupSink>(
+        &self,
+        sink: &mut S,
+        scratch: &mut Scratch,
+    ) -> Result<(), Abort> {
         self.layout.decode(&scratch.src_key, &mut scratch.ext);
         let ext = std::mem::take(&mut scratch.ext);
         let mut row = std::mem::take(&mut scratch.row);
         row.clear();
-        let result = self.successors_of_ext(interner, &ext, scratch, &mut row);
+        let result = self.successors_of_ext(sink, &ext, scratch, &mut row);
         scratch.ext = ext;
         scratch.row = row;
         result
     }
 
-    fn successors_of_ext(
+    fn successors_of_ext<S: DedupSink>(
         &self,
-        interner: &Interner,
+        sink: &mut S,
         ext: &[u32],
         scratch: &mut Scratch,
         trans: &mut Vec<Transition>,
@@ -846,7 +923,7 @@ impl Explorer<'_, '_> {
                     );
                     let rate = plan.rates[(phase - 1) as usize];
                     if plan.last[(phase - 1) as usize] {
-                        self.completions(interner, ext, a, rate, scratch, trans)?;
+                        self.completions(sink, ext, a, rate, scratch, trans)?;
                     } else {
                         // Fast path for internal phase advances: the
                         // target's packed key is the source key with
@@ -860,7 +937,7 @@ impl Explorer<'_, '_> {
                         let Scratch { key, src_key, .. } = scratch;
                         key.copy_from_slice(src_key);
                         self.layout.patch(key, slot, phase + 1);
-                        let target = interner.intern(key, || false).map_err(|_| {
+                        let target = sink.intern_key(key, || false).map_err(|_| {
                             Abort::Solve(SolveError::StateSpaceTooLarge {
                                 limit: self.opts.max_states,
                             })
@@ -888,7 +965,7 @@ impl Explorer<'_, '_> {
                         Dist::Exp { mean } => 1.0 / mean,
                         _ => f64::NAN,
                     };
-                    self.completions(interner, ext, a, base_rate, scratch, trans)?;
+                    self.completions(sink, ext, a, base_rate, scratch, trans)?;
                 }
             }
         }
@@ -909,6 +986,38 @@ struct PendingLevel {
     order: Vec<u32>,
     /// Packed keys of ids `lo..hi`, `(id - lo) * words` each.
     keys: Vec<u64>,
+}
+
+/// One fully expanded BFS level of the external-memory exploration
+/// queued for emission: the level itself (keys already canonical), the
+/// worker chains whose rows carry worker-local candidate targets, and
+/// the per-worker candidate → canonical-id maps from the level merge.
+struct PendingDddLevel {
+    lo: usize,
+    hi: usize,
+    chains: Vec<WorkerChain>,
+    frontier: Frontier,
+    /// `resolved[w][local]`: canonical id of worker `w`'s candidate
+    /// `local` (see [`crate::ddd::LevelResolution`]).
+    resolved: Vec<Vec<u32>>,
+}
+
+/// One external-memory worker's persistent state: expansion scratch,
+/// the level's transition chain, and its candidate-successor set.
+struct DddWorker {
+    scratch: Scratch,
+    chain: WorkerChain,
+    cands: CandSet,
+}
+
+impl DddWorker {
+    fn new(layout: &StateLayout) -> Self {
+        Self {
+            scratch: Scratch::new(layout),
+            chain: WorkerChain::default(),
+            cands: CandSet::new(layout.words()),
+        }
+    }
 }
 
 /// How the canonical packed states are stored.
@@ -1023,9 +1132,18 @@ enum GenSink {
 }
 
 impl GenSink {
-    fn new(backend: GeneratorBackend) -> Self {
+    /// With a spill backend the CSR accumulator pages its entry
+    /// segments out under the shared budget ([`CtmcAcc::new_paged`]);
+    /// the Kronecker descriptor is already tiny and stays resident.
+    fn new(backend: GeneratorBackend, spill: Option<Arc<SpillShared>>) -> Self {
         match backend {
-            GeneratorBackend::Csr => GenSink::Csr(CtmcAcc::new(), Vec::new()),
+            GeneratorBackend::Csr => GenSink::Csr(
+                match spill {
+                    Some(s) => CtmcAcc::new_paged(s),
+                    None => CtmcAcc::new(),
+                },
+                Vec::new(),
+            ),
             GeneratorBackend::Kron => GenSink::Kron(KronAcc::new()),
         }
     }
@@ -1084,15 +1202,60 @@ impl Assembly<'_> {
                 .map(|s| SegStore::new(states_per_seg * words, Some(s.clone()))),
             states_per_seg,
             perm: Vec::new(),
-            trans: SegStore::new(TRANS_SEG, spill),
+            trans: SegStore::new(TRANS_SEG, spill.clone()),
             row_locs: Vec::new(),
             absorbing: Vec::new(),
             total_trans: 0,
-            gen: want.map(GenSink::new),
+            gen: want.map(|b| GenSink::new(b, spill)),
             merge_buf: Vec::new(),
             runs_buf: Vec::new(),
             chain_pool: Vec::new(),
             level_buf_pool: Vec::new(),
+        }
+    }
+
+    /// Indexes one level's worker chains by provisional id into
+    /// `runs_buf` (absorbing states keep [`RunSlot::NONE`]).
+    fn index_runs(&mut self, lo: usize, hi: usize, chains: &[WorkerChain]) {
+        self.runs_buf.clear();
+        self.runs_buf.resize(hi - lo, RunSlot::NONE);
+        for (ci, chain) in chains.iter().enumerate() {
+            for r in &chain.runs {
+                self.runs_buf[r.prov as usize - lo] = RunSlot {
+                    chain: ci as u16,
+                    seg: r.seg as u16,
+                    off: r.off,
+                    len: r.len,
+                };
+            }
+        }
+    }
+
+    /// Appends canonical state `src`'s retargeted, merged row (already
+    /// in `merge_buf`) to the generator sink and the flat transition
+    /// arena — the emission tail both exploration modes share.
+    fn push_state_row(&mut self, src: usize) -> Result<(), Abort> {
+        let model = self.model;
+        if let Some(acc) = &mut self.gen {
+            acc.push_row(src, &self.merge_buf).map_err(|a| {
+                Abort::Solve(SolveError::NonMarkovian {
+                    activity: model.activity_name(a).to_string(),
+                })
+            })?;
+        }
+        let loc = self.trans.append_row(&self.merge_buf);
+        self.row_locs.push(loc);
+        self.total_trans += self.merge_buf.len();
+        Ok(())
+    }
+
+    /// Recycles an emitted level's chains instead of freeing them: the
+    /// next levels reuse the same capacity, keeping the resident
+    /// footprint flat instead of fragmenting the heap at peak.
+    fn recycle_chains(&mut self, chains: Vec<WorkerChain>) {
+        for mut chain in chains {
+            chain.reset();
+            self.chain_pool.push(chain);
         }
     }
 
@@ -1118,19 +1281,7 @@ impl Assembly<'_> {
         let _csr_span = ctsim_obs::span("csr", "csr_build_level")
             .arg("lo", lo)
             .arg("states", hi - lo);
-        self.runs_buf.clear();
-        self.runs_buf.resize(hi - lo, RunSlot::NONE);
-        for (ci, chain) in chains.iter().enumerate() {
-            for r in &chain.runs {
-                self.runs_buf[r.prov as usize - lo] = RunSlot {
-                    chain: ci as u16,
-                    seg: r.seg as u16,
-                    off: r.off,
-                    len: r.len,
-                };
-            }
-        }
-        let model = self.model;
+        self.index_runs(lo, hi, &chains);
         for &prov in &order {
             let i = prov as usize - lo;
             let src = canon[prov as usize] as usize;
@@ -1153,25 +1304,54 @@ impl Assembly<'_> {
                 }
                 merge_outgoing(&mut self.merge_buf);
             }
-            if let Some(acc) = &mut self.gen {
-                acc.push_row(src, &self.merge_buf).map_err(|a| {
-                    Abort::Solve(SolveError::NonMarkovian {
-                        activity: model.activity_name(a).to_string(),
-                    })
-                })?;
-            }
-            let loc = self.trans.append_row(&self.merge_buf);
-            self.row_locs.push(loc);
-            self.total_trans += self.merge_buf.len();
+            self.push_state_row(src)?;
         }
-        // Recycle the level's buffers instead of freeing them: the
-        // next levels reuse the same capacity, keeping the resident
-        // footprint flat instead of fragmenting the heap at peak.
-        for mut chain in chains {
-            chain.reset();
-            self.chain_pool.push(chain);
-        }
+        self.recycle_chains(chains);
         self.level_buf_pool.push((keys, order));
+        Ok(())
+    }
+
+    /// [`Assembly::emit_level`] for the external-memory exploration.
+    /// The level's states are its [`Frontier`] entries — already in
+    /// canonical (sorted-key) order with ids `lo + i`, so there is no
+    /// visit permutation — and transition targets are *worker-local
+    /// candidate indices*, mapped to canonical ids through the owning
+    /// chain's `resolved` table from the level merge.
+    fn emit_level_ddd(&mut self, level: PendingDddLevel) -> Result<(), Abort> {
+        let PendingDddLevel {
+            lo,
+            hi,
+            chains,
+            frontier,
+            resolved,
+        } = level;
+        let _csr_span = ctsim_obs::span("csr", "csr_build_level")
+            .arg("lo", lo)
+            .arg("states", hi - lo);
+        debug_assert_eq!(frontier.len(), hi - lo);
+        self.index_runs(lo, hi, &chains);
+        for i in 0..(hi - lo) {
+            debug_assert_eq!(lo + i, self.row_locs.len(), "levels emitted in order");
+            self.packed
+                .as_mut()
+                .expect("external dedup always spills the packed states")
+                .append_row(frontier.key(i));
+            self.absorbing.push(frontier.absorbing(i));
+            self.merge_buf.clear();
+            let slot = self.runs_buf[i];
+            if slot.chain != u16::MAX {
+                let seg = &chains[slot.chain as usize].segs[slot.seg as usize];
+                self.merge_buf
+                    .extend_from_slice(&seg[slot.off as usize..(slot.off + slot.len) as usize]);
+                let map = &resolved[slot.chain as usize];
+                for t in &mut self.merge_buf {
+                    t.target = map[t.target] as usize;
+                }
+                merge_outgoing(&mut self.merge_buf);
+            }
+            self.push_state_row(lo + i)?;
+        }
+        self.recycle_chains(chains);
         Ok(())
     }
 }
@@ -1303,8 +1483,21 @@ impl<'m> StateSpace<'m> {
     ) -> Result<(Self, Option<Generator>), SolveError> {
         let expansion = Expansion::build(model, opts.ph_order)?;
         let mut layout = StateLayout::new(model.num_places(), &expansion.phase_maxes());
+        // External-memory dedup from level 0 when forced; otherwise the
+        // resident attempt may abort with `Ddd` mid-exploration (Auto
+        // mode, intern table outgrew its budget share) and restart
+        // here in external mode. Pack retries preserve the mode.
+        let mut force_ddd = opts
+            .spill
+            .as_ref()
+            .is_some_and(|s| s.dedup == DedupMode::External);
         loop {
-            match Self::explore_attempt(model, opts, absorb, &expansion, &layout, want) {
+            let attempt = if force_ddd {
+                Self::explore_attempt_ddd(model, opts, absorb, &expansion, &layout, want)
+            } else {
+                Self::explore_attempt(model, opts, absorb, &expansion, &layout, want)
+            };
+            match attempt {
                 Ok(pair) => return Ok(pair),
                 // A place field overflowed its bit width: restart from
                 // scratch one ladder rung wider. The reachable set is
@@ -1314,6 +1507,7 @@ impl<'m> StateSpace<'m> {
                 Err(Abort::Pack) => {
                     layout = layout.widen().expect("32-bit place fields cannot overflow");
                 }
+                Err(Abort::Ddd) => force_ddd = true,
                 Err(Abort::Solve(e)) => return Err(e),
             }
         }
@@ -1329,66 +1523,17 @@ impl<'m> StateSpace<'m> {
     ) -> Result<(Self, Option<Generator>), Abort> {
         let base = model.num_places();
         let words = layout.words();
-        let explorer = Explorer {
-            model,
-            opts,
-            expansion,
-            absorb,
-            layout,
-            base,
-            timed: model
-                .activity_ids()
-                .filter(|&a| matches!(model.timing(a), Timing::Timed(_)))
-                .collect(),
-            instantaneous: model
-                .activity_ids()
-                .filter_map(|a| match *model.timing(a) {
-                    Timing::Instantaneous { priority, weight } => Some((a, priority, weight)),
-                    Timing::Timed(_) => None,
-                })
-                .collect(),
-        };
-        let workers = match opts.threads {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            t => t,
-        }
-        .max(1);
+        let explorer = Explorer::new(model, opts, expansion, absorb, layout);
+        let workers = crate::spmv::resolve_threads(opts.threads);
         let interner = Interner::new(words, opts.max_states, workers);
 
         // Resolve the initial marking's vanishing chain (and phase
         // entry) into the initial tangible distribution.
-        let init_marking = model.marking_from(model.initial_marking().tokens());
-        let mut init_dist: Vec<(Marking, f64)> = Vec::new();
-        let (mut vwork, mut vlevel) = (Vec::new(), Vec::new());
-        let mut init_mpool: Vec<Marking> = Vec::new();
-        explorer.resolve_vanishing(
-            init_marking,
-            1.0,
-            &mut init_dist,
-            &mut vwork,
-            &mut vlevel,
-            &mut init_mpool,
-        )?;
-        let mut init_ext: Vec<(Vec<u32>, f64)> = Vec::new();
-        let mut init_pool: Vec<Vec<u32>> = Vec::new();
-        let mut init_split: Vec<(Vec<u32>, f64)> = Vec::new();
-        for (marking, p) in init_dist {
-            explorer.continue_phases(
-                None,
-                None,
-                &marking,
-                p,
-                &mut init_ext,
-                &mut init_pool,
-                &mut init_split,
-            );
-        }
+        let init_ext = explorer.initial_ext()?;
         let mut key = vec![0u64; words];
         let mut initial: Vec<(usize, f64)> = Vec::new();
         for (tokens, p) in init_ext {
-            let id = explorer.intern_tokens(&interner, &tokens, &mut key)?;
+            let id = explorer.intern_tokens(&mut (&interner), &tokens, &mut key)?;
             match initial.iter_mut().find(|(i, _)| *i == id) {
                 Some((_, q)) => *q += p,
                 None => initial.push((id, p)),
@@ -1396,11 +1541,7 @@ impl<'m> StateSpace<'m> {
         }
 
         let spill = match &opts.spill {
-            Some(s) => Some(Arc::new(SpillShared::new(s).map_err(|e| {
-                Abort::Solve(SolveError::SpillFailed {
-                    message: e.to_string(),
-                })
-            })?)),
+            Some(s) => Some(Arc::new(SpillShared::new(s).map_err(Abort::Solve)?)),
             None => None,
         };
         let mut asm = Assembly::new(model, words, want, spill);
@@ -1420,6 +1561,21 @@ impl<'m> StateSpace<'m> {
         let mut level_idx = 0usize;
         let _explore_span = ctsim_obs::span("explore", "explore").arg("workers", workers);
         while lvl_lo < interner.len() {
+            // Auto dedup: when the intern table's estimated footprint
+            // (arena bytes + flag byte per state, plus the hash-table
+            // slots) claims more than half the spill budget, restart
+            // the whole exploration in external-memory mode. Checked
+            // only at level boundaries — membership of a level is a
+            // model property, so the switch level (and the restart) is
+            // deterministic for every thread count.
+            if let Some(s) = &opts.spill {
+                if s.dedup == DedupMode::Auto {
+                    let (_, slots) = interner.table_stats();
+                    if interner.len() * (words * 8 + 1) + slots * 8 > s.budget_bytes / 2 {
+                        return Err(Abort::Ddd);
+                    }
+                }
+            }
             let lvl_hi = interner.len();
             let lvl_t0 = ctsim_obs::now_us();
             // Spawning a thread costs more than expanding a handful of
@@ -1616,6 +1772,248 @@ impl<'m> StateSpace<'m> {
                     perm: asm.perm,
                 }
             }
+        };
+        let ss = Self {
+            model,
+            base,
+            phase_slots: expansion.num_slots(),
+            layout: layout.clone(),
+            packed,
+            trans: asm.trans,
+            row_locs: asm.row_locs,
+            total_trans: asm.total_trans,
+            initial: init,
+            absorbing: asm.absorbing,
+            ph_order: opts.ph_order,
+            shape: expansion.shape(model),
+        };
+        Ok((ss, gen))
+    }
+
+    /// [`StateSpace::explore_attempt`] in external-memory mode: states
+    /// are deduplicated by delayed duplicate detection over sorted
+    /// on-disk runs ([`crate::ddd`]) instead of the resident intern
+    /// table, so exploration's RAM high-water mark is proportional to
+    /// the largest BFS level, not the state space. The canonical
+    /// numbering — `(BFS level, packed key)` — is reproduced exactly
+    /// (ids are positional in the sorted runs), so states, transitions,
+    /// and the CSR generator are byte-identical to the resident path's.
+    fn explore_attempt_ddd(
+        model: &'m SanModel,
+        opts: &ReachOptions,
+        absorb: Option<&AbsorbFn<'_>>,
+        expansion: &Expansion,
+        layout: &StateLayout,
+        want: Option<GeneratorBackend>,
+    ) -> Result<(Self, Option<Generator>), Abort> {
+        let base = model.num_places();
+        let words = layout.words();
+        let explorer = Explorer::new(model, opts, expansion, absorb, layout);
+        let workers = crate::spmv::resolve_threads(opts.threads);
+        let sopts = opts
+            .spill
+            .as_ref()
+            .expect("external-memory dedup requires spill options");
+        let spill = Arc::new(SpillShared::new(sopts).map_err(Abort::Solve)?);
+        let mut visited = VisitedRuns::new(words, spill.clone());
+
+        // Seed: the initial tangible distribution is level 0 —
+        // interned into one candidate set and resolved immediately, so
+        // initial ids are canonical from the start.
+        let init_ext = explorer.initial_ext()?;
+        let mut seed = CandSet::new(words);
+        let mut key = vec![0u64; words];
+        let mut init_local: Vec<(usize, f64)> = Vec::new();
+        for (tokens, p) in init_ext {
+            let id = explorer.intern_tokens(&mut seed, &tokens, &mut key)?;
+            match init_local.iter_mut().find(|(i, _)| *i == id) {
+                Some((_, q)) => *q += p,
+                None => init_local.push((id, p)),
+            }
+        }
+        let r0 = resolve_level(&[&seed], &mut visited, 0, opts.max_states).map_err(Abort::Solve)?;
+        let mut init: Vec<(usize, f64)> = init_local
+            .into_iter()
+            .map(|(i, p)| (r0.resolved[0][i] as usize, p))
+            .collect();
+        init.sort_unstable_by_key(|&(i, _)| i);
+        let mut frontier = r0.frontier;
+        drop(seed);
+
+        let mut asm = Assembly::new(model, words, want, Some(spill));
+        let mut pending: Option<PendingDddLevel> = None;
+        let mut worker_states: Vec<DddWorker> =
+            (0..workers).map(|_| DddWorker::new(layout)).collect();
+
+        // The same level-synchronous sweep as the resident path, with
+        // the duplicate test delayed to the level boundary: workers
+        // expand the frontier into worker-local candidate sets and
+        // per-worker chains (targets are candidate indices), then the
+        // merge against the on-disk visited runs assigns canonical ids
+        // and yields the next frontier. The *previous* level is
+        // emitted while the current one is expanded, like the resident
+        // pipeline.
+        let mut lvl_lo = 0usize;
+        let mut level_idx = 0usize;
+        let _explore_span = ctsim_obs::span("explore", "explore_ddd").arg("workers", workers);
+        while !frontier.is_empty() {
+            let lvl_hi = lvl_lo + frontier.len();
+            let lvl_t0 = ctsim_obs::now_us();
+            let effective = workers.min(frontier.len() / PARALLEL_THRESHOLD);
+            let chunk = (frontier.len() / (effective.max(1) * 16)).clamp(MIN_CLAIM, MAX_CLAIM);
+            let cursor = AtomicUsize::new(0);
+            let failed = AtomicBool::new(false);
+            let frontier_ref = &frontier;
+            let worker_loop = |st: &mut DddWorker| -> Result<(), Abort> {
+                let DddWorker {
+                    scratch,
+                    chain,
+                    cands,
+                } = st;
+                loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= frontier_ref.len() {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(frontier_ref.len()) {
+                        if frontier_ref.absorbing(i) {
+                            continue; // its row stays empty
+                        }
+                        scratch.src_key.copy_from_slice(frontier_ref.key(i));
+                        if let Err(e) = explorer.successors_from_key(cands, scratch) {
+                            failed.store(true, Ordering::Relaxed);
+                            return Err(e);
+                        }
+                        chain.push_row(lvl_lo + i, &scratch.row);
+                    }
+                }
+                Ok(())
+            };
+            let mut outcomes: Vec<Result<(), Abort>> = Vec::new();
+            if effective <= 1 {
+                if let Some(p) = pending.take() {
+                    asm.emit_level_ddd(p)?;
+                }
+                outcomes.push(worker_loop(&mut worker_states[0]));
+            } else {
+                let p = pending.take();
+                let emitted = std::thread::scope(|scope| {
+                    let handles: Vec<_> = worker_states
+                        .iter_mut()
+                        .take(effective)
+                        .map(|st| scope.spawn(|| worker_loop(st)))
+                        .collect();
+                    let r = match p {
+                        Some(level) => asm.emit_level_ddd(level),
+                        None => Ok(()),
+                    };
+                    if r.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    for h in handles {
+                        outcomes.push(h.join().expect("exploration worker panicked"));
+                    }
+                    r
+                });
+                outcomes.push(emitted);
+            }
+            let mut err: Option<Abort> = None;
+            for r in outcomes {
+                match r {
+                    Ok(()) => {}
+                    Err(Abort::Pack) => err = Some(Abort::Pack),
+                    Err(e) => {
+                        if err.is_none() {
+                            err = Some(e);
+                        }
+                    }
+                }
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+            // The delayed duplicate detection: match every worker's
+            // candidates against the sorted visited runs, canonical
+            // ids for the unmatched remainder — the next level.
+            let next = {
+                let cand_refs: Vec<&CandSet> = worker_states.iter().map(|st| &st.cands).collect();
+                resolve_level(&cand_refs, &mut visited, lvl_hi, opts.max_states)
+                    .map_err(Abort::Solve)?
+            };
+            let chains: Vec<WorkerChain> = worker_states
+                .iter_mut()
+                .map(|st| std::mem::take(&mut st.chain))
+                .collect();
+            if ctsim_obs::enabled() {
+                let transitions: usize = chains
+                    .iter()
+                    .map(|c| c.runs.iter().map(|r| r.len as usize).sum::<usize>())
+                    .sum();
+                let new_states = next.frontier.len();
+                ctsim_obs::record_span(
+                    "explore",
+                    "bfs_level",
+                    lvl_t0,
+                    vec![
+                        ("level", level_idx.into()),
+                        ("states", frontier.len().into()),
+                        ("new_states", new_states.into()),
+                        ("transitions", transitions.into()),
+                        ("dedup_hits", transitions.saturating_sub(new_states).into()),
+                        ("workers", effective.max(1).into()),
+                    ],
+                );
+                ctsim_obs::counter_add("explore.levels", 1);
+                ctsim_obs::counter_add("explore.transitions", transitions as u64);
+            }
+            level_idx += 1;
+            for st in worker_states.iter_mut() {
+                st.cands.clear();
+            }
+            // Hand emptied chains from an emitted level back to the
+            // workers for the next one.
+            for st in worker_states.iter_mut() {
+                match asm.chain_pool.pop() {
+                    Some(rc) => st.chain = rc,
+                    None => break,
+                }
+            }
+            pending = Some(PendingDddLevel {
+                lo: lvl_lo,
+                hi: lvl_hi,
+                chains,
+                frontier: std::mem::replace(&mut frontier, next.frontier),
+                resolved: next.resolved,
+            });
+            lvl_lo = lvl_hi;
+        }
+        if let Some(p) = pending.take() {
+            asm.emit_level_ddd(p)?;
+        }
+
+        asm.trans.finish();
+        if ctsim_obs::enabled() {
+            ctsim_obs::gauge_set("explore.states_total", lvl_lo as f64);
+            // Make sure the external-memory and pager counters exist
+            // in the metrics document even when nothing was merged or
+            // paged (tiny models under a generous budget).
+            ctsim_obs::counter_add("ddd.sorted_runs", 0);
+            ctsim_obs::counter_add("ddd.merge_bytes", 0);
+            ctsim_obs::counter_add("spill.pager_hits", 0);
+            ctsim_obs::counter_add("spill.pager_misses", 0);
+            ctsim_obs::counter_add("spill.paged_out_bytes", 0);
+        }
+        let gen = asm.gen.take().map(|acc| acc.finish(&init));
+        let mut store = asm
+            .packed
+            .expect("external dedup always spills the packed states");
+        store.finish();
+        let packed = PackedStates::Store {
+            store,
+            per_seg: asm.states_per_seg,
         };
         let ss = Self {
             model,

@@ -394,8 +394,9 @@ impl Interner {
 
 /// 64-bit hash of the packed words (multiply–xor with a splitmix64
 /// finalizer). Seed-free, so the table layout — though never observable
-/// in results — is at least reproducible under a debugger.
-fn hash_key(key: &[u64]) -> u64 {
+/// in results — is at least reproducible under a debugger. Shared with
+/// the external-memory candidate tables in [`crate::ddd`].
+pub(crate) fn hash_key(key: &[u64]) -> u64 {
     let mut h = 0x9E37_79B9_7F4A_7C15u64;
     for &w in key {
         h ^= w;

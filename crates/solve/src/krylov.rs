@@ -29,6 +29,15 @@
 //! mode at a time, which is what turns >10⁴-sweep problems into a
 //! handful of restart cycles.
 //!
+//! The absorption path is also the fully out-of-core solve: every
+//! operator touch is either the sharded row-product `Σ_k q_ik v_k`
+//! (which streams a disk-paged CSR through the segment LRU front to
+//! back, see [`crate::arena`]) or the single descending
+//! back-substitution pass of the preconditioner — no in-place,
+//! out-of-order row sweeps. A generator whose entries live on disk
+//! under a spill budget therefore solves on this backend unchanged,
+//! bit-identical to the resident run.
+//!
 //! Convergence is judged exactly like the stationary backends: the
 //! sup-norm of the *unpreconditioned* balance/defect residual must
 //! fall below [`IterOptions::tolerance`](crate::IterOptions::tolerance),

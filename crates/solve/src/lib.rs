@@ -117,12 +117,19 @@
 //! `--spill-budget`), cold arena segments page out to an unlinked temp
 //! file under a RAM budget and are read back through a small LRU —
 //! results are byte-identical with spill on or off (property-tested),
-//! which is what lets state spaces larger than memory explore. Two
-//! structures stay resident outside the budget: the intern arena
-//! (`states × packed words`, required for concurrent lookups) and, on
-//! the pipelined analytic path, the CSR generator accumulated by
-//! [`StateSpace::explore_ctmc`] (~24 bytes per off-diagonal rate) —
-//! they are the spill-mode RAM floor.
+//! which is what lets state spaces larger than memory explore. The
+//! budget caps the run's bulk state as a whole: transition arena,
+//! packed states, the paged CSR entries of the generator, and — via
+//! [`DedupMode`] — the dedup structure itself. When the resident
+//! intern table outgrows its share of the budget, exploration restarts
+//! in external-memory mode (sort each frontier, sort-merge it against
+//! the on-disk visited runs — delayed duplicate detection), so the
+//! remaining RAM floor is one BFS level plus per-worker scratch, not
+//! the full state space. Gauss–Seidel is the one solver that still
+//! requires a resident generator (and says so:
+//! [`SolveError::ResidentOnly`]); Jacobi, Krylov and uniformization
+//! stream paged CSR segments through the sharded SpMV. See
+//! `docs/MEMORY.md` for the full accounting.
 //!
 //! Determinism survives the races by construction: the reachable set,
 //! each state's successor distribution, and each state's BFS level are
@@ -211,6 +218,7 @@ pub mod arena;
 pub mod backend;
 pub mod cache;
 pub mod ctmc;
+mod ddd;
 pub mod graph;
 mod intern;
 pub mod kron;
@@ -233,7 +241,7 @@ pub use linop::{Generator, LinOp};
 pub use reward::{
     expected_impulse_rate, expected_rate_reward, probability, AnalyticOutcome, AnalyticRun,
 };
-pub use spill::SpillOptions;
+pub use spill::{DedupMode, SpillOptions};
 pub use steady::{
     mean_time_to_absorption, steady_state, AbsorptionTimes, IterOptions, SteadyState,
 };
@@ -347,11 +355,24 @@ pub enum SolveError {
         /// The configured cap.
         limit: usize,
     },
-    /// The disk-spill backend could not be set up (temp file creation
-    /// failed in the configured directory).
+    /// A disk-spill operation failed (creating the temp file, or an
+    /// append/read on the external-memory dedup runs). Carries the
+    /// failing operation and path so budget/disk failures are
+    /// diagnosable from CI logs.
     SpillFailed {
+        /// The operation that failed (`"create"`, `"append run"`, …).
+        op: &'static str,
+        /// The spill-file path (unlinked after creation, but the only
+        /// handle a log reader has on *which* filesystem failed).
+        path: String,
         /// The underlying I/O error, rendered.
         message: String,
+    },
+    /// The requested solver needs the generator resident in RAM, but
+    /// it was built disk-paged under a spill budget.
+    ResidentOnly {
+        /// The solver backend that refused (`"gauss-seidel"`).
+        backend: String,
     },
     /// A chain of instantaneous firings exceeded the depth bound (the
     /// analytic analogue of the simulator's instantaneous livelock).
@@ -411,9 +432,15 @@ impl fmt::Display for SolveError {
             SolveError::StateSpaceTooLarge { limit } => {
                 write!(f, "reachable state space exceeds {limit} states")
             }
-            SolveError::SpillFailed { message } => {
-                write!(f, "could not set up the disk-spill store: {message}")
+            SolveError::SpillFailed { op, path, message } => {
+                write!(f, "disk-spill store failed to {op} at {path}: {message}")
             }
+            SolveError::ResidentOnly { backend } => write!(
+                f,
+                "the {backend} solver needs a resident generator but the \
+                 CSR was paged to disk under the spill budget; use the \
+                 jacobi or krylov backend, or raise --spill-budget"
+            ),
             SolveError::VanishingLoop { depth } => write!(
                 f,
                 "instantaneous activities fired more than {depth} times at \

@@ -71,8 +71,35 @@ pub trait LinOp: Sync {
     /// The uniformization rate `Λ = max_i |q_ii|`.
     fn max_exit_rate(&self) -> f64;
 
+    /// Whether row entries currently live on disk (paged out under a
+    /// spill budget) rather than in resident arrays. Streaming-friendly
+    /// consumers (sharded products, one-pass back-substitution) ignore
+    /// this; solvers that sweep rows in place and out of order
+    /// (Gauss–Seidel) check it and refuse with
+    /// [`SolveError::ResidentOnly`](crate::SolveError::ResidentOnly)
+    /// instead of thrashing the pager. Defaults to `false` — only the
+    /// paged CSR ever streams.
+    fn is_streamed(&self) -> bool {
+        false
+    }
+
     /// The off-diagonal entries of row `i`: `(destination, rate)`.
     fn row(&self, i: usize) -> Self::Row<'_>;
+
+    /// Visits the off-diagonal entries of row `i` in order, calling
+    /// `f(destination, rate)` — semantically identical to walking
+    /// [`LinOp::row`], and the fold order is the same, so swapping one
+    /// for the other never changes bits. Exists so storage-dispatching
+    /// implementors (the enum-bodied CSR, which may be resident or
+    /// disk-paged) can resolve the representation once per *row*
+    /// instead of once per entry: the Gauss–Seidel sweeps and the
+    /// triangular substitution below run this in their innermost loop,
+    /// where a per-entry discriminant check is measurable.
+    fn for_each_in_row(&self, i: usize, mut f: impl FnMut(usize, f64)) {
+        for (k, r) in self.row(i) {
+            f(k, r);
+        }
+    }
 
     /// The off-diagonal entries of column `j`: `(source, rate)`, in
     /// ascending source order.
@@ -93,19 +120,19 @@ pub trait LinOp: Sync {
     /// `-Q_TT` in the canonical state order (absorbing rows are
     /// identity). One `O(nnz)` descending pass — the right
     /// preconditioner of the absorption GMRES. The provided
-    /// implementation walks [`LinOp::row`]; implementors only override
-    /// it if they have a faster triangular view.
+    /// implementation walks [`LinOp::for_each_in_row`]; implementors
+    /// only override it if they have a faster triangular view.
     fn upper_solve(&self, v: &mut [f64]) {
         for i in (0..self.dim()).rev() {
             if self.is_absorbing(i) {
                 continue; // identity row: z_i = v_i
             }
             let mut acc = v[i];
-            for (k, r) in self.row(i) {
+            self.for_each_in_row(i, |k, r| {
                 if k > i {
                     acc += r * v[k];
                 }
-            }
+            });
             v[i] = acc / -self.diag(i);
         }
     }
@@ -199,6 +226,10 @@ impl LinOp for Generator {
         delegate!(self, q => LinOp::max_exit_rate(q))
     }
 
+    fn is_streamed(&self) -> bool {
+        delegate!(self, q => LinOp::is_streamed(q))
+    }
+
     fn row(&self, i: usize) -> Self::Row<'_> {
         match self {
             Generator::Csr(q) => EitherIter::A(LinOp::row(q, i)),
@@ -211,6 +242,10 @@ impl LinOp for Generator {
             Generator::Csr(q) => EitherIter::A(LinOp::column(q, j)),
             Generator::Kron(k) => EitherIter::B(LinOp::column(k, j)),
         }
+    }
+
+    fn for_each_in_row(&self, i: usize, f: impl FnMut(usize, f64)) {
+        delegate!(self, q => q.for_each_in_row(i, f))
     }
 
     fn apply(&self, v: &[f64], out: &mut [f64], threads: usize) {

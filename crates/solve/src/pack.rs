@@ -10,7 +10,12 @@
 //! header and pointer), which is what lets `n = 3` phase-type spaces
 //! (multi-million states) fit comfortably in RAM. Packed words are also
 //! what the concurrent intern table hashes and compares, so the hot
-//! lookup path touches 3 words instead of 40.
+//! lookup path touches 3 words instead of 40 — and, in the
+//! external-memory exploration ([`crate::ddd`]), the packed words *are*
+//! the sort keys: frontiers are sorted and sort-merged against the
+//! on-disk visited runs as fixed-width word tuples, so the canonical
+//! `(BFS level, packed key)` order is identical whether dedup happens
+//! in the intern table or on disk.
 //!
 //! # Field widths
 //!

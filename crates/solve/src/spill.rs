@@ -1,14 +1,21 @@
-//! Disk spill for the exploration's bulk arrays.
+//! Disk spill for the exploration's and the solve's bulk arrays.
 //!
-//! The flat transition arena and the packed-state array (see
-//! [`crate::arena`]) dominate the memory footprint of a large
-//! exploration. With [`SpillOptions`] set, their *sealed* segments are
-//! paged out to one shared unlinked temp file whenever the resident
-//! total exceeds the configured budget, oldest segment first — exactly
-//! the access pattern of the downstream consumers, which stream the
-//! arrays front to back (CSR assembly, reward evaluation, sequential
-//! row scans). Pages are read back on demand through a tiny LRU in
-//! each store.
+//! The flat transition arena, the packed-state array (see
+//! [`crate::arena`]), and — since the out-of-core work — the CSR
+//! generator entries dominate the memory footprint of a large run.
+//! With [`SpillOptions`] set, their *sealed* segments are paged out to
+//! one shared unlinked temp file whenever the resident total exceeds
+//! the configured budget, oldest segment first — exactly the access
+//! pattern of the downstream consumers, which stream the arrays front
+//! to back (CSR assembly, reward evaluation, sequential row scans,
+//! sharded SpMV sweeps). Pages are read back on demand through a tiny
+//! LRU in each store.
+//!
+//! The same file also backs the external-memory exploration
+//! (the `ddd` module): sorted per-level key runs are appended raw via
+//! `SpillShared::append_raw` and streamed back during duplicate
+//! detection. Those runs are append-once/stream-many and never
+//! resident, so they bypass the resident-bytes account.
 //!
 //! Spilling never changes results: segments hold the same bytes on
 //! disk as in RAM, and every consumer sees identical rows. The CI
@@ -17,34 +24,100 @@
 
 use std::fs::{File, OpenOptions};
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use crate::SolveError;
+
+/// How exploration deduplicates states when a spill budget is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupMode {
+    /// Start with the resident sharded intern table and restart the
+    /// exploration in external-memory mode if the table's estimated
+    /// footprint outgrows its share of the spill budget.
+    #[default]
+    Auto,
+    /// Always dedup in RAM (the pre-out-of-core behaviour): fastest,
+    /// but the intern arena is then a hard RAM floor of
+    /// `states × (8·words + 1)` bytes plus the hash tables.
+    Resident,
+    /// Force external-memory BFS with delayed duplicate detection from
+    /// level 0 (sort each frontier, sort-merge against the on-disk
+    /// visited runs). Mostly useful for tests and comparisons; `Auto`
+    /// picks this automatically when the budget demands it.
+    External,
+}
+
+impl DedupMode {
+    /// The CLI slug (`auto` / `resident` / `external`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DedupMode::Auto => "auto",
+            DedupMode::Resident => "resident",
+            DedupMode::External => "external",
+        }
+    }
+}
+
+impl std::fmt::Display for DedupMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DedupMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(DedupMode::Auto),
+            "resident" => Ok(DedupMode::Resident),
+            "external" | "ddd" => Ok(DedupMode::External),
+            other => Err(format!(
+                "unknown dedup mode {other:?} (expected auto, resident, or external)"
+            )),
+        }
+    }
+}
 
 /// Where and how aggressively to page cold exploration segments to
 /// disk.
 #[derive(Debug, Clone)]
 pub struct SpillOptions {
-    /// Target ceiling (bytes) on the *resident* sealed segments of the
-    /// exploration's bulk arrays (transition arena + packed states).
-    /// Scratch buffers, the intern table, and per-level worker chains
-    /// are not counted — the budget bounds the arrays that grow with
-    /// the full state space, not the working set of one level.
+    /// Target ceiling (bytes) on the *resident* bulk state of a run:
+    /// sealed segments of the transition arena, the packed-state
+    /// array, and the paged CSR entries, plus (under
+    /// [`DedupMode::Auto`]) the estimated intern-table footprint that
+    /// triggers the switch to external-memory dedup. Per-level scratch
+    /// (worker chains, the sort buffers of one frontier) is not
+    /// counted — it bounds the working set of one level, not the
+    /// arrays that grow with the full state space.
     pub budget_bytes: usize,
     /// Directory for the spill file (unlinked immediately after
     /// creation, so a crash leaks no file). Defaults to
     /// [`std::env::temp_dir`].
     pub dir: Option<PathBuf>,
+    /// How exploration deduplicates states (resident intern table vs.
+    /// external-memory sort-merge).
+    pub dedup: DedupMode,
 }
 
 impl SpillOptions {
     /// A spill configuration with the given resident budget, paging
-    /// into the system temp directory.
+    /// into the system temp directory, with [`DedupMode::Auto`]
+    /// deduplication.
     pub fn with_budget(budget_bytes: usize) -> Self {
         Self {
             budget_bytes,
             dir: None,
+            dedup: DedupMode::Auto,
         }
+    }
+
+    /// The same configuration with an explicit [`DedupMode`].
+    pub fn dedup(mut self, mode: DedupMode) -> Self {
+        self.dedup = mode;
+        self
     }
 }
 
@@ -52,6 +125,10 @@ impl SpillOptions {
 /// the resident-bytes account that all participating stores debit.
 pub(crate) struct SpillShared {
     file: Mutex<SpillFile>,
+    /// The (already unlinked) path the spill file was created at, kept
+    /// for diagnostics: I/O errors on an anonymous fd are useless
+    /// without it.
+    path: PathBuf,
     /// Resident sealed-segment bytes across every store on this spill.
     resident: AtomicUsize,
     /// Configured ceiling on `resident`.
@@ -66,7 +143,7 @@ struct SpillFile {
 }
 
 impl SpillShared {
-    pub(crate) fn new(opts: &SpillOptions) -> io::Result<Self> {
+    pub(crate) fn new(opts: &SpillOptions) -> Result<Self, SolveError> {
         let dir = opts.dir.clone().unwrap_or_else(std::env::temp_dir);
         // Unique name: pid + a process-wide counter. The path is
         // unlinked right after creation; the fd keeps the storage
@@ -78,14 +155,22 @@ impl SpillShared {
             .read(true)
             .write(true)
             .create_new(true)
-            .open(&path)?;
+            .open(&path)
+            .map_err(|e| spill_failed("create", &path, &e))?;
         let _ = std::fs::remove_file(&path);
         Ok(Self {
             file: Mutex::new(SpillFile { file, len: 0 }),
+            path,
             resident: AtomicUsize::new(0),
             budget: opts.budget_bytes,
             spilled: AtomicU64::new(0),
         })
+    }
+
+    /// Maps an `io::Error` on this spill file to the diagnosable
+    /// [`SolveError::SpillFailed`] form (operation + path + cause).
+    pub(crate) fn io_error(&self, op: &'static str, e: &io::Error) -> SolveError {
+        spill_failed(op, &self.path, e)
     }
 
     /// Account `bytes` of freshly sealed resident segment; returns
@@ -103,15 +188,23 @@ impl SpillShared {
     /// Writes `bytes` at the end of the spill file, returning the
     /// offset, and moves the accounting from resident to spilled.
     pub(crate) fn write_out(&self, bytes: &[u8]) -> io::Result<u64> {
-        let mut f = self.file.lock().expect("spill file poisoned");
-        let offset = f.len;
-        write_all_at(&f.file, bytes, offset)?;
-        f.len += bytes.len() as u64;
-        drop(f);
+        let offset = self.append_raw(bytes)?;
         self.resident.fetch_sub(bytes.len(), Ordering::Relaxed);
         self.spilled
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         ctsim_obs::counter_add("spill.paged_out_bytes", bytes.len() as u64);
+        Ok(offset)
+    }
+
+    /// Appends `bytes` at the end of the spill file and returns the
+    /// offset, without touching the resident-bytes account. This is
+    /// the primitive for data that was never resident in segment form
+    /// — the sorted visited runs of the external-memory exploration.
+    pub(crate) fn append_raw(&self, bytes: &[u8]) -> io::Result<u64> {
+        let mut f = self.file.lock().expect("spill file poisoned");
+        let offset = f.len;
+        write_all_at(&f.file, bytes, offset)?;
+        f.len += bytes.len() as u64;
         Ok(offset)
     }
 
@@ -125,6 +218,16 @@ impl SpillShared {
     #[cfg(test)]
     pub(crate) fn spilled_bytes(&self) -> u64 {
         self.spilled.load(Ordering::Relaxed)
+    }
+}
+
+/// Builds the [`SolveError::SpillFailed`] diagnostic for a failed
+/// spill-file operation.
+pub(crate) fn spill_failed(op: &'static str, path: &Path, e: &io::Error) -> SolveError {
+    SolveError::SpillFailed {
+        op,
+        path: path.display().to_string(),
+        message: e.to_string(),
     }
 }
 

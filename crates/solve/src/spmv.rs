@@ -151,19 +151,16 @@ pub(crate) fn vec_mul(ctmc: &Ctmc, x: &[f64], out: &mut [f64], threads: usize) {
 
 /// `out[i] = Σ_k q_ik · v[k]` over the *off-diagonal* outgoing rows —
 /// the flow term of the absorption system `Q_TT τ = -1`, gathered per
-/// source row so it shards the same way.
+/// source row so it shards the same way. Works unchanged on a paged
+/// generator: each shard streams its contiguous row range through the
+/// store's grouped reader ([`Ctmc::flow_shard`]), paying one disk read
+/// per spilled segment per sweep, and the per-row summation order is
+/// the same as the resident body's, so the bits agree.
 pub(crate) fn flow_mul(ctmc: &Ctmc, v: &[f64], out: &mut [f64], threads: usize) {
     assert_eq!(v.len(), ctmc.num_states());
     assert_eq!(out.len(), ctmc.num_states());
-    let (row_ptr, _, _, _) = ctmc.csr();
-    for_each_shard(row_ptr, threads, out, |lo, shard| {
-        for (di, o) in shard.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for (k, r) in ctmc.row(lo + di) {
-                acc += r * v[k];
-            }
-            *o = acc;
-        }
+    for_each_shard(ctmc.row_ptr(), threads, out, |lo, shard| {
+        ctmc.flow_shard(lo, shard, v);
     });
 }
 

@@ -208,7 +208,19 @@ pub fn steady_state<L: LinOp>(op: &L, opts: &IterOptions) -> Result<SteadyState,
 
 /// The reference backend: in-place Gauss–Seidel sweeps over the
 /// operator's (cached) incoming-column view.
+///
+/// Resident-only: the sweeps materialise the full incoming transpose
+/// and update π in place, so running them against a generator whose
+/// rows were paged to disk would silently re-acquire the entire
+/// `O(rates)` footprint the spill budget was meant to cap. A streamed
+/// generator is refused up front with [`SolveError::ResidentOnly`] —
+/// the Jacobi and Krylov backends handle that case.
 fn steady_gauss_seidel<L: LinOp>(op: &L, opts: &IterOptions) -> Result<SteadyState, SolveError> {
+    if op.is_streamed() {
+        return Err(SolveError::ResidentOnly {
+            backend: "gauss-seidel".into(),
+        });
+    }
     let n = op.dim();
     let mut pi = initial_pi(n, opts);
     let mut qv = vec![0.0; n];
@@ -375,10 +387,21 @@ pub fn mean_time_to_absorption<L: LinOp>(
 }
 
 /// The reference backend: in-place Gauss–Seidel sweeps on `Q_TT τ = -1`.
+///
+/// Resident-only, like [`steady_gauss_seidel`]: each sweep reads every
+/// row while writing τ in place, an access pattern the disk pager
+/// cannot serve without thrashing. Streamed generators are refused
+/// with [`SolveError::ResidentOnly`]; use Jacobi or Krylov (the
+/// default first-passage path), which sweep rows in shard order.
 fn absorption_gauss_seidel<L: LinOp>(
     op: &L,
     opts: &IterOptions,
 ) -> Result<AbsorptionTimes, SolveError> {
+    if op.is_streamed() {
+        return Err(SolveError::ResidentOnly {
+            backend: "gauss-seidel".into(),
+        });
+    }
     let n = op.dim();
     let mut tau = initial_tau(op, opts).unwrap_or_else(|| vec![0.0; n]);
     let mut residual = f64::INFINITY;
@@ -398,7 +421,11 @@ fn absorption_gauss_seidel<L: LinOp>(
             if op.is_absorbing(j) {
                 continue;
             }
-            let flow: f64 = op.row(j).map(|(k, r)| r * tau[k]).sum();
+            // Same fold as `op.row(j).map(..).sum()` (the row is
+            // non-empty on a non-absorbing state), resolved through
+            // the once-per-row entry walk.
+            let mut flow = 0.0;
+            op.for_each_in_row(j, |k, r| flow += r * tau[k]);
             residual = residual.max((op.diag(j) * tau[j] + flow + 1.0).abs());
             tau[j] = (1.0 + flow) / -op.diag(j);
         }

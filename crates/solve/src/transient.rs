@@ -6,6 +6,14 @@
 //! the mode outward in linear space with a late normalization, so no
 //! exponentials under- or overflow even for large `Λt`, and the series
 //! is truncated once the missing mass is below the requested tolerance.
+//!
+//! Out-of-core caveat: the `π(0) P^k` recurrence is a row-vector
+//! product (`x · Q`), which on a CSR generator runs over the cached
+//! *incoming* (transposed) view — and that view is always materialized
+//! resident, even when the forward CSR entries are paged to disk under
+//! a spill budget. A transient solve on a spilled generator therefore
+//! temporarily pays the full `O(rates)` transpose in RAM; the
+//! absorption-mean path (Krylov) is the one that stays out-of-core.
 
 use crate::linop::LinOp;
 use crate::SolveError;

@@ -7,7 +7,8 @@
 
 use ct_consensus_repro::san::{Activity, Case, SanBuilder, SanModel};
 use ct_consensus_repro::solve::{
-    AnalyticRun, Ctmc, IterOptions, ReachOptions, SpillOptions, StateSpace,
+    AnalyticRun, Ctmc, DedupMode, IterOptions, ReachOptions, SolveError, SolverBackend,
+    SpillOptions, StateSpace,
 };
 use ct_consensus_repro::stoch::Dist;
 use proptest::prelude::*;
@@ -76,13 +77,15 @@ fn assert_identical(a: &(StateSpace<'_>, Ctmc), b: &(StateSpace<'_>, Ctmc), what
             assert_eq!(x.rate.to_bits(), y.rate.to_bits(), "{what}: row {s}");
         }
     }
-    let (rpa, ca, ra, da) = qa.csr();
-    let (rpb, cb, rb, db) = qb.csr();
+    // `csr_owned` materialises paged entries: under a tiny budget the
+    // CSR itself lives (partly) on disk.
+    let (rpa, ca, ra, da) = qa.csr_owned();
+    let (rpb, cb, rb, db) = qb.csr_owned();
     assert_eq!(rpa, rpb, "{what}: row_ptr");
     assert_eq!(ca, cb, "{what}: col");
     let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
-    assert_eq!(bits(ra), bits(rb), "{what}: rates");
-    assert_eq!(bits(da), bits(db), "{what}: diag");
+    assert_eq!(bits(&ra), bits(&rb), "{what}: rates");
+    assert_eq!(bits(&da), bits(&db), "{what}: diag");
     assert_eq!(qa.initial(), qb.initial(), "{what}: π(0)");
 }
 
@@ -92,8 +95,10 @@ proptest! {
     })]
 
     /// Canonical CSR is byte-identical across threads ∈ {1,2,4,8} ×
-    /// spill ∈ {off, tiny-budget} — the arena, the renumbering, and the
-    /// spill layer together never perturb a single bit.
+    /// spill ∈ {off, tiny-budget (auto-switches to external dedup),
+    /// forced external dedup with a roomy budget} — the arena, the
+    /// renumbering, the spill layer, and the external-memory BFS with
+    /// delayed duplicate detection together never perturb a single bit.
     #[test]
     fn csr_is_byte_identical_across_threads_and_spill(
         lanes in proptest::collection::vec((0.2f64..2.0, 0u32..3), 2..4),
@@ -101,14 +106,25 @@ proptest! {
     ) {
         let model = lane_model(&lanes);
         let reference = explore_cfg(&model, ph_order, 1, None);
+        let configs: [(&str, Option<SpillOptions>); 3] = [
+            ("off", None),
+            // Adversarial: pages essentially everything and trips the
+            // Auto intern-footprint switch to external dedup.
+            ("tiny", Some(tiny_spill())),
+            // Forced DDD under a budget large enough that the CSR and
+            // arena stay resident: isolates the external-memory BFS.
+            (
+                "external",
+                Some(SpillOptions::with_budget(1 << 30).dedup(DedupMode::External)),
+            ),
+        ];
         for threads in [1usize, 2, 4, 8] {
-            for spill in [None, Some(tiny_spill())] {
-                let spilled = spill.is_some();
-                let got = explore_cfg(&model, ph_order, threads, spill);
+            for (name, spill) in &configs {
+                let got = explore_cfg(&model, ph_order, threads, spill.clone());
                 assert_identical(
                     &reference,
                     &got,
-                    &format!("threads={threads} spill={spilled}"),
+                    &format!("threads={threads} spill={name}"),
                 );
             }
         }
@@ -136,27 +152,43 @@ proptest! {
 
 /// First-passage solve through the whole analytic stack under an
 /// adversarial spill budget: the mean must equal the in-RAM run
-/// exactly (byte-identical CSR ⇒ identical arithmetic).
+/// exactly (byte-identical CSR ⇒ identical arithmetic). The solve runs
+/// on the Krylov backend — the fully out-of-core path — because
+/// Gauss–Seidel refuses a streamed generator (checked below).
 #[test]
 fn spilled_first_passage_mean_matches_in_ram() {
     let model = lane_model(&[(0.8, 0), (1.3, 1), (0.5, 2)]);
     let goal_places: Vec<_> = (0..3)
         .map(|lane| model.place(&format!("l{lane}_4")).unwrap())
         .collect();
-    let solve = |spill: Option<SpillOptions>| {
+    let krylov = IterOptions {
+        backend: SolverBackend::Krylov,
+        ..IterOptions::default()
+    };
+    let first_passage = |spill: Option<SpillOptions>| {
         let opts = ReachOptions {
             ph_order: 3,
             spill,
             ..ReachOptions::default()
         };
         let goals = goal_places.clone();
-        let run =
-            AnalyticRun::first_passage(&model, &opts, move |m| goals.iter().all(|&g| m.get(g) > 0))
-                .unwrap();
-        run.mean(&IterOptions::default()).unwrap()
+        AnalyticRun::first_passage(&model, &opts, move |m| goals.iter().all(|&g| m.get(g) > 0))
+            .unwrap()
     };
-    let in_ram = solve(None);
-    let spilled = solve(Some(tiny_spill()));
+    let in_ram = first_passage(None).mean(&krylov).unwrap();
+    let run = first_passage(Some(tiny_spill()));
+    // The in-place sweep backend must refuse the streamed generator
+    // rather than thrash the pager...
+    match run.mean(&IterOptions::default()) {
+        Err(SolveError::ResidentOnly { backend }) => assert_eq!(backend, "gauss-seidel"),
+        other => {
+            panic!("expected ResidentOnly from Gauss–Seidel on a streamed generator, got {other:?}")
+        }
+    }
+    // ...while the streaming backends (Krylov and Jacobi both consume
+    // the generator through the sharded SpMV) reproduce the in-RAM
+    // mean bit for bit.
+    let spilled = run.mean(&krylov).unwrap();
     assert!(in_ram.states > 100, "model too small to exercise spill");
     assert_eq!(
         in_ram.mean_ms.to_bits(),
@@ -167,6 +199,19 @@ fn spilled_first_passage_mean_matches_in_ram() {
     );
     assert_eq!(in_ram.states, spilled.states);
     assert_eq!(in_ram.rates, spilled.rates);
+    let jacobi = IterOptions {
+        backend: SolverBackend::Jacobi,
+        ..IterOptions::default()
+    };
+    let in_ram_j = first_passage(None).mean(&jacobi).unwrap();
+    let spilled_j = run.mean(&jacobi).unwrap();
+    assert_eq!(
+        in_ram_j.mean_ms.to_bits(),
+        spilled_j.mean_ms.to_bits(),
+        "spill changed the Jacobi mean: {} vs {}",
+        in_ram_j.mean_ms,
+        spilled_j.mean_ms
+    );
 }
 
 /// The spill layer serves rows correctly under random access, not just

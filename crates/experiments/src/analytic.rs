@@ -82,6 +82,12 @@ pub struct AnalyticOptions {
     /// gauges, residual traces, histograms) here (`repro analytic
     /// --metrics out.json`). Also turns telemetry on.
     pub metrics: Option<PathBuf>,
+    /// Opt-in solver fallback chains (`repro analytic --fallback`):
+    /// on a recoverable backend failure the solve walks
+    /// [`SolverBackend::fallback_after`] instead of failing; the
+    /// backend that actually produced each mean is recorded in
+    /// [`AnalyticOutcome::solved_by`](ctsim_solve::AnalyticOutcome).
+    pub fallback: bool,
 }
 
 impl Default for AnalyticOptions {
@@ -96,6 +102,7 @@ impl Default for AnalyticOptions {
             dedup: DedupMode::default(),
             trace: None,
             metrics: None,
+            fallback: false,
         }
     }
 }
@@ -263,8 +270,13 @@ fn skippable(e: &SolveError) -> bool {
 
 /// Runs the overlay with default phase-type options (order 4, all
 /// cores).
+///
+/// # Panics
+/// On a non-skippable solver error — the default options are known
+/// feasible, so this wrapper keeps the infallible signature the figure
+/// pipeline uses. Fallible callers (the `repro` CLI) use [`run_with`].
 pub fn run(scale: Scale, seed: u64) -> Analytic {
-    run_with(scale, seed, &AnalyticOptions::default())
+    run_with(scale, seed, &AnalyticOptions::default()).expect("default analytic overlay solves")
 }
 
 /// Runs the overlay: every scenario × n that is both feasible for the
@@ -277,7 +289,13 @@ pub fn run(scale: Scale, seed: u64) -> Analytic {
 /// set, telemetry is enabled for the run, the requested files are
 /// written afterwards, and the human-readable run summary goes to
 /// stderr.
-pub fn run_with(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
+///
+/// # Errors
+/// Any non-skippable [`SolveError`] — including
+/// [`SolveError::SpillFailed`] with its attempt trace when a disk-spill
+/// operation exhausts its retry budget. State-cap and non-Markovian
+/// skips stay rows with [`AnalyticRow::skipped`] set, as before.
+pub fn run_with(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Result<Analytic, SolveError> {
     let telemetry = ph.trace.is_some() || ph.metrics.is_some();
     if telemetry {
         ctsim_obs::enable();
@@ -298,7 +316,7 @@ pub fn run_with(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
     result
 }
 
-fn run_inner(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
+fn run_inner(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Result<Analytic, SolveError> {
     let _run_span = ctsim_obs::span("experiment", "analytic_overlay")
         .arg("ph_order", ph.ph_order)
         .arg("backend", ph.backend.to_string())
@@ -328,6 +346,7 @@ fn run_inner(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
             let reps = latency_replications(&params, analytic_reps(scale), seed, 10_000.0);
             let mut opts = SolveOptions::ph_with_backend(0, ph.threads, ph.backend);
             opts.generator = ph.generator;
+            opts.iter.fallback = ph.fallback;
             opts.reach.max_states = if ph.n.is_some() {
                 params.recommended_max_states(1)
             } else {
@@ -371,7 +390,7 @@ fn run_inner(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
                     ph_sim_ci90: None,
                     skipped: Some(e.to_string()),
                 },
-                Err(e) => panic!("analytic solve failed for n={n} {scenario:?}: {e}"),
+                Err(e) => return Err(e),
             };
             rows.push(row);
         }
@@ -379,20 +398,26 @@ fn run_inner(scale: Scale, seed: u64, ph: &AnalyticOptions) -> Analytic {
     // Phase-type rows: the paper's real class-1 parameters.
     if ph.ph_order >= 1 {
         for &n in &phase_ns {
-            rows.push(ph_row(scale, seed, n, ph));
+            rows.push(ph_row(scale, seed, n, ph)?);
         }
     }
-    Analytic { rows }
+    Ok(Analytic { rows })
 }
 
 /// One phase-type row: raw solve at order K, extrapolation against
 /// order K−1, simulation on the identical (real) parameters.
-fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRow {
+fn ph_row(
+    scale: Scale,
+    seed: u64,
+    n: usize,
+    ph: &AnalyticOptions,
+) -> Result<AnalyticRow, SolveError> {
     let params = SanParams::paper_baseline(n);
     let reps = latency_replications(&params, analytic_reps(scale), seed, 10_000.0);
     let k = ph.ph_order;
     let mut opts = SolveOptions::ph_with_backend(k, ph.threads, ph.backend);
     opts.generator = ph.generator;
+    opts.iter.fallback = ph.fallback;
     opts.reach.max_states = if ph.n.is_some() {
         params.recommended_max_states(k)
     } else {
@@ -408,6 +433,7 @@ fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRo
             // stages is ∝ 1/K (see `ctsim_solve::extrapolated_mean`).
             let mut prev = SolveOptions::ph_with_backend(k - 1, ph.threads, ph.backend);
             prev.generator = ph.generator;
+            prev.iter.fallback = ph.fallback;
             prev.reach.max_states = opts.reach.max_states;
             prev.reach.spill = opts.reach.spill.clone();
             let (mk1, _, _, t_k1) = solve_mean_and_cdf(&params, &prev, false)?;
@@ -418,7 +444,7 @@ fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRo
         };
         Ok((mean, mk, states, cdf, solve_ms))
     });
-    match solved {
+    Ok(match solved {
         Ok((mean, raw, states, cdf, solve_ms)) => {
             // Engine cross-validation: simulate the PH-substituted
             // model — exactly the expanded CTMC just solved — and
@@ -465,8 +491,8 @@ fn ph_row(scale: Scale, seed: u64, n: usize, ph: &AnalyticOptions) -> AnalyticRo
             ph_sim_ci90: None,
             skipped: Some(e.to_string()),
         },
-        Err(e) => panic!("phase-type solve failed for n={n}: {e}"),
-    }
+        Err(e) => return Err(e),
+    })
 }
 
 /// CDF evaluation grid around a mean latency.
@@ -584,7 +610,7 @@ mod tests {
             n: Some(2),
             ..AnalyticOptions::default()
         };
-        let a = run_with(Scale::Quick, 11, &opts);
+        let a = run_with(Scale::Quick, 11, &opts).unwrap();
         assert!(a.rows.iter().all(|r| r.n == 2), "only the overridden n");
         // Crash scenarios need n ≥ 3, so: one exponential + one
         // phase-type row, both actually solved (no cap skips).
@@ -609,7 +635,7 @@ mod tests {
                 backend,
                 ..AnalyticOptions::default()
             };
-            run_with(Scale::Quick, 11, &opts)
+            run_with(Scale::Quick, 11, &opts).unwrap()
         };
         let reference = solve(SolverBackend::GaussSeidel);
         for backend in [SolverBackend::Jacobi, SolverBackend::Krylov] {
@@ -641,7 +667,7 @@ mod tests {
                 generator,
                 ..AnalyticOptions::default()
             };
-            run_with(Scale::Quick, 11, &opts)
+            run_with(Scale::Quick, 11, &opts).unwrap()
         };
         let reference = solve(GeneratorBackend::Csr);
         let a = solve(GeneratorBackend::Kron);

@@ -47,6 +47,17 @@
 //! metrics JSON document (counters, gauges, residual traces,
 //! histograms) to the given paths; the human-readable run summary goes
 //! to stderr. Telemetry never changes results — it only observes.
+//!
+//! Resilience knobs (see `docs/RESILIENCE.md`): `--fallback` opts the
+//! solves into graceful-degradation backend chains (Krylov →
+//! Gauss-Seidel → Jacobi on recoverable errors, recorded per row);
+//! `--checkpoint FILE` journals every completed campaign point to an
+//! append-only crash-safe file and `--resume` replays it, skipping
+//! already-solved points with bit-identical results; `--failpoints
+//! SPEC` (or the `CTSIM_FAILPOINTS` env var) arms the deterministic
+//! fault-injection registry with `--failpoint-seed N` feeding its
+//! per-site RNG substreams — the CI chaos job drives retry, typed
+//! failure, and crash/resume paths through exactly these flags.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -62,6 +73,8 @@ struct Args {
     out: PathBuf,
     ph: AnalyticOptions,
     campaign: CampaignOptions,
+    failpoints: Option<String>,
+    failpoint_seed: u64,
 }
 
 fn parse_list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, String>
@@ -85,6 +98,8 @@ fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from("results");
     let mut ph = AnalyticOptions::default();
     let mut campaign = CampaignOptions::default();
+    let mut failpoints = None;
+    let mut failpoint_seed = 0u64;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--grid" => {
@@ -120,6 +135,23 @@ fn parse_args() -> Result<Args, String> {
                 )?;
             }
             "--verify-cold" => campaign.verify_cold = true,
+            "--fallback" => ph.fallback = true,
+            "--checkpoint" => {
+                campaign.checkpoint = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --checkpoint")?,
+                ));
+            }
+            "--resume" => campaign.resume = true,
+            "--failpoints" => {
+                failpoints = Some(args.next().ok_or("missing value for --failpoints")?);
+            }
+            "--failpoint-seed" => {
+                failpoint_seed = args
+                    .next()
+                    .ok_or("missing value for --failpoint-seed")?
+                    .parse::<u64>()
+                    .map_err(|e| e.to_string())?;
+            }
             "--measure" => {
                 campaign.measure = args
                     .next()
@@ -193,10 +225,12 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     // The shared knobs drive the campaign too: one `--threads` /
-    // `--trace` / `--metrics` set regardless of the subcommand.
+    // `--trace` / `--metrics` / `--fallback` set regardless of the
+    // subcommand.
     campaign.threads = ph.threads;
     campaign.trace = ph.trace.clone();
     campaign.metrics = ph.metrics.clone();
+    campaign.fallback = ph.fallback;
     Ok(Args {
         command,
         scale,
@@ -204,6 +238,8 @@ fn parse_args() -> Result<Args, String> {
         out,
         ph,
         campaign,
+        failpoints,
+        failpoint_seed,
     })
 }
 
@@ -214,7 +250,8 @@ fn usage() -> String {
      [--dedup auto|resident|external] \
      [--trace FILE.json] [--metrics FILE.json] \
      [--grid FILE.csv] [--ns LIST] [--ph-orders LIST] [--service-scales LIST] \
-     [--net-scales LIST] [--backends LIST] [--verify-cold] [--measure EXECUTIONS]"
+     [--net-scales LIST] [--backends LIST] [--verify-cold] [--measure EXECUTIONS] \
+     [--fallback] [--checkpoint FILE] [--resume] [--failpoints SPEC] [--failpoint-seed N]"
         .to_string()
 }
 
@@ -243,6 +280,21 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Arm fault injection before any work: `--failpoints` wins,
+    // otherwise `CTSIM_FAILPOINTS` is honored so harnesses can inject
+    // without touching the command line.
+    let armed = match &args.failpoints {
+        Some(spec) => ctsim_resilience::fail::configure(spec, args.failpoint_seed).map(|()| true),
+        None => ctsim_resilience::fail::configure_from_env(),
+    };
+    match armed {
+        Ok(true) => eprintln!("failpoints armed (seed {})", args.failpoint_seed),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
     let all = args.command == "all";
     let want = |c: &str| all || args.command == c;
     let mut ran = false;
@@ -426,7 +478,16 @@ fn main() {
 
     if want("analytic") {
         ran = true;
-        let a = analytic::run_with(args.scale, args.seed, &args.ph);
+        // A typed solver failure — e.g. `SpillFailed` after retry
+        // exhaustion, with its attempt trace — exits with the error
+        // rendered, never a panic.
+        let a = match analytic::run_with(args.scale, args.seed, &args.ph) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("analytic: {e}");
+                std::process::exit(1);
+            }
+        };
         println!("{}", a.render());
         write_csv(
             &args.out.join("analytic.csv"),
@@ -508,9 +569,13 @@ fn main() {
         ran = true;
         let c = match campaign::run_with(args.seed, &args.campaign) {
             Ok(c) => c,
-            Err(e) => {
+            Err(e @ campaign::CampaignError::Grid(_)) => {
                 eprintln!("{e}");
                 std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
             }
         };
         println!("{}", c.render());

@@ -31,12 +31,14 @@
 //! delays untouched, which keeps every rate-only point an actual hit;
 //! the network axis remains available for local exploration.
 
-use std::path::PathBuf;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use ctsim_models::{build_model, SanParams};
+use ctsim_resilience::{fail, Journal};
 use ctsim_solve::{
     mean_time_to_absorption, CachedGraph, Ctmc, GraphCache, IterOptions, ReachOptions, SolveError,
     SolverBackend, StateSpace, StructuralKey,
@@ -128,6 +130,24 @@ pub struct CampaignOptions {
     pub trace: Option<PathBuf>,
     /// `ctsim_obs::metrics_json` output path (enables telemetry).
     pub metrics: Option<PathBuf>,
+    /// Opt-in solver fallback chains (`repro campaign --fallback`):
+    /// on a recoverable backend failure the solve walks
+    /// [`SolverBackend::fallback_after`] instead of failing the point,
+    /// and the row records which backend actually produced the answer
+    /// ([`PointRow::solved_by`]).
+    pub fallback: bool,
+    /// Crash-safe checkpoint journal (`--checkpoint FILE`): every
+    /// completed point is appended as one fsync'd CRC-framed record
+    /// (row + first-passage vector), so a killed campaign can `--resume`
+    /// without re-solving finished points. Without `--resume` an
+    /// existing journal is overwritten.
+    pub checkpoint: Option<PathBuf>,
+    /// Replay the checkpoint journal before solving (`--resume`):
+    /// journaled points are reported verbatim (bit-identical rows) and
+    /// their first-passage vectors re-seed the warm-start chains, so
+    /// the resumed run's deterministic columns match an uninterrupted
+    /// run exactly. Requires [`CampaignOptions::checkpoint`].
+    pub resume: bool,
 }
 
 impl Default for CampaignOptions {
@@ -144,6 +164,65 @@ impl Default for CampaignOptions {
             measure: 0,
             trace: None,
             metrics: None,
+            fallback: false,
+            checkpoint: None,
+            resume: false,
+        }
+    }
+}
+
+/// Why a campaign failed — typed, with the failing grid point and the
+/// underlying solver or I/O error preserved for [`std::error::Error::source`]
+/// chains. Replaces the old stringly `Result<Campaign, String>`.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The grid could not be assembled (bad `--grid` file, empty axes,
+    /// or inconsistent resume flags).
+    Grid(String),
+    /// A grid point failed to build or solve.
+    Point {
+        /// The phase that failed (e.g. `"exploration"`, `"solve"`).
+        what: &'static str,
+        /// The failing grid point.
+        spec: PointSpec,
+        /// The underlying solver error — for spill exhaustion this is
+        /// [`SolveError::SpillFailed`] carrying the full attempt trace.
+        /// Boxed so the happy-path `Result` stays register-sized.
+        source: Box<SolveError>,
+    },
+    /// Checkpoint-journal or telemetry-file I/O failed.
+    Io {
+        /// What was being read or written.
+        what: &'static str,
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Grid(msg) => write!(f, "campaign grid: {msg}"),
+            CampaignError::Point { what, spec, source } => write!(
+                f,
+                "campaign {what} failed for n={} ph={} {} svc={} net={}: {source}",
+                spec.n, spec.ph_order, spec.backend, spec.service_scale, spec.net_scale
+            ),
+            CampaignError::Io { what, path, source } => {
+                write!(f, "campaign {what} {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Grid(_) => None,
+            CampaignError::Point { source, .. } => Some(&**source),
+            CampaignError::Io { source, .. } => Some(source),
         }
     }
 }
@@ -164,6 +243,10 @@ pub struct PointRow {
     pub warm_start: bool,
     /// Iterations of the (possibly warm-started) solve.
     pub iterations: usize,
+    /// The backend that actually produced `mean_ms` — differs from
+    /// `spec.backend` only when a fallback chain
+    /// ([`CampaignOptions::fallback`]) stepped in.
+    pub solved_by: SolverBackend,
     /// Wall-clock of the graph phase: rate rebuild on a hit, full
     /// exploration + CSR assembly on a miss (ms).
     pub build_ms: f64,
@@ -190,11 +273,13 @@ impl PointRow {
     }
 
     /// CSV header for [`PointRow::csv`]. `cache_hit` is a stable middle
-    /// column (CI counts cold rows by index) and `agree` is
-    /// deliberately **last** so CI can gate on `,false$`.
+    /// column (CI counts cold rows by index, so `solved_by` slots in
+    /// *after* `iterations` rather than next to `backend`) and `agree`
+    /// is deliberately **last** so CI can gate on `,false$`.
     pub fn csv_header() -> &'static str {
         "n,ph_order,backend,service_scale,net_scale,states,transitions,cache_hit,\
-         warm_start,iterations,build_ms,solve_ms,total_ms,mean_ms,cold_mean_ms,cold_ms,agree"
+         warm_start,iterations,solved_by,build_ms,solve_ms,total_ms,mean_ms,cold_mean_ms,\
+         cold_ms,agree"
     }
 
     /// The CSV rendering of this row.
@@ -204,7 +289,7 @@ impl PointRow {
             Some(b) => b.to_string(),
         };
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.9},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.9},{},{},{}",
             self.spec.n,
             self.spec.ph_order,
             self.spec.backend,
@@ -215,6 +300,7 @@ impl PointRow {
             self.cache_hit,
             self.warm_start,
             self.iterations,
+            self.solved_by,
             self.build_ms,
             self.solve_ms,
             self.total_ms(),
@@ -225,6 +311,204 @@ impl PointRow {
             tri(self.agree),
         )
     }
+}
+
+// --- checkpoint journal records -------------------------------------
+//
+// One frame per completed point: the full `PointRow` plus its
+// first-passage vector. Every `f64` travels as raw IEEE bits, so a
+// resumed campaign reports journaled rows *byte-identically* and
+// re-seeds warm-start chains with the exact vector the uninterrupted
+// run would have handed down. The framing (length + CRC + fsync per
+// append) lives in [`ctsim_resilience::Journal`]; this codec only
+// defines the payload.
+
+/// Version tag heading every checkpoint record; bump on layout change.
+const RECORD_VERSION: u8 = 1;
+
+fn backend_code(b: SolverBackend) -> u8 {
+    match b {
+        SolverBackend::GaussSeidel => 0,
+        SolverBackend::Jacobi => 1,
+        SolverBackend::Krylov => 2,
+    }
+}
+
+fn backend_from_code(c: u8) -> io::Result<SolverBackend> {
+    match c {
+        0 => Ok(SolverBackend::GaussSeidel),
+        1 => Ok(SolverBackend::Jacobi),
+        2 => Ok(SolverBackend::Krylov),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint record: unknown backend code {other}"),
+        )),
+    }
+}
+
+fn encode_record(row: &PointRow, per_state: &[f64]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(96 + per_state.len() * 8);
+    let f = |b: &mut Vec<u8>, v: f64| b.extend_from_slice(&v.to_bits().to_le_bytes());
+    let u = |b: &mut Vec<u8>, v: u64| b.extend_from_slice(&v.to_le_bytes());
+    b.push(RECORD_VERSION);
+    u(&mut b, row.spec.n as u64);
+    b.extend_from_slice(&row.spec.ph_order.to_le_bytes());
+    b.push(backend_code(row.spec.backend));
+    f(&mut b, row.spec.service_scale);
+    f(&mut b, row.spec.net_scale);
+    u(&mut b, row.states as u64);
+    u(&mut b, row.transitions as u64);
+    b.push(row.cache_hit as u8);
+    b.push(row.warm_start as u8);
+    u(&mut b, row.iterations as u64);
+    b.push(backend_code(row.solved_by));
+    f(&mut b, row.build_ms);
+    f(&mut b, row.solve_ms);
+    f(&mut b, row.mean_ms);
+    match row.cold_mean_ms {
+        Some(v) => {
+            b.push(1);
+            f(&mut b, v);
+        }
+        None => b.push(0),
+    }
+    match row.cold_ms {
+        Some(v) => {
+            b.push(1);
+            f(&mut b, v);
+        }
+        None => b.push(0),
+    }
+    match row.cold_iterations {
+        Some(v) => {
+            b.push(1);
+            u(&mut b, v as u64);
+        }
+        None => b.push(0),
+    }
+    b.push(match row.agree {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    });
+    u(&mut b, per_state.len() as u64);
+    for &v in per_state {
+        f(&mut b, v);
+    }
+    b
+}
+
+/// A bounds-checked little-endian reader over one record payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        let end = end.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "checkpoint record: truncated payload",
+            )
+        })?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn opt(&mut self) -> io::Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint record: bad option tag {other}"),
+            )),
+        }
+    }
+}
+
+fn decode_record(bytes: &[u8]) -> io::Result<(PointRow, Vec<f64>)> {
+    let mut r = Reader { buf: bytes, at: 0 };
+    let version = r.u8()?;
+    if version != RECORD_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint record: unsupported version {version}"),
+        ));
+    }
+    let spec = PointSpec {
+        n: r.u64()? as usize,
+        ph_order: r.u32()?,
+        backend: backend_from_code(r.u8()?)?,
+        service_scale: r.f64()?,
+        net_scale: r.f64()?,
+    };
+    let states = r.u64()? as usize;
+    let transitions = r.u64()? as usize;
+    let cache_hit = r.u8()? != 0;
+    let warm_start = r.u8()? != 0;
+    let iterations = r.u64()? as usize;
+    let solved_by = backend_from_code(r.u8()?)?;
+    let build_ms = r.f64()?;
+    let solve_ms = r.f64()?;
+    let mean_ms = r.f64()?;
+    let cold_mean_ms = r.opt()?.then(|| r.f64()).transpose()?;
+    let cold_ms = r.opt()?.then(|| r.f64()).transpose()?;
+    let cold_iterations = r.opt()?.then(|| r.u64()).transpose()?.map(|v| v as usize);
+    let agree = match r.u8()? {
+        0 => None,
+        1 => Some(false),
+        2 => Some(true),
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint record: bad agree tag {other}"),
+            ))
+        }
+    };
+    let len = r.u64()? as usize;
+    let mut per_state = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        per_state.push(r.f64()?);
+    }
+    Ok((
+        PointRow {
+            spec,
+            states,
+            transitions,
+            cache_hit,
+            warm_start,
+            iterations,
+            solved_by,
+            build_ms,
+            solve_ms,
+            mean_ms,
+            cold_mean_ms,
+            cold_ms,
+            cold_iterations,
+            agree,
+        },
+        per_state,
+    ))
 }
 
 /// A measured-latency reference row (testbed campaign).
@@ -334,30 +618,98 @@ pub fn grid(opts: &CampaignOptions) -> Result<Vec<PointSpec>, String> {
 ///
 /// Telemetry (`trace` / `metrics`) is handled like `repro analytic`:
 /// enabled for the run, files written afterwards, summary to stderr.
-pub fn run_with(seed: u64, opts: &CampaignOptions) -> Result<Campaign, String> {
+///
+/// # Errors
+/// A typed [`CampaignError`]: grid problems, the first failing point
+/// (wrapping its [`SolveError`]), or checkpoint/telemetry I/O.
+pub fn run_with(seed: u64, opts: &CampaignOptions) -> Result<Campaign, CampaignError> {
     let telemetry = opts.trace.is_some() || opts.metrics.is_some();
     if telemetry {
         ctsim_obs::enable();
     }
     let result = run_inner(seed, opts);
+    let mut io_err = None;
     if telemetry {
         if let Some(path) = &opts.trace {
-            std::fs::write(path, ctsim_obs::chrome_trace_json())
-                .unwrap_or_else(|e| panic!("writing trace {}: {e}", path.display()));
+            if let Err(e) = std::fs::write(path, ctsim_obs::chrome_trace_json()) {
+                io_err.get_or_insert(CampaignError::Io {
+                    what: "writing trace",
+                    path: path.clone(),
+                    source: e,
+                });
+            }
         }
         if let Some(path) = &opts.metrics {
-            std::fs::write(path, ctsim_obs::metrics_json())
-                .unwrap_or_else(|e| panic!("writing metrics {}: {e}", path.display()));
+            if let Err(e) = std::fs::write(path, ctsim_obs::metrics_json()) {
+                io_err.get_or_insert(CampaignError::Io {
+                    what: "writing metrics",
+                    path: path.clone(),
+                    source: e,
+                });
+            }
         }
         eprintln!("{}", ctsim_obs::summary().trim_end());
         ctsim_obs::disable();
     }
-    result
+    match (result, io_err) {
+        (Err(e), _) => Err(e),
+        (Ok(_), Some(e)) => Err(e),
+        (Ok(c), None) => Ok(c),
+    }
 }
 
-fn run_inner(seed: u64, opts: &CampaignOptions) -> Result<Campaign, String> {
+fn run_inner(seed: u64, opts: &CampaignOptions) -> Result<Campaign, CampaignError> {
     let _run_span = ctsim_obs::span("experiment", "campaign").arg("threads", opts.threads);
-    let specs = grid(opts)?;
+    let specs = grid(opts).map_err(CampaignError::Grid)?;
+
+    // Checkpoint journal: replay completed points on --resume, start
+    // fresh otherwise. Torn trailing frames (a crash mid-append) are
+    // dropped by `Journal::open` and the affected point just re-solves.
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err(CampaignError::Grid(
+            "--resume requires --checkpoint FILE".to_string(),
+        ));
+    }
+    let journal_io = |what: &'static str, path: &Path, e: io::Error| CampaignError::Io {
+        what,
+        path: path.to_path_buf(),
+        source: e,
+    };
+    let mut resumed: Vec<(PointRow, Vec<f64>)> = Vec::new();
+    let journal = match &opts.checkpoint {
+        Some(path) => {
+            if !opts.resume {
+                if let Err(e) = std::fs::remove_file(path) {
+                    if e.kind() != io::ErrorKind::NotFound {
+                        return Err(journal_io("resetting checkpoint", path, e));
+                    }
+                }
+            }
+            let rec = Journal::open(path).map_err(|e| journal_io("opening checkpoint", path, e))?;
+            if rec.truncated_bytes > 0 {
+                eprintln!(
+                    "campaign: checkpoint {}: dropped {} torn trailing bytes",
+                    path.display(),
+                    rec.truncated_bytes
+                );
+            }
+            for payload in &rec.records {
+                resumed.push(
+                    decode_record(payload)
+                        .map_err(|e| journal_io("decoding checkpoint record from", path, e))?,
+                );
+            }
+            if opts.resume {
+                eprintln!(
+                    "campaign: resuming from {}: {} completed points",
+                    path.display(),
+                    resumed.len()
+                );
+            }
+            Some(Mutex::new(rec.journal))
+        }
+        None => None,
+    };
 
     // Group points by structural key; groups are the parallel unit,
     // points inside a group run sequentially so the single cache entry
@@ -397,12 +749,16 @@ fn run_inner(seed: u64, opts: &CampaignOptions) -> Result<Campaign, String> {
 
     let cache = GraphCache::new();
     let rows = Mutex::new(Vec::new());
+    let errors = Mutex::new(Vec::<CampaignError>::new());
     let next = AtomicUsize::new(0);
     let start = Instant::now();
     let groups = &groups;
     let cache_ref = &cache;
     let rows_ref = &rows;
+    let errors_ref = &errors;
     let next_ref = &next;
+    let journal_ref = journal.as_ref();
+    let resumed_ref = &resumed;
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(move || loop {
@@ -410,12 +766,33 @@ fn run_inner(seed: u64, opts: &CampaignOptions) -> Result<Campaign, String> {
                 let Some((key, points)) = groups.get(g) else {
                     break;
                 };
-                let out = run_group(key, points, cache_ref, solve_threads, opts.verify_cold);
-                rows_ref.lock().expect("campaign rows poisoned").extend(out);
+                match run_group(
+                    key,
+                    points,
+                    cache_ref,
+                    solve_threads,
+                    opts,
+                    journal_ref,
+                    resumed_ref,
+                ) {
+                    Ok(out) => rows_ref.lock().expect("campaign rows poisoned").extend(out),
+                    Err(e) => {
+                        errors_ref.lock().expect("campaign errors poisoned").push(e);
+                        break;
+                    }
+                }
             });
         }
     });
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Several workers can fail concurrently; surface one error
+    // deterministically (sorted by rendering, not by race order).
+    let mut errors = errors.into_inner().expect("campaign errors poisoned");
+    if !errors.is_empty() {
+        errors.sort_by_key(|e| e.to_string());
+        return Err(errors.remove(0));
+    }
 
     let mut rows = rows.into_inner().expect("campaign rows poisoned");
     rows.sort_by(|a, b| {
@@ -461,41 +838,74 @@ fn run_inner(seed: u64, opts: &CampaignOptions) -> Result<Campaign, String> {
 }
 
 /// Solves one structural group sequentially, threading the cache entry
-/// and the warm-start vector through its points.
+/// and the warm-start vector through its points. Points found in the
+/// resume set are reported verbatim from the journal; their
+/// first-passage vectors re-seed the warm-start chain so the points
+/// that follow iterate exactly as in the uninterrupted run.
 fn run_group(
     key: &StructuralKey,
     points: &[PointSpec],
     cache: &GraphCache,
     solve_threads: usize,
-    verify_cold: bool,
-) -> Vec<PointRow> {
+    opts: &CampaignOptions,
+    journal: Option<&Mutex<Journal>>,
+    resumed: &[(PointRow, Vec<f64>)],
+) -> Result<Vec<PointRow>, CampaignError> {
     let mut warm: Option<(SolverBackend, Vec<f64>)> = None;
-    points
-        .iter()
-        .map(|spec| {
-            let row = run_point(spec, key, cache, solve_threads, verify_cold, &mut warm);
+    let mut out = Vec::with_capacity(points.len());
+    for spec in points {
+        if let Some((row, per_state)) = resumed.iter().find(|(r, _)| r.spec == *spec) {
+            warm = Some((spec.backend, per_state.clone()));
             eprintln!(
-                "campaign: n={} ph={} {} svc={} net={} -> mean {:.6} ms \
-                 ({} states, {}, {} iters, build {:.1} ms, solve {:.1} ms)",
+                "campaign: n={} ph={} {} svc={} net={} -> mean {:.6} ms (checkpoint)",
                 spec.n,
                 spec.ph_order,
                 spec.backend,
                 spec.service_scale,
                 spec.net_scale,
                 row.mean_ms,
-                row.states,
-                if row.cache_hit {
-                    "cache hit"
-                } else {
-                    "explored"
-                },
-                row.iterations,
-                row.build_ms,
-                row.solve_ms,
             );
-            row
-        })
-        .collect()
+            out.push(row.clone());
+            continue;
+        }
+        let row = run_point(spec, key, cache, solve_threads, opts, &mut warm)?;
+        if let Some(j) = journal {
+            // `campaign.checkpoint` is the crash-injection site: an
+            // `abort_at:K` schedule kills the process right here,
+            // leaving a journal whose last frame may be torn — exactly
+            // what `--resume` must survive.
+            let mut j = j.lock().expect("checkpoint journal poisoned");
+            let tau = &warm.as_ref().expect("run_point seeds the warm chain").1;
+            fail::io_check("campaign.checkpoint")
+                .and_then(|()| j.append(&encode_record(&row, tau)))
+                .map_err(|e| CampaignError::Io {
+                    what: "appending checkpoint record to",
+                    path: j.path().to_path_buf(),
+                    source: e,
+                })?;
+        }
+        eprintln!(
+            "campaign: n={} ph={} {} svc={} net={} -> mean {:.6} ms \
+             ({} states, {}, {} iters, build {:.1} ms, solve {:.1} ms)",
+            spec.n,
+            spec.ph_order,
+            spec.backend,
+            spec.service_scale,
+            spec.net_scale,
+            row.mean_ms,
+            row.states,
+            if row.cache_hit {
+                "cache hit"
+            } else {
+                "explored"
+            },
+            row.iterations,
+            row.build_ms,
+            row.solve_ms,
+        );
+        out.push(row);
+    }
+    Ok(out)
 }
 
 fn reach_options(spec: &PointSpec, params: &SanParams, threads: usize) -> ReachOptions {
@@ -512,9 +922,9 @@ fn run_point(
     key: &StructuralKey,
     cache: &GraphCache,
     solve_threads: usize,
-    verify_cold: bool,
+    opts: &CampaignOptions,
     warm: &mut Option<(SolverBackend, Vec<f64>)>,
-) -> PointRow {
+) -> Result<PointRow, CampaignError> {
     let _point_span = ctsim_obs::span("campaign", "point")
         .arg("n", spec.n)
         .arg("ph_order", spec.ph_order)
@@ -529,11 +939,10 @@ fn run_point(
     let goal = |m: &ctsim_san::Marking| decided.iter().any(|&d| m.get(d) > 0);
     let reach = reach_options(spec, &params, solve_threads);
 
-    let fail = |what: &str, e: SolveError| -> ! {
-        panic!(
-            "campaign {what} failed for n={} ph={} {} svc={} net={}: {e}",
-            spec.n, spec.ph_order, spec.backend, spec.service_scale, spec.net_scale
-        )
+    let fail = |what: &'static str, e: SolveError| CampaignError::Point {
+        what,
+        spec: spec.clone(),
+        source: Box::new(e),
     };
 
     // Graph phase: rate-only rebuild of the cached graph, or a cold
@@ -550,22 +959,25 @@ fn run_point(
                     // The sparsity pattern survived `rebuild_rates`, so a
                     // value-pattern mismatch here is a bug, not a fallback.
                     ctmc.rebuild_values(&ss)
-                        .unwrap_or_else(|e| fail("CSR value rebuild", e));
+                        .map_err(|e| fail("CSR value rebuild", e))?;
                     rebuilt = Some((ss, ctmc));
                 }
                 Err(SolveError::StructureMismatch { .. }) => {}
-                Err(e) => fail("rate rebuild", e),
+                Err(e) => return Err(fail("rate rebuild", e)),
             },
             Err(SolveError::StructureMismatch { .. }) => {}
-            Err(e) => fail("graph re-attach", e),
+            Err(e) => return Err(fail("graph re-attach", e)),
         }
     }
     let cache_hit = rebuilt.is_some();
-    let (ss, ctmc) = rebuilt.unwrap_or_else(|| {
-        let _sp = ctsim_obs::span("campaign", "explore");
-        StateSpace::explore_absorbing_ctmc(&model, &reach, goal)
-            .unwrap_or_else(|e| fail("exploration", e))
-    });
+    let (ss, ctmc) = match rebuilt {
+        Some(pair) => pair,
+        None => {
+            let _sp = ctsim_obs::span("campaign", "explore");
+            StateSpace::explore_absorbing_ctmc(&model, &reach, goal)
+                .map_err(|e| fail("exploration", e))?
+        }
+    };
     let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
 
     // Solve phase. Gauss–Seidel stays cold-seeded so its campaign rows
@@ -574,6 +986,7 @@ fn run_point(
     let mut iter = IterOptions {
         backend: spec.backend,
         threads: solve_threads,
+        fallback: opts.fallback,
         ..IterOptions::default()
     };
     if spec.backend != SolverBackend::GaussSeidel {
@@ -585,7 +998,7 @@ fn run_point(
     }
     let warm_start = iter.warm_start.is_some();
     let solve_start = Instant::now();
-    let sol = mean_time_to_absorption(&ctmc, &iter).unwrap_or_else(|e| fail("solve", e));
+    let sol = mean_time_to_absorption(&ctmc, &iter).map_err(|e| fail("solve", e))?;
     let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
     if warm_start && ctsim_obs::enabled() {
         ctsim_obs::counter_add("campaign.warm_starts", 1);
@@ -604,17 +1017,17 @@ fn run_point(
     );
 
     let (mut cold_mean_ms, mut cold_ms, mut cold_iterations, mut agree) = (None, None, None, None);
-    if verify_cold {
+    if opts.verify_cold {
         let _sp = ctsim_obs::span("campaign", "verify_cold");
         let cold_start = Instant::now();
         let (_cold_ss, cold_ctmc) = StateSpace::explore_absorbing_ctmc(&model, &reach, goal)
-            .unwrap_or_else(|e| fail("cold exploration", e));
+            .map_err(|e| fail("cold exploration", e))?;
         let cold_iter = IterOptions {
             warm_start: None,
             ..iter.clone()
         };
-        let cold_sol = mean_time_to_absorption(&cold_ctmc, &cold_iter)
-            .unwrap_or_else(|e| fail("cold solve", e));
+        let cold_sol =
+            mean_time_to_absorption(&cold_ctmc, &cold_iter).map_err(|e| fail("cold solve", e))?;
         cold_ms = Some(cold_start.elapsed().as_secs_f64() * 1e3);
         cold_mean_ms = Some(cold_sol.mean);
         cold_iterations = Some(cold_sol.iterations);
@@ -627,13 +1040,14 @@ fn run_point(
         });
     }
 
-    PointRow {
+    Ok(PointRow {
         spec: spec.clone(),
         states,
         transitions,
         cache_hit,
         warm_start,
         iterations: sol.iterations,
+        solved_by: sol.solved_by,
         build_ms,
         solve_ms,
         mean_ms: sol.mean,
@@ -641,7 +1055,7 @@ fn run_point(
         cold_ms,
         cold_iterations,
         agree,
-    }
+    })
 }
 
 impl Campaign {
@@ -901,6 +1315,187 @@ mod tests {
         assert!(!c.heatmaps().is_empty());
         let json = c.summary_json();
         assert!(json.contains("\"cache_hits\": 10"));
+    }
+
+    /// Everything except wall-clock and cache-placement bookkeeping
+    /// must be reproduced exactly: the resume acceptance criterion.
+    /// (`cache_hit` and the `*_ms` timings legitimately differ — the
+    /// first unresumed point of a group re-explores what the
+    /// uninterrupted run had cached.)
+    fn assert_deterministically_equal(a: &Campaign, b: &Campaign) {
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.states, y.states, "{:?}", x.spec);
+            assert_eq!(x.transitions, y.transitions, "{:?}", x.spec);
+            assert_eq!(x.iterations, y.iterations, "{:?}", x.spec);
+            assert_eq!(x.warm_start, y.warm_start, "{:?}", x.spec);
+            assert_eq!(x.solved_by, y.solved_by, "{:?}", x.spec);
+            assert_eq!(
+                x.mean_ms.to_bits(),
+                y.mean_ms.to_bits(),
+                "{:?}: {} vs {}",
+                x.spec,
+                x.mean_ms,
+                y.mean_ms
+            );
+            assert_eq!(
+                x.cold_mean_ms.map(f64::to_bits),
+                y.cold_mean_ms.map(f64::to_bits),
+                "{:?}",
+                x.spec
+            );
+            assert_eq!(x.agree, y.agree, "{:?}", x.spec);
+        }
+        assert_eq!(
+            a.heatmaps(),
+            b.heatmaps(),
+            "heatmaps must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_survives_a_torn_crash_bit_identically() {
+        let path = std::env::temp_dir().join(format!(
+            "ctsim-campaign-ckpt-{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // The reference: the same grid, uninterrupted, no journal.
+        let base = run_with(7, &tiny(true)).unwrap();
+
+        // A checkpointed run journals every completed point and changes
+        // nothing about the answers.
+        let opts = CampaignOptions {
+            checkpoint: Some(path.clone()),
+            ..tiny(true)
+        };
+        let full = run_with(7, &opts).unwrap();
+        assert_deterministically_equal(&base, &full);
+        let rec = Journal::open(&path).unwrap();
+        assert_eq!(rec.records.len(), 12, "one frame per completed point");
+        assert_eq!(rec.truncated_bytes, 0);
+        drop(rec);
+
+        // Simulate a crash: keep the first 5 complete frames, then a
+        // torn half-written header — what SIGKILL mid-append leaves.
+        let bytes = std::fs::read(&path).unwrap();
+        let mut keep = 0usize;
+        for _ in 0..5 {
+            let len = u32::from_le_bytes(bytes[keep..keep + 4].try_into().unwrap()) as usize;
+            keep += 8 + len;
+        }
+        let mut crashed = bytes[..keep].to_vec();
+        crashed.extend_from_slice(&[0x77, 0x03, 0x00]);
+        std::fs::write(&path, &crashed).unwrap();
+
+        // Resume: the 5 journaled points replay verbatim, the torn tail
+        // is dropped, the other 7 re-solve — and every deterministic
+        // field, including the heatmaps, is bit-identical to the
+        // uninterrupted run.
+        let opts = CampaignOptions {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..tiny(true)
+        };
+        let resumed = run_with(7, &opts).unwrap();
+        assert_deterministically_equal(&base, &resumed);
+
+        // The journal is whole again after the resumed run.
+        let rec = Journal::open(&path).unwrap();
+        assert_eq!(rec.records.len(), 12);
+        assert_eq!(rec.truncated_bytes, 0);
+        drop(rec);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_records_round_trip_through_the_codec() {
+        let row = PointRow {
+            spec: PointSpec {
+                n: 3,
+                ph_order: 2,
+                backend: SolverBackend::Krylov,
+                service_scale: 1.25,
+                net_scale: 0.8,
+            },
+            states: 4242,
+            transitions: 12345,
+            cache_hit: true,
+            warm_start: true,
+            iterations: 17,
+            solved_by: SolverBackend::GaussSeidel,
+            build_ms: 1.5,
+            solve_ms: 2.5,
+            mean_ms: 1.234567890123,
+            cold_mean_ms: Some(1.234567890123),
+            cold_ms: None,
+            cold_iterations: Some(33),
+            agree: Some(true),
+        };
+        let tau = vec![0.25, -1.5e-300, f64::MIN_POSITIVE, 3.75];
+        let (back, tau_back) = decode_record(&encode_record(&row, &tau)).unwrap();
+        assert_eq!(back.spec, row.spec);
+        assert_eq!(back.mean_ms.to_bits(), row.mean_ms.to_bits());
+        assert_eq!(back.solved_by, SolverBackend::GaussSeidel);
+        assert_eq!(back.iterations, 17);
+        assert_eq!(back.cold_iterations, Some(33));
+        assert_eq!(back.cold_ms, None);
+        assert_eq!(back.agree, Some(true));
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&tau_back), bits(&tau));
+        // A damaged payload is a typed decode error, not a panic.
+        assert!(decode_record(&encode_record(&row, &tau)[..20]).is_err());
+        assert!(decode_record(&[9, 0, 0]).is_err(), "unknown version");
+    }
+
+    #[test]
+    fn campaign_errors_are_typed_displayed_and_chained() {
+        use std::error::Error;
+        let spec = PointSpec {
+            n: 2,
+            ph_order: 1,
+            backend: SolverBackend::Krylov,
+            service_scale: 1.0,
+            net_scale: 1.0,
+        };
+        let e = CampaignError::Point {
+            what: "solve",
+            spec,
+            source: Box::new(SolveError::NotConverged {
+                iterations: 17,
+                residual: 0.5,
+            }),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("campaign solve failed"), "{msg}");
+        assert!(msg.contains("n=2"), "{msg}");
+        assert!(msg.contains("krylov"), "{msg}");
+        let source = e.source().expect("solver error chained").to_string();
+        assert!(source.contains("17"), "{source}");
+
+        let e = CampaignError::Io {
+            what: "appending checkpoint record to",
+            path: PathBuf::from("/tmp/x.journal"),
+            source: io::Error::other("disk unplugged"),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/x.journal"), "{msg}");
+        assert!(msg.contains("disk unplugged"), "{msg}");
+        assert!(e.source().is_some());
+
+        // `--resume` without `--checkpoint` is a typed grid error.
+        let err = run_with(
+            7,
+            &CampaignOptions {
+                resume: true,
+                ..tiny(false)
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CampaignError::Grid(_)), "{err:?}");
+        assert!(err.to_string().contains("--resume requires --checkpoint"));
     }
 
     #[test]

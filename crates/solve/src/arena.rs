@@ -124,6 +124,12 @@ pub(crate) struct SegStore<T: SpillRecord> {
     /// Extra `ctsim-obs` counter credited with every byte paged back
     /// in (e.g. `spill.csr_paged_bytes` for the generator store).
     page_counter: Option<&'static str>,
+    /// Failpoint site names for this store's page-in / page-out I/O
+    /// (see `docs/RESILIENCE.md`); defaults suit the transition arena,
+    /// the packed-state and CSR stores override them so fault
+    /// schedules can target one consumer.
+    read_site: &'static str,
+    write_site: &'static str,
 }
 
 impl<T: SpillRecord> SegStore<T> {
@@ -139,7 +145,16 @@ impl<T: SpillRecord> SegStore<T> {
             cache: Mutex::new(Vec::with_capacity(CACHE_SLOTS)),
             cache_slots: CACHE_SLOTS,
             page_counter: None,
+            read_site: "arena.page_in",
+            write_site: "arena.page_out",
         }
+    }
+
+    /// Names this store's page-in / page-out failpoint sites so fault
+    /// schedules can single it out.
+    pub(crate) fn set_io_sites(&mut self, read: &'static str, write: &'static str) {
+        self.read_site = read;
+        self.write_site = write;
     }
 
     /// Raises (or lowers) the reloaded-segment LRU depth. Stores that
@@ -246,15 +261,16 @@ impl<T: SpillRecord> SegStore<T> {
             for (e, chunk) in seg.iter().zip(buf.chunks_exact_mut(T::BYTES)) {
                 e.store(chunk);
             }
-            match spill.write_out(&buf) {
+            match spill.write_out(self.write_site, &buf) {
                 Ok(offset) => {
                     self.segs[idx] = Segment::Spilled {
                         offset,
                         len: seg.len() as u32,
                     };
                 }
-                // Disk trouble: keep the segment resident (correctness
-                // over the budget) and stop trying this round.
+                // Disk trouble that survived the retry policy: keep
+                // the segment resident (correctness over the budget)
+                // and stop trying this round.
                 Err(_) => {
                     self.next_spill = idx;
                     break;
@@ -309,15 +325,14 @@ impl<T: SpillRecord> SegStore<T> {
             .expect("spilled segment without a spill backend");
         let mut bytes = vec![0u8; seg_len * T::BYTES];
         // Write failures degrade gracefully (the segment stays
-        // resident, see `page_out`), but a read failure means data we
-        // already handed to the OS is gone — there is no correct value
-        // to return, so abort with the underlying error.
-        if let Err(e) = spill.read_back(offset, &mut bytes) {
-            panic!(
-                "spill read-back of segment {seg} (offset {offset}, {} bytes) failed: {e}; \
-                 the unlinked temp file became unreadable mid-run",
-                bytes.len()
-            );
+        // resident, see `page_out`), but a read failure that survived
+        // the retry policy means data we already handed to the OS is
+        // gone — there is no correct value to return, so raise the
+        // typed error as a panic payload; the `catch_spill` boundary
+        // at every public entry point turns it back into
+        // `Err(SolveError::SpillFailed { .. })`.
+        if let Err(e) = spill.read_back(self.read_site, offset, &mut bytes) {
+            std::panic::panic_any(e);
         }
         let data: Vec<T> = bytes.chunks_exact(T::BYTES).map(T::load).collect();
         let arc: Arc<[T]> = data.into();
@@ -417,12 +432,10 @@ impl<T: SpillRecord> SegStore<T> {
                     .clone()
                     .expect("spilled segment without a spill backend");
                 let mut bytes = vec![0u8; seg_len * T::BYTES];
-                if let Err(e) = spill.read_back(offset, &mut bytes) {
-                    panic!(
-                        "spill read-back of segment {seg_idx} (offset {offset}, {} bytes) \
-                         failed: {e}; the unlinked temp file became unreadable mid-run",
-                        bytes.len()
-                    );
+                // Same contract as `load`: exhausted read retries
+                // surface typed through the `catch_spill` boundary.
+                if let Err(e) = spill.read_back(self.read_site, offset, &mut bytes) {
+                    std::panic::panic_any(e);
                 }
                 let mut data: Vec<T> = bytes.chunks_exact(T::BYTES).map(T::load).collect();
                 for k in group {
@@ -436,7 +449,7 @@ impl<T: SpillRecord> SegStore<T> {
                 for (e, chunk) in data.iter().zip(bytes.chunks_exact_mut(T::BYTES)) {
                     e.store(chunk);
                 }
-                match spill.write_out(&bytes) {
+                match spill.write_out(self.write_site, &bytes) {
                     Ok(new_offset) => {
                         self.segs[seg_idx] = Segment::Spilled {
                             offset: new_offset,

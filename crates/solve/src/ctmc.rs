@@ -240,6 +240,7 @@ impl CtmcAcc {
         let mut entries = SegStore::new(CSR_SEG, Some(spill));
         entries.set_cache_slots(CSR_CACHE_SLOTS);
         entries.set_page_counter("spill.csr_paged_bytes");
+        entries.set_io_sites("csr.page_in", "csr.page_out");
         Self {
             row_ptr: vec![0],
             body: AccBody::Paged {
@@ -359,16 +360,18 @@ impl Ctmc {
     /// [`ReachOptions::ph_order`](crate::ReachOptions::ph_order) or use
     /// the simulator.
     pub fn from_state_space(ss: &StateSpace<'_>) -> Result<Self, SolveError> {
-        let model = ss.model();
-        let mut acc = CtmcAcc::new();
-        let mut scratch: Vec<(usize, f64)> = Vec::new();
-        for s in 0..ss.len() {
-            acc.push_row(s, &ss.outgoing(s), &mut scratch)
-                .map_err(|a| SolveError::NonMarkovian {
-                    activity: model.activity_name(a).to_string(),
-                })?;
-        }
-        Ok(acc.finish(&ss.initial))
+        crate::catch_spill(|| {
+            let model = ss.model();
+            let mut acc = CtmcAcc::new();
+            let mut scratch: Vec<(usize, f64)> = Vec::new();
+            for s in 0..ss.len() {
+                acc.push_row(s, &ss.outgoing(s), &mut scratch)
+                    .map_err(|a| SolveError::NonMarkovian {
+                        activity: model.activity_name(a).to_string(),
+                    })?;
+            }
+            Ok(acc.finish(&ss.initial))
+        })
     }
 
     /// Rewrites the generator's *values* (off-diagonal rates, diagonal,
@@ -387,6 +390,10 @@ impl Ctmc {
     /// the caller paired a generator with the wrong graph. On error the
     /// generator may hold partially rewritten values — discard it.
     pub fn rebuild_values(&mut self, ss: &StateSpace<'_>) -> Result<(), SolveError> {
+        crate::catch_spill(|| self.rebuild_values_inner(ss))
+    }
+
+    fn rebuild_values_inner(&mut self, ss: &StateSpace<'_>) -> Result<(), SolveError> {
         if ss.len() != self.n {
             return Err(SolveError::StructureMismatch {
                 reason: format!(

@@ -279,10 +279,7 @@ impl VisitedRuns {
         for w in keys {
             self.buf.extend_from_slice(&w.to_le_bytes());
         }
-        let offset = self
-            .spill
-            .append_raw(&self.buf)
-            .map_err(|e| self.spill.io_error("append visited run to", &e))?;
+        let offset = self.spill.append_raw("ddd.append_run", &self.buf)?;
         ctsim_obs::counter_add("ddd.sorted_runs", 1);
         self.runs.push(RunMeta {
             offset,
@@ -373,10 +370,11 @@ pub(crate) fn resolve_level(
             while read < run.states && di < distinct.len() {
                 let n = (run.states - read).min(CHUNK_KEYS);
                 let bytes = &mut chunk[..n * words * 8];
-                visited
-                    .spill
-                    .read_back(run.offset + (read * words * 8) as u64, bytes)
-                    .map_err(|e| visited.spill.io_error("read visited run from", &e))?;
+                visited.spill.read_back(
+                    "ddd.read_run",
+                    run.offset + (read * words * 8) as u64,
+                    bytes,
+                )?;
                 merge_bytes += bytes.len() as u64;
                 for (w, b) in chunk_words[..n * words]
                     .iter_mut()

@@ -1197,9 +1197,11 @@ impl Assembly<'_> {
         let states_per_seg = (PACKED_SEG / words).max(1);
         Assembly {
             model,
-            packed: spill
-                .as_ref()
-                .map(|s| SegStore::new(states_per_seg * words, Some(s.clone()))),
+            packed: spill.as_ref().map(|s| {
+                let mut st = SegStore::new(states_per_seg * words, Some(s.clone()));
+                st.set_io_sites("pack.page_in", "pack.page_out");
+                st
+            }),
             states_per_seg,
             perm: Vec::new(),
             trans: SegStore::new(TRANS_SEG, spill.clone()),
@@ -1481,6 +1483,17 @@ impl<'m> StateSpace<'m> {
         absorb: Option<&AbsorbFn<'_>>,
         want: Option<GeneratorBackend>,
     ) -> Result<(Self, Option<Generator>), SolveError> {
+        // All spill read-back failures below (packed states, transition
+        // arena, paged CSR) surface typed through this boundary.
+        crate::catch_spill(|| Self::explore_inner_impl(model, opts, absorb, want))
+    }
+
+    fn explore_inner_impl(
+        model: &'m SanModel,
+        opts: &ReachOptions,
+        absorb: Option<&AbsorbFn<'_>>,
+        want: Option<GeneratorBackend>,
+    ) -> Result<(Self, Option<Generator>), SolveError> {
         let expansion = Expansion::build(model, opts.ph_order)?;
         let mut layout = StateLayout::new(model.num_places(), &expansion.phase_maxes());
         // External-memory dedup from level 0 when forced; otherwise the
@@ -1637,7 +1650,11 @@ impl<'m> StateSpace<'m> {
                         failed.store(true, Ordering::Relaxed);
                     }
                     for h in handles {
-                        outcomes.push(h.join().expect("exploration worker panicked"));
+                        outcomes.push(h.join().unwrap_or_else(|payload| {
+                            // Preserve a typed spill-read payload
+                            // for the catch_spill boundary.
+                            std::panic::resume_unwind(payload)
+                        }));
                     }
                     r
                 });
@@ -1914,7 +1931,11 @@ impl<'m> StateSpace<'m> {
                         failed.store(true, Ordering::Relaxed);
                     }
                     for h in handles {
-                        outcomes.push(h.join().expect("exploration worker panicked"));
+                        outcomes.push(h.join().unwrap_or_else(|payload| {
+                            // Preserve a typed spill-read payload
+                            // for the catch_spill boundary.
+                            std::panic::resume_unwind(payload)
+                        }));
                     }
                     r
                 });
@@ -2193,6 +2214,10 @@ impl<'m> StateSpace<'m> {
     /// the caller should fall back to a cold exploration. On error the
     /// space may hold partially rewritten rates — discard it.
     pub fn rebuild_rates(&mut self) -> Result<(), SolveError> {
+        crate::catch_spill(|| self.rebuild_rates_inner())
+    }
+
+    fn rebuild_rates_inner(&mut self) -> Result<(), SolveError> {
         let expansion = Expansion::build(self.model, self.ph_order)?;
         let shape = expansion.shape(self.model);
         if shape != self.shape {

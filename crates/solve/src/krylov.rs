@@ -51,6 +51,7 @@
 
 use std::cell::RefCell;
 
+use crate::backend::SolverBackend;
 use crate::linop::LinOp;
 use crate::steady::{AbsorptionTimes, IterOptions, SteadyState};
 use crate::SolveError;
@@ -283,6 +284,18 @@ where
 /// (empty/absorbing chains) are done by the dispatching
 /// [`steady_state`](crate::steady_state).
 pub(crate) fn steady<L: LinOp>(op: &L, opts: &IterOptions) -> Result<SteadyState, SolveError> {
+    // Deterministic chaos hook for the fallback chain: an armed
+    // `solver.krylov` failpoint makes this backend report stagnation
+    // without spending any iterations.
+    if matches!(
+        ctsim_resilience::fail::hit("solver.krylov"),
+        ctsim_resilience::fail::Action::Fail
+    ) {
+        return Err(SolveError::NotConverged {
+            iterations: 0,
+            residual: f64::INFINITY,
+        });
+    }
     let n = op.dim();
     let threads = opts.threads;
     // Anchor: the equation replaced by Σπ = 1. The state with the
@@ -359,6 +372,7 @@ pub(crate) fn steady<L: LinOp>(op: &L, opts: &IterOptions) -> Result<SteadyState
         probs: pi,
         iterations: iterations.max(1),
         residual,
+        solved_by: SolverBackend::Krylov,
     })
 }
 
@@ -370,6 +384,16 @@ pub(crate) fn absorption<L: LinOp>(
     op: &L,
     opts: &IterOptions,
 ) -> Result<AbsorptionTimes, SolveError> {
+    // Same chaos hook as `steady`: see the fallback-chain docs.
+    if matches!(
+        ctsim_resilience::fail::hit("solver.krylov"),
+        ctsim_resilience::fail::Action::Fail
+    ) {
+        return Err(SolveError::NotConverged {
+            iterations: 0,
+            residual: f64::INFINITY,
+        });
+    }
     let n = op.dim();
     let threads = opts.threads;
     // `B τ = c` with `B = -Q_TT` over transient rows (positive
@@ -460,6 +484,7 @@ pub(crate) fn absorption<L: LinOp>(
         mean,
         iterations: iterations.max(1),
         residual,
+        solved_by: SolverBackend::Krylov,
     })
 }
 

@@ -355,18 +355,24 @@ pub enum SolveError {
         /// The configured cap.
         limit: usize,
     },
-    /// A disk-spill operation failed (creating the temp file, or an
+    /// A disk-spill operation failed after exhausting its retry
+    /// policy (creating the temp file, paging a segment, or an
     /// append/read on the external-memory dedup runs). Carries the
-    /// failing operation and path so budget/disk failures are
-    /// diagnosable from CI logs.
+    /// failing operation, path, and per-attempt trace so budget/disk
+    /// failures are diagnosable from CI logs.
     SpillFailed {
-        /// The operation that failed (`"create"`, `"append run"`, …).
+        /// The failpoint site / operation that failed
+        /// (`"spill.create"`, `"ddd.append_run"`, `"csr.page_in"`, …).
         op: &'static str,
         /// The spill-file path (unlinked after creation, but the only
         /// handle a log reader has on *which* filesystem failed).
         path: String,
-        /// The underlying I/O error, rendered.
+        /// The final attempt's I/O error, rendered.
         message: String,
+        /// One rendered line per failed attempt, including the virtual
+        /// backoff the retry policy charged between them (see
+        /// `ctsim-resilience`). Empty when the op was not retryable.
+        attempts: Vec<String>,
     },
     /// The requested solver needs the generator resident in RAM, but
     /// it was built disk-paged under a spill budget.
@@ -432,8 +438,17 @@ impl fmt::Display for SolveError {
             SolveError::StateSpaceTooLarge { limit } => {
                 write!(f, "reachable state space exceeds {limit} states")
             }
-            SolveError::SpillFailed { op, path, message } => {
-                write!(f, "disk-spill store failed to {op} at {path}: {message}")
+            SolveError::SpillFailed {
+                op,
+                path,
+                message,
+                attempts,
+            } => {
+                write!(f, "disk-spill store failed to {op} at {path}: {message}")?;
+                if !attempts.is_empty() {
+                    write!(f, " [{}]", attempts.join("; "))?;
+                }
+                Ok(())
             }
             SolveError::ResidentOnly { backend } => write!(
                 f,
@@ -482,3 +497,37 @@ impl fmt::Display for SolveError {
 }
 
 impl std::error::Error for SolveError {}
+
+/// Converts spill read-back failures raised deep inside pagers back
+/// into typed errors at an API boundary.
+///
+/// Write failures degrade gracefully (a segment that cannot page out
+/// stays resident), but a *read* failure surfaces under a shared
+/// guard in the middle of a sweep callback, where no `Result` channel
+/// exists — so after the retry policy is exhausted the pager raises
+/// the typed [`SolveError`] as a panic payload
+/// ([`std::panic::panic_any`]), and every public entry point that can
+/// reach a paged store runs under this catch, turning it back into
+/// `Err(SolveError::SpillFailed { .. })` with the attempt trace
+/// intact. Callers therefore never see a panic or a hang for spill
+/// I/O trouble — only the typed error. Panics with any other payload
+/// (real bugs) resume unwinding unchanged, and the quiet hook below
+/// keeps the intentional typed unwind out of stderr.
+pub(crate) fn catch_spill<T>(f: impl FnOnce() -> Result<T, SolveError>) -> Result<T, SolveError> {
+    static QUIET_HOOK: std::sync::Once = std::sync::Once::new();
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SolveError>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => match payload.downcast::<SolveError>() {
+            Ok(e) => Err(*e),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
+}

@@ -111,6 +111,10 @@ pub struct AnalyticOutcome {
     pub rates: usize,
     /// Gauss–Seidel sweeps used for the mean.
     pub iterations: usize,
+    /// The backend that actually produced the mean — differs from
+    /// [`IterOptions::backend`] only when a fallback chain
+    /// ([`IterOptions::fallback`]) stepped in.
+    pub solved_by: crate::SolverBackend,
 }
 
 impl<'m> AnalyticRun<'m> {
@@ -222,6 +226,7 @@ impl<'m> AnalyticRun<'m> {
             states: self.space.len(),
             rates: self.num_rates(),
             iterations: sol.iterations,
+            solved_by: sol.solved_by,
         })
     }
 }

@@ -28,6 +28,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use ctsim_resilience::{fail, retry};
+
 use crate::SolveError;
 
 /// How exploration deduplicates states when a spill budget is set.
@@ -123,6 +125,15 @@ impl SpillOptions {
 
 /// The shared spill backend: one append-only unlinked temp file plus
 /// the resident-bytes account that all participating stores debit.
+///
+/// Every I/O primitive is a named failpoint site and runs under the
+/// bounded retry policy of `ctsim-resilience`: a transient failure
+/// (injected or real) is retried with deterministic virtual backoff,
+/// and exhaustion surfaces as [`SolveError::SpillFailed`] carrying the
+/// per-attempt trace. Callers pass their site name (`"arena.page_in"`,
+/// `"ddd.append_run"`, `"csr.page_in"`, …) so fault schedules can
+/// target one consumer at a time; see `docs/RESILIENCE.md` for the
+/// site catalog.
 pub(crate) struct SpillShared {
     file: Mutex<SpillFile>,
     /// The (already unlinked) path the spill file was created at, kept
@@ -135,6 +146,8 @@ pub(crate) struct SpillShared {
     budget: usize,
     /// Bytes currently written out (diagnostics).
     spilled: AtomicU64,
+    /// Retry policy for every I/O primitive on this file.
+    policy: retry::RetryPolicy,
 }
 
 struct SpillFile {
@@ -149,28 +162,43 @@ impl SpillShared {
         // unlinked right after creation; the fd keeps the storage
         // alive, the namespace stays clean even on abort.
         static SEQ: AtomicU64 = AtomicU64::new(0);
-        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-        let path = dir.join(format!("ctsim-spill-{}-{seq}.bin", std::process::id()));
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create_new(true)
-            .open(&path)
-            .map_err(|e| spill_failed("create", &path, &e))?;
-        let _ = std::fs::remove_file(&path);
+        let policy = retry::RetryPolicy::default();
+        let file_and_path = retry::with_retries(&policy, "spill.create", || {
+            fail::io_check("spill.create")?;
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = dir.join(format!("ctsim-spill-{}-{seq}.bin", std::process::id()));
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create_new(true)
+                .open(&path)?;
+            let _ = std::fs::remove_file(&path);
+            Ok::<_, io::Error>((file, path))
+        });
+        let (file, path) = file_and_path.map_err(|e| exhausted("spill.create", &dir, e))?;
         Ok(Self {
             file: Mutex::new(SpillFile { file, len: 0 }),
             path,
             resident: AtomicUsize::new(0),
             budget: opts.budget_bytes,
             spilled: AtomicU64::new(0),
+            policy,
         })
     }
 
-    /// Maps an `io::Error` on this spill file to the diagnosable
-    /// [`SolveError::SpillFailed`] form (operation + path + cause).
-    pub(crate) fn io_error(&self, op: &'static str, e: &io::Error) -> SolveError {
-        spill_failed(op, &self.path, e)
+    /// Runs one raw I/O closure as failpoint site `site` under the
+    /// retry policy; exhaustion becomes the typed
+    /// [`SolveError::SpillFailed`] with the attempt trace.
+    fn guarded<T>(
+        &self,
+        site: &'static str,
+        mut f: impl FnMut() -> io::Result<T>,
+    ) -> Result<T, SolveError> {
+        retry::with_retries(&self.policy, site, || {
+            fail::io_check(site)?;
+            f()
+        })
+        .map_err(|e| exhausted(site, &self.path, e))
     }
 
     /// Account `bytes` of freshly sealed resident segment; returns
@@ -185,10 +213,11 @@ impl SpillShared {
         self.resident.load(Ordering::Relaxed) > self.budget
     }
 
-    /// Writes `bytes` at the end of the spill file, returning the
-    /// offset, and moves the accounting from resident to spilled.
-    pub(crate) fn write_out(&self, bytes: &[u8]) -> io::Result<u64> {
-        let offset = self.append_raw(bytes)?;
+    /// Writes `bytes` at the end of the spill file as failpoint site
+    /// `site`, returning the offset, and moves the accounting from
+    /// resident to spilled.
+    pub(crate) fn write_out(&self, site: &'static str, bytes: &[u8]) -> Result<u64, SolveError> {
+        let offset = self.append_raw(site, bytes)?;
         self.resident.fetch_sub(bytes.len(), Ordering::Relaxed);
         self.spilled
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
@@ -200,18 +229,32 @@ impl SpillShared {
     /// offset, without touching the resident-bytes account. This is
     /// the primitive for data that was never resident in segment form
     /// — the sorted visited runs of the external-memory exploration.
-    pub(crate) fn append_raw(&self, bytes: &[u8]) -> io::Result<u64> {
-        let mut f = self.file.lock().expect("spill file poisoned");
-        let offset = f.len;
-        write_all_at(&f.file, bytes, offset)?;
-        f.len += bytes.len() as u64;
-        Ok(offset)
+    ///
+    /// Retry-safe: the length only advances after a fully successful
+    /// write, so a failed (or torn) attempt is reissued at the same
+    /// offset and the file never exposes a half-written record.
+    pub(crate) fn append_raw(&self, site: &'static str, bytes: &[u8]) -> Result<u64, SolveError> {
+        self.guarded(site, || {
+            let mut f = self.file.lock().expect("spill file poisoned");
+            let offset = f.len;
+            write_all_at(&f.file, bytes, offset)?;
+            f.len += bytes.len() as u64;
+            Ok(offset)
+        })
     }
 
-    /// Reads `out.len()` bytes back from `offset`.
-    pub(crate) fn read_back(&self, offset: u64, out: &mut [u8]) -> io::Result<()> {
-        let f = self.file.lock().expect("spill file poisoned");
-        read_exact_at(&f.file, out, offset)
+    /// Reads `out.len()` bytes back from `offset` as failpoint site
+    /// `site`.
+    pub(crate) fn read_back(
+        &self,
+        site: &'static str,
+        offset: u64,
+        out: &mut [u8],
+    ) -> Result<(), SolveError> {
+        self.guarded(site, || {
+            let f = self.file.lock().expect("spill file poisoned");
+            read_exact_at(&f.file, out, offset)
+        })
     }
 
     /// Total bytes ever paged out (test-only diagnostics).
@@ -221,13 +264,14 @@ impl SpillShared {
     }
 }
 
-/// Builds the [`SolveError::SpillFailed`] diagnostic for a failed
-/// spill-file operation.
-pub(crate) fn spill_failed(op: &'static str, path: &Path, e: &io::Error) -> SolveError {
+/// Builds the [`SolveError::SpillFailed`] diagnostic from an exhausted
+/// retry, preserving the per-attempt trace.
+fn exhausted(op: &'static str, path: &Path, e: retry::RetryExhausted) -> SolveError {
     SolveError::SpillFailed {
         op,
         path: path.display().to_string(),
-        message: e.to_string(),
+        message: e.last,
+        attempts: e.attempts,
     }
 }
 
@@ -289,15 +333,15 @@ mod tests {
     #[test]
     fn write_read_round_trip() {
         let s = SpillShared::new(&SpillOptions::with_budget(0)).unwrap();
-        let a = s.write_out(&[1, 2, 3, 4]).unwrap();
-        let b = s.write_out(&[9, 8, 7]).unwrap();
+        let a = s.write_out("test.write", &[1, 2, 3, 4]).unwrap();
+        let b = s.write_out("test.write", &[9, 8, 7]).unwrap();
         assert_eq!(a, 0);
         assert_eq!(b, 4);
         let mut buf = [0u8; 3];
-        s.read_back(b, &mut buf).unwrap();
+        s.read_back("test.read", b, &mut buf).unwrap();
         assert_eq!(buf, [9, 8, 7]);
         let mut buf = [0u8; 4];
-        s.read_back(a, &mut buf).unwrap();
+        s.read_back("test.read", a, &mut buf).unwrap();
         assert_eq!(buf, [1, 2, 3, 4]);
         assert_eq!(s.spilled_bytes(), 7);
     }
@@ -308,7 +352,46 @@ mod tests {
         assert!(!s.add_resident(8));
         assert!(s.add_resident(8)); // 16 > 10
         assert!(s.over_budget());
-        let _ = s.write_out(&[0u8; 8]).unwrap();
+        let _ = s.write_out("test.write", &[0u8; 8]).unwrap();
         assert!(!s.over_budget()); // 8 resident again
+    }
+
+    #[test]
+    fn injected_faults_retry_then_exhaust_with_attempt_trace() {
+        let _guard = fail::test_lock();
+        ctsim_resilience::retry::reset_budgets();
+        let s = SpillShared::new(&SpillOptions::with_budget(0)).unwrap();
+        let off = s.write_out("test.write", &[42u8; 16]).unwrap();
+
+        // Two injected failures, then the real read goes through: the
+        // retry policy (4 attempts) absorbs them and the caller sees
+        // the same bytes as a fault-free run.
+        fail::configure("test.read=first:2", 0).unwrap();
+        let mut buf = [0u8; 16];
+        s.read_back("test.read", off, &mut buf).unwrap();
+        assert_eq!(buf, [42u8; 16]);
+
+        // An always-failing site exhausts the policy into the typed
+        // error: op, path, and every attempt survive into the render.
+        fail::configure("test.read=always", 0).unwrap();
+        let err = s.read_back("test.read", off, &mut buf).unwrap_err();
+        fail::disarm();
+        let SolveError::SpillFailed {
+            op,
+            path,
+            message,
+            attempts,
+        } = &err
+        else {
+            panic!("expected SpillFailed, got {err:?}");
+        };
+        assert_eq!(*op, "test.read");
+        assert!(path.contains("ctsim-spill-"), "{path}");
+        assert!(message.contains("injected fault"), "{message}");
+        assert_eq!(attempts.len(), 4, "{attempts:?}");
+        let rendered = err.to_string();
+        assert!(rendered.contains("test.read"), "{rendered}");
+        assert!(rendered.contains("attempt 1/4"), "{rendered}");
+        assert!(rendered.contains("backoff"), "{rendered}");
     }
 }

@@ -97,7 +97,12 @@ where
             handles.push(scope.spawn(move || run_shard(lo, shard, body)));
         }
         for h in handles {
-            h.join().expect("spmv worker panicked");
+            // Re-raise with the original payload so a typed
+            // `SolveError` thrown by a failed spill read-back reaches
+            // the `catch_spill` boundary intact.
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
     });
 }

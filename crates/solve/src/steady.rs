@@ -87,6 +87,16 @@ pub struct IterOptions {
     /// not bit-for-bit — campaign drivers that promise bit-identical
     /// Gauss–Seidel means leave this `None` for that backend.
     pub warm_start: Option<Vec<f64>>,
+    /// Opt-in graceful degradation: when the selected backend fails
+    /// recoverably, walk the fallback chain
+    /// ([`SolverBackend::fallback_after`]) — `Krylov NotConverged →
+    /// Gauss-Seidel`, `Gauss-Seidel ResidentOnly → Jacobi` — instead
+    /// of surfacing the error. The result records which backend
+    /// actually produced the answer in
+    /// [`SteadyState::solved_by`] / [`AbsorptionTimes::solved_by`].
+    /// Off by default: agreement gates and bit-identity tests want the
+    /// backend they asked for or a loud error.
+    pub fallback: bool,
 }
 
 impl Default for IterOptions {
@@ -98,6 +108,7 @@ impl Default for IterOptions {
             threads: 1,
             restart: 30,
             warm_start: None,
+            fallback: false,
         }
     }
 }
@@ -167,6 +178,10 @@ pub struct SteadyState {
     pub iterations: usize,
     /// Final sup-norm of `πQ` (the balance residual).
     pub residual: f64,
+    /// The backend that actually produced this answer — differs from
+    /// [`IterOptions::backend`] only when a fallback chain
+    /// ([`IterOptions::fallback`]) stepped in.
+    pub solved_by: SolverBackend,
 }
 
 /// Solves `πQ = 0`, `Σπ = 1` with the backend named in `opts`, over
@@ -191,6 +206,7 @@ pub fn steady_state<L: LinOp>(op: &L, opts: &IterOptions) -> Result<SteadyState,
             probs: vec![1.0],
             iterations: 0,
             residual: 0.0,
+            solved_by: opts.backend,
         });
     }
     if (0..n).any(|i| op.is_absorbing(i)) {
@@ -199,10 +215,43 @@ pub fn steady_state<L: LinOp>(op: &L, opts: &IterOptions) -> Result<SteadyState,
     let _span = ctsim_obs::span("solver", "steady_state")
         .arg("backend", opts.backend.to_string())
         .arg("states", n);
-    match opts.backend {
-        SolverBackend::GaussSeidel => steady_gauss_seidel(op, opts),
-        SolverBackend::Jacobi => steady_jacobi(op, opts),
-        SolverBackend::Krylov => krylov::steady(op, opts),
+    crate::catch_spill(|| {
+        let mut backend = opts.backend;
+        loop {
+            let result = match backend {
+                SolverBackend::GaussSeidel => steady_gauss_seidel(op, opts),
+                SolverBackend::Jacobi => steady_jacobi(op, opts),
+                SolverBackend::Krylov => krylov::steady(op, opts),
+            };
+            match result {
+                Err(e) if opts.fallback => match backend.fallback_after(&e) {
+                    Some(next) => {
+                        note_fallback("steady_state", backend, next, &e);
+                        backend = next;
+                    }
+                    None => return Err(e),
+                },
+                other => return other,
+            }
+        }
+    })
+}
+
+/// Records one fallback-chain step: the `resilience.fallbacks` counter
+/// and a trace instant naming the edge taken, so a `--fallback` answer
+/// is auditable after the fact.
+fn note_fallback(what: &'static str, from: SolverBackend, to: SolverBackend, err: &SolveError) {
+    if ctsim_obs::enabled() {
+        ctsim_obs::counter_add("resilience.fallbacks", 1);
+        ctsim_obs::instant(
+            "resilience",
+            format!("fallback.{what}"),
+            vec![
+                ("from", from.name().into()),
+                ("to", to.name().into()),
+                ("cause", err.to_string().into()),
+            ],
+        );
     }
 }
 
@@ -258,6 +307,7 @@ fn steady_gauss_seidel<L: LinOp>(op: &L, opts: &IterOptions) -> Result<SteadySta
                 probs: pi,
                 iterations: sweep,
                 residual,
+                solved_by: SolverBackend::GaussSeidel,
             });
         }
         if !residual.is_finite() {
@@ -312,6 +362,7 @@ fn steady_jacobi<L: LinOp>(op: &L, opts: &IterOptions) -> Result<SteadyState, So
                 probs: pi,
                 iterations: step,
                 residual,
+                solved_by: SolverBackend::Jacobi,
             });
         }
         if !residual.is_finite() {
@@ -354,6 +405,10 @@ pub struct AbsorptionTimes {
     pub iterations: usize,
     /// Final sup-norm residual of `Q_TT τ + 1`.
     pub residual: f64,
+    /// The backend that actually produced this answer — differs from
+    /// [`IterOptions::backend`] only when a fallback chain
+    /// ([`IterOptions::fallback`]) stepped in.
+    pub solved_by: SolverBackend,
 }
 
 /// Solves the expected time to absorption from every state with the
@@ -379,11 +434,26 @@ pub fn mean_time_to_absorption<L: LinOp>(
     let _span = ctsim_obs::span("solver", "mean_time_to_absorption")
         .arg("backend", opts.backend.to_string())
         .arg("states", n);
-    match opts.backend {
-        SolverBackend::GaussSeidel => absorption_gauss_seidel(op, opts),
-        SolverBackend::Jacobi => absorption_jacobi(op, opts),
-        SolverBackend::Krylov => krylov::absorption(op, opts),
-    }
+    crate::catch_spill(|| {
+        let mut backend = opts.backend;
+        loop {
+            let result = match backend {
+                SolverBackend::GaussSeidel => absorption_gauss_seidel(op, opts),
+                SolverBackend::Jacobi => absorption_jacobi(op, opts),
+                SolverBackend::Krylov => krylov::absorption(op, opts),
+            };
+            match result {
+                Err(e) if opts.fallback => match backend.fallback_after(&e) {
+                    Some(next) => {
+                        note_fallback("mean_time_to_absorption", backend, next, &e);
+                        backend = next;
+                    }
+                    None => return Err(e),
+                },
+                other => return other,
+            }
+        }
+    })
 }
 
 /// The reference backend: in-place Gauss–Seidel sweeps on `Q_TT τ = -1`.
@@ -446,6 +516,7 @@ fn absorption_gauss_seidel<L: LinOp>(
                 mean,
                 iterations: sweep,
                 residual,
+                solved_by: SolverBackend::GaussSeidel,
             });
         }
         if !residual.is_finite() {
@@ -498,6 +569,7 @@ fn absorption_jacobi<L: LinOp>(op: &L, opts: &IterOptions) -> Result<AbsorptionT
                 mean,
                 iterations: step,
                 residual,
+                solved_by: SolverBackend::Jacobi,
             });
         }
         if !residual.is_finite() {

@@ -70,6 +70,17 @@ pub fn transient<L: LinOp>(
     t_ms: f64,
     opts: &TransientOptions,
 ) -> Result<Transient, SolveError> {
+    // Boundary for the typed spill-failure channel: a disk-paged
+    // generator whose read-back exhausts its retries surfaces here as
+    // `Err(SolveError::SpillFailed)` instead of a panic.
+    crate::catch_spill(|| transient_inner(op, t_ms, opts))
+}
+
+fn transient_inner<L: LinOp>(
+    op: &L,
+    t_ms: f64,
+    opts: &TransientOptions,
+) -> Result<Transient, SolveError> {
     assert!(
         t_ms >= 0.0 && t_ms.is_finite(),
         "time must be finite and >= 0"
